@@ -1,0 +1,43 @@
+//! End-to-end engine throughput: full fuzzing iterations (generation →
+//! broker execution → feedback analysis) against device models, plus the
+//! one-time costs of probing and device boot.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use droidfuzz::config::FuzzerConfig;
+use droidfuzz::engine::FuzzingEngine;
+use droidfuzz::probe::probe_device;
+use simdevice::catalog;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("device/boot_a1", |b| {
+        b.iter(|| catalog::device_a1().boot());
+    });
+    c.bench_function("probe/full_pass_a1", |b| {
+        b.iter_batched(
+            || catalog::device_a1().boot(),
+            |mut device| probe_device(&mut device),
+            BatchSize::SmallInput,
+        );
+    });
+    let mut group = c.benchmark_group("engine_steps");
+    group.sample_size(20);
+    for (name, make) in [
+        ("droidfuzz", FuzzerConfig::droidfuzz as fn(u64) -> FuzzerConfig),
+        ("syzkaller", FuzzerConfig::syzkaller),
+    ] {
+        group.bench_function(format!("100_iterations_{name}"), |b| {
+            b.iter_batched(
+                || FuzzingEngine::new(catalog::device_a1().boot(), make(1)),
+                |mut engine| {
+                    engine.run_iterations(100);
+                    engine.kernel_coverage()
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

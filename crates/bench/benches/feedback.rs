@@ -1,0 +1,46 @@
+//! Microbenchmarks for cross-boundary feedback processing (§IV-D):
+//! specialized-ID lookup, directional pair hashing, and signal-set merges.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use droidfuzz::feedback::{signals_from_execution, SignalSet, SyscallIdTable};
+use simdevice::catalog;
+use simkernel::coverage::Block;
+use simkernel::syscall::SyscallNr;
+use simkernel::trace::{Origin, SyscallEvent};
+
+fn events(n: usize) -> Vec<SyscallEvent> {
+    (0..n)
+        .map(|i| SyscallEvent {
+            origin: Origin::Hal((i % 6) as u32 + 1),
+            nr: SyscallNr::Ioctl,
+            critical: (i % 40) as u64,
+            path: None,
+            ok: true,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("feedback/compile_id_table_a1", |b| {
+        let mut device = catalog::device_a1().boot();
+        b.iter(|| SyscallIdTable::compile(std::hint::black_box(device.kernel())));
+    });
+    c.bench_function("feedback/signals_100cov_50events", |b| {
+        let kcov: Vec<Block> = (0..100u64).map(|i| Block(0x1000_0000 + i * 13)).collect();
+        let evs = events(50);
+        let mut table = SyscallIdTable::new();
+        b.iter(|| signals_from_execution(&kcov, &evs, &mut table, true));
+    });
+    c.bench_function("feedback/merge_into_100k_set", |b| {
+        let mut set = SignalSet::new();
+        let mut table = SyscallIdTable::new();
+        let warmup: Vec<Block> = (0..100_000u64).map(|i| Block(i * 7)).collect();
+        set.merge(&signals_from_execution(&warmup, &[], &mut table, false));
+        let kcov: Vec<Block> = (0..200u64).map(|i| Block(0x9_0000_0000 + i)).collect();
+        let sigs = signals_from_execution(&kcov, &events(30), &mut table, true);
+        b.iter(|| std::hint::black_box(set.count_new(&sigs)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

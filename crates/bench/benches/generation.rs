@@ -1,0 +1,66 @@
+//! Microbenchmarks for payload generation and mutation over a realistic
+//! device vocabulary (device A1's syscall + probed HAL descriptions).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use droidfuzz::descs::build_syscall_table;
+use droidfuzz::generate::{random_generate, relational_generate};
+use droidfuzz::probe::{add_hal_descs, probe_device};
+use droidfuzz::relation::RelationGraph;
+use fuzzlang::desc::{DescId, DescTable};
+use fuzzlang::mutate::mutate;
+use fuzzlang::text::{format_prog, parse_prog};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simdevice::catalog;
+
+fn a1_vocabulary() -> DescTable {
+    let mut device = catalog::device_a1().boot();
+    let mut table = build_syscall_table(device.kernel());
+    let report = probe_device(&mut device);
+    add_hal_descs(&mut table, &report);
+    table
+}
+
+fn bench(c: &mut Criterion) {
+    let table = a1_vocabulary();
+    let mut graph = RelationGraph::new(&table);
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..300 {
+        graph.learn(
+            DescId(rng.gen_range(0..table.len())),
+            DescId(rng.gen_range(0..table.len())),
+        );
+    }
+
+    c.bench_function("generate/random_16_calls", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| random_generate(&table, 16, &mut rng));
+    });
+    c.bench_function("generate/relational_16_calls", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| relational_generate(&table, &graph, 16, &mut rng));
+    });
+    c.bench_function("mutate/one_op", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let seed = random_generate(&table, 12, &mut rng);
+        b.iter_batched(
+            || seed.clone(),
+            |mut prog| {
+                mutate(&mut prog, &table, &mut rng);
+                prog
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("text/roundtrip_16_calls", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let prog = random_generate(&table, 16, &mut rng);
+        b.iter(|| {
+            let text = format_prog(&prog, &table);
+            parse_prog(&text, &table).expect("roundtrip")
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmarks for Binder parcel marshaling — every HAL invocation
+//! (fuzzing and probing alike) crosses this path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simbinder::Parcel;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("parcel/write_mixed_10", |b| {
+        b.iter(|| {
+            let mut p = Parcel::new();
+            for i in 0..4 {
+                p.write_i32(i);
+            }
+            p.write_i64(1 << 40);
+            p.write_string16("android.hardware.camera");
+            p.write_blob(vec![0u8; 64]);
+            p.write_fd(3);
+            std::hint::black_box(p)
+        });
+    });
+    c.bench_function("parcel/read_mixed_10", |b| {
+        let mut p = Parcel::new();
+        for i in 0..4 {
+            p.write_i32(i);
+        }
+        p.write_i64(1 << 40);
+        p.write_string16("android.hardware.camera");
+        p.write_blob(vec![0u8; 64]);
+        p.write_fd(3);
+        b.iter(|| {
+            let mut r = p.reader();
+            for _ in 0..4 {
+                std::hint::black_box(r.read_i32().unwrap());
+            }
+            std::hint::black_box(r.read_i64().unwrap());
+            std::hint::black_box(r.read_string16().unwrap());
+            std::hint::black_box(r.read_blob().unwrap());
+            std::hint::black_box(r.read_fd().unwrap());
+        });
+    });
+    c.bench_function("parcel/shape_and_wire_size", |b| {
+        let mut p = Parcel::new();
+        for i in 0..16 {
+            p.write_i32(i);
+        }
+        b.iter(|| (std::hint::black_box(p.shape()), std::hint::black_box(p.wire_size())));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks for the relation graph (§IV-C): Eq. 1 learning, decay,
+//! and weighted sampling — the per-execution hot path of relational
+//! payload generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use droidfuzz::relation::RelationGraph;
+use fuzzlang::desc::{CallDesc, CallKind, DescId, DescTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn table(n: usize) -> DescTable {
+    let mut t = DescTable::new();
+    for i in 0..n {
+        t.add(CallDesc::new(
+            format!("call{i}"),
+            CallKind::Hal { service: "svc".into(), code: i as u32 },
+            vec![],
+            None,
+        ));
+    }
+    t
+}
+
+fn learned_graph(vertices: usize, edges: usize) -> RelationGraph {
+    let t = table(vertices);
+    let mut g = RelationGraph::new(&t);
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..edges {
+        let a = DescId(rng.gen_range(0..vertices));
+        let b = DescId(rng.gen_range(0..vertices));
+        g.learn(a, b);
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let t = table(300);
+    c.bench_function("relation/learn_300v", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter_batched(
+            || RelationGraph::new(&t),
+            |mut g| {
+                for _ in 0..100 {
+                    g.learn(DescId(rng.gen_range(0..300)), DescId(rng.gen_range(0..300)));
+                }
+                g
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("relation/sample_base_300v", |b| {
+        let g = learned_graph(300, 500);
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| g.sample_base(&mut rng));
+    });
+    c.bench_function("relation/sample_next_500e", |b| {
+        let g = learned_graph(300, 500);
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| g.sample_next(DescId(rng.gen_range(0..300)), &mut rng));
+    });
+    c.bench_function("relation/decay_500e", |b| {
+        b.iter_batched(
+            || learned_graph(300, 500),
+            |mut g| {
+                g.decay(0.9);
+                g
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

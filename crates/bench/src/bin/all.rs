@@ -1,0 +1,17 @@
+//! Runs every experiment binary in sequence (Table I, Fig. 4, Fig. 5,
+//! Table III, per-driver coverage, Table II), honoring the same `DF_*`
+//! environment variables each binary reads.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in ["table1", "fig4", "fig5", "table3", "driver_cov", "table2"] {
+        println!("================ {bin} ================\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Figure 4** — kernel coverage of DroidFuzz vs syzkaller
+//! over 48 virtual hours on devices A1, A2, B and C1 (the paper omits
+//! D/E/C2 as following the same pattern; pass `DF_ALL_DEVICES=1` to plot
+//! them too).
+//!
+//! Scale: `DF_HOURS` (default 48), `DF_REPEATS` (default 3).
+
+use droidfuzz::config::FuzzerConfig;
+use droidfuzz::report::ascii_chart;
+use droidfuzz_bench::{env_f64, env_u64, run_matrix, MakeConfig};
+use simdevice::catalog;
+
+fn main() {
+    let hours = env_f64("DF_HOURS", 48.0);
+    let repeats = env_u64("DF_REPEATS", 3);
+    let ids: &[&str] = if std::env::var("DF_ALL_DEVICES").is_ok() {
+        &["A1", "A2", "B", "C1", "C2", "D", "E"]
+    } else {
+        &["A1", "A2", "B", "C1"]
+    };
+    let devices: Vec<_> = ids.iter().map(|id| catalog::by_id(id).expect("known id")).collect();
+    println!(
+        "Figure 4: coverage comparison DroidFuzz vs Syzkaller over {hours} h (mean of {repeats} runs)\n"
+    );
+    let variants: Vec<(&str, MakeConfig)> = vec![
+        ("DroidFuzz", FuzzerConfig::droidfuzz),
+        ("Syzkaller", FuzzerConfig::syzkaller),
+    ];
+    let results = run_matrix(&devices, &variants, hours, repeats);
+    for chunk in results.chunks(2) {
+        let (df, syz) = (&chunk[0], &chunk[1]);
+        let title = format!(
+            "Device {} — final coverage: DroidFuzz {:.0}, Syzkaller {:.0} ({:+.1}%)",
+            df.device_id,
+            df.mean_final_coverage(),
+            syz.mean_final_coverage(),
+            100.0 * (df.mean_final_coverage() / syz.mean_final_coverage().max(1.0) - 1.0),
+        );
+        println!(
+            "{}",
+            ascii_chart(
+                &title,
+                &[("DroidFuzz", &df.mean_series), ("Syzkaller", &syz.mean_series)],
+                64,
+                12,
+            )
+        );
+        // The raw series, for external plotting.
+        println!("  t(h), DroidFuzz, Syzkaller");
+        for (i, (t, v)) in df.mean_series.points().iter().enumerate() {
+            let syz_v = syz.mean_series.points().get(i).map_or(0.0, |&(_, v)| v);
+            println!("  {:5.1}, {v:8.0}, {syz_v:8.0}", *t as f64 / 3_600_000_000.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table I** — the list of embedded Android devices tested.
+
+use droidfuzz::report::ascii_table;
+use simdevice::catalog;
+
+fn main() {
+    println!("Table I: List of Embedded Android Devices Tested\n");
+    let rows: Vec<Vec<String>> = catalog::all_devices()
+        .iter()
+        .map(|spec| {
+            vec![
+                spec.meta.id.clone(),
+                spec.meta.name.clone(),
+                spec.meta.vendor.clone(),
+                spec.meta.arch.to_string(),
+                spec.meta.aosp.to_string(),
+                spec.meta.kernel.clone(),
+                spec.drivers.len().to_string(),
+                spec.services.len().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &["ID", "Device", "Vendor", "Arch.", "AOSP", "Kernel", "Drivers", "HALs"],
+            &rows
+        )
+    );
+}

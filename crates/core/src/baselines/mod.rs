@@ -1,0 +1,9 @@
+//! Evaluation baselines: the syzkaller and Difuze stand-ins (§V).
+//!
+//! Both reuse the same engine machinery with features switched off, which
+//! is precisely how the paper frames the comparison: the deltas under test
+//! are HAL access, relational generation, and cross-boundary feedback —
+//! not engine plumbing.
+
+pub mod difuze;
+pub mod syz;

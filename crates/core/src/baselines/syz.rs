@@ -1,0 +1,45 @@
+//! The syzkaller stand-in: syscall-only, coverage-guided, mutation +
+//! generation fuzzing with kcov feedback — no HAL vocabulary, no relation
+//! learning, no directional HAL coverage.
+//!
+//! The paper compares against syzkaller commit `fb88827` with its
+//! hand-written syzlang descriptions; our stand-in uses the same
+//! driver-derived syscall descriptions DroidFuzz's native side uses, so
+//! the *only* differences are the paper's three techniques.
+
+use crate::config::FuzzerConfig;
+use crate::engine::FuzzingEngine;
+use simdevice::Device;
+
+/// Builds a syzkaller-baseline engine for `device`.
+pub fn engine(device: Device, seed: u64) -> FuzzingEngine {
+    FuzzingEngine::new(device, FuzzerConfig::syzkaller(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdevice::catalog;
+
+    #[test]
+    fn syz_covers_kernel_without_hal() {
+        let mut engine = engine(catalog::device_b().boot(), 11);
+        engine.run_iterations(400);
+        assert!(engine.kernel_coverage() > 20);
+        assert!(engine.desc_table().hal_ids().is_empty());
+        assert_eq!(engine.relation_graph().edge_count(), 0, "no relation learning");
+    }
+
+    #[test]
+    fn syz_finds_shallow_l2cap_bug_on_pi() {
+        // Bug #8 is one of the two bugs the paper credits to syzkaller.
+        let mut engine = engine(catalog::device_b().boot(), 3);
+        engine.run_iterations(6000);
+        let found = engine
+            .crash_db()
+            .records()
+            .iter()
+            .any(|r| r.title.contains("l2cap_send_disconn_req"));
+        assert!(found, "crashes: {:?}", engine.crash_db().records());
+    }
+}

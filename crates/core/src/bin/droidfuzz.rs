@@ -1,0 +1,168 @@
+//! The `droidfuzz` command-line front end: run a fuzzing campaign against
+//! one of the simulated Table-I devices.
+//!
+//! ```sh
+//! droidfuzz --device A1 --hours 24 --variant droidfuzz \
+//!           --corpus-out a1.corpus --seed 7
+//! ```
+
+use droidfuzz::config::FuzzerConfig;
+use droidfuzz::engine::FuzzingEngine;
+use simdevice::catalog;
+
+struct Options {
+    device: String,
+    hours: f64,
+    variant: String,
+    seed: u64,
+    corpus_in: Option<String>,
+    corpus_out: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: droidfuzz [--device <A1|A2|B|C1|C2|D|E>] [--hours <virtual-hours>]\n\
+         \x20                [--variant <droidfuzz|norel|nohcov|droidfuzz-d|syzkaller|difuze>]\n\
+         \x20                [--seed <n>] [--corpus-in <file>] [--corpus-out <file>] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        device: "A1".into(),
+        hours: 4.0,
+        variant: "droidfuzz".into(),
+        seed: 1,
+        corpus_in: None,
+        corpus_out: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--device" => opts.device = value("--device"),
+            "--hours" => {
+                opts.hours = value("--hours").parse().unwrap_or_else(|_| usage());
+            }
+            "--variant" => opts.variant = value("--variant"),
+            "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--corpus-in" => opts.corpus_in = Some(value("--corpus-in")),
+            "--corpus-out" => opts.corpus_out = Some(value("--corpus-out")),
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn config_for(variant: &str, seed: u64) -> FuzzerConfig {
+    match variant {
+        "droidfuzz" => FuzzerConfig::droidfuzz(seed),
+        "norel" => FuzzerConfig::droidfuzz_norel(seed),
+        "nohcov" => FuzzerConfig::droidfuzz_nohcov(seed),
+        "droidfuzz-d" => FuzzerConfig::droidfuzz_d(seed),
+        "syzkaller" => FuzzerConfig::syzkaller(seed),
+        "difuze" => FuzzerConfig::difuze(seed),
+        other => {
+            eprintln!("unknown variant {other}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let Some(spec) = catalog::by_id(&opts.device) else {
+        eprintln!("unknown device {}; known: A1 A2 B C1 C2 D E", opts.device);
+        std::process::exit(2);
+    };
+    let config = config_for(&opts.variant, opts.seed);
+    if !opts.quiet {
+        println!(
+            "booting {} {} ({}, AOSP {}, kernel {})",
+            spec.meta.vendor, spec.meta.name, spec.meta.arch, spec.meta.aosp, spec.meta.kernel
+        );
+    }
+    let mut engine = FuzzingEngine::new(spec.boot(), config);
+    if let Some(path) = &opts.corpus_in {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let n = engine.import_corpus(&text);
+                if !opts.quiet {
+                    println!("restored {n} corpus seeds from {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read corpus {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(report) = engine.probe_report() {
+        if !opts.quiet {
+            println!(
+                "probed {} HAL interfaces across {} services",
+                report.interface_count(),
+                report.services
+            );
+        }
+    }
+
+    // Report progress every simulated hour.
+    let steps = (opts.hours.max(0.1) * 4.0).ceil() as u32;
+    for step in 1..=steps {
+        engine.run_for_virtual_hours(opts.hours / f64::from(steps));
+        if !opts.quiet {
+            println!(
+                "[{:5.1}h] cov={} execs={} corpus={} relations={} crashes={}",
+                opts.hours * f64::from(step) / f64::from(steps),
+                engine.kernel_coverage(),
+                engine.executions(),
+                engine.corpus().len(),
+                engine.relation_graph().edge_count(),
+                engine.crash_db().len(),
+            );
+        }
+    }
+
+    println!("\n== crash summary ==");
+    if engine.crash_db().is_empty() {
+        println!("(no crashes)");
+    }
+    for crash in engine.crash_db().records() {
+        println!(
+            "{} [{}] first seen at {:.1} h, {} occurrence(s)",
+            crash.title,
+            crash.component,
+            crash.first_seen_us as f64 / 3.6e9,
+            crash.count
+        );
+        if let Some(repro) = &crash.repro {
+            for line in repro.lines() {
+                println!("    {line}");
+            }
+        }
+    }
+
+    if let Some(path) = &opts.corpus_out {
+        if let Err(e) = std::fs::write(path, engine.export_corpus()) {
+            eprintln!("cannot write corpus {path}: {e}");
+            std::process::exit(1);
+        }
+        if !opts.quiet {
+            println!("\nwrote {} seeds to {path}", engine.corpus().len());
+        }
+    }
+}

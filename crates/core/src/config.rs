@@ -1,0 +1,172 @@
+//! Fuzzer configurations: DroidFuzz proper, its ablations (`DF-NoRel`,
+//! `DF-NoHCov`), the restricted `DroidFuzz-D`, and the evaluation
+//! baselines (syzkaller-like, Difuze-like).
+
+use std::fmt;
+
+/// Which fuzzer variant a configuration describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Full DroidFuzz.
+    DroidFuzz,
+    /// DroidFuzz without relational payload generation (§V-D1).
+    NoRel,
+    /// DroidFuzz without HAL directional coverage (§V-D2).
+    NoHCov,
+    /// DroidFuzz restricted to the ioctl path (§V-C2).
+    DroidFuzzD,
+    /// Syscall-only coverage-guided baseline (syzkaller stand-in).
+    Syzkaller,
+    /// Interface-extraction + generation-only baseline (Difuze stand-in).
+    Difuze,
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Variant::DroidFuzz => "DroidFuzz",
+            Variant::NoRel => "DF-NoRel",
+            Variant::NoHCov => "DF-NoHCov",
+            Variant::DroidFuzzD => "DroidFuzz-D",
+            Variant::Syzkaller => "Syzkaller",
+            Variant::Difuze => "Difuze",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full fuzzer configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzerConfig {
+    /// Which variant this is (drives reporting labels).
+    pub variant: Variant,
+    /// RNG seed (campaigns repeat with different seeds).
+    pub seed: u64,
+    /// Probe the HAL and include HAL interfaces in the vocabulary.
+    pub hal_enabled: bool,
+    /// Learn and use the relation graph (§IV-C).
+    pub relations: bool,
+    /// Merge HAL directional coverage into feedback (§IV-D).
+    pub hal_coverage: bool,
+    /// Use coverage feedback at all (Difuze is generation-only).
+    pub feedback: bool,
+    /// Restrict the device to the ioctl path (DroidFuzz-D, Difuze).
+    pub ioctl_only: bool,
+    /// Use statically-extracted vendor ioctl descriptions instead of the
+    /// public syzlang set (Difuze's interface-awareness).
+    pub vendor_ioctl_descs: bool,
+    /// Target call count per generated payload.
+    pub max_prog_calls: usize,
+    /// Probability of mutating a corpus seed instead of generating fresh.
+    pub mutate_prob: f64,
+    /// Decay the relation graph every this many executions.
+    pub decay_interval: u64,
+    /// Decay factor (< 1).
+    pub decay_factor: f64,
+    /// Run minimization on coverage-increasing inputs (costs executions).
+    pub minimize: bool,
+    /// Reboot the device upon encountering any bug (paper §V-A).
+    pub reboot_on_bug: bool,
+}
+
+impl FuzzerConfig {
+    fn base(variant: Variant, seed: u64) -> Self {
+        Self {
+            variant,
+            seed,
+            hal_enabled: true,
+            relations: true,
+            hal_coverage: true,
+            feedback: true,
+            ioctl_only: false,
+            vendor_ioctl_descs: false,
+            max_prog_calls: 16,
+            mutate_prob: 0.6,
+            decay_interval: 2000,
+            decay_factor: 0.9,
+            minimize: true,
+            reboot_on_bug: true,
+        }
+    }
+
+    /// Full DroidFuzz.
+    pub fn droidfuzz(seed: u64) -> Self {
+        Self::base(Variant::DroidFuzz, seed)
+    }
+
+    /// `DF-NoRel`: randomized dependency generation only.
+    pub fn droidfuzz_norel(seed: u64) -> Self {
+        Self { relations: false, ..Self::base(Variant::NoRel, seed) }
+    }
+
+    /// `DF-NoHCov`: kernel kcov feedback only.
+    pub fn droidfuzz_nohcov(seed: u64) -> Self {
+        Self { hal_coverage: false, ..Self::base(Variant::NoHCov, seed) }
+    }
+
+    /// `DroidFuzz-D`: executor and HAL restricted to the ioctl path.
+    pub fn droidfuzz_d(seed: u64) -> Self {
+        Self { ioctl_only: true, ..Self::base(Variant::DroidFuzzD, seed) }
+    }
+
+    /// Syzkaller stand-in: syscall-only, coverage-guided, no HAL probing,
+    /// no relation learning, no HAL coverage.
+    pub fn syzkaller(seed: u64) -> Self {
+        Self {
+            hal_enabled: false,
+            relations: false,
+            hal_coverage: false,
+            ..Self::base(Variant::Syzkaller, seed)
+        }
+    }
+
+    /// Difuze stand-in: extracted ioctl interfaces, generation-based (no
+    /// feedback, no corpus, no HAL).
+    pub fn difuze(seed: u64) -> Self {
+        Self {
+            hal_enabled: false,
+            relations: false,
+            hal_coverage: false,
+            feedback: false,
+            ioctl_only: true,
+            vendor_ioctl_descs: true,
+            minimize: false,
+            ..Self::base(Variant::Difuze, seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_toggle_the_right_features() {
+        let df = FuzzerConfig::droidfuzz(1);
+        assert!(df.hal_enabled && df.relations && df.hal_coverage && df.feedback);
+        assert!(!df.ioctl_only);
+
+        let norel = FuzzerConfig::droidfuzz_norel(1);
+        assert!(!norel.relations && norel.hal_coverage && norel.hal_enabled);
+
+        let nohcov = FuzzerConfig::droidfuzz_nohcov(1);
+        assert!(nohcov.relations && !nohcov.hal_coverage && nohcov.hal_enabled);
+
+        let dfd = FuzzerConfig::droidfuzz_d(1);
+        assert!(dfd.ioctl_only && dfd.hal_enabled);
+
+        let syz = FuzzerConfig::syzkaller(1);
+        assert!(!syz.hal_enabled && !syz.relations && !syz.hal_coverage && syz.feedback);
+
+        let difuze = FuzzerConfig::difuze(1);
+        assert!(!difuze.feedback && difuze.ioctl_only && !difuze.hal_enabled);
+    }
+
+    #[test]
+    fn display_labels_match_paper() {
+        assert_eq!(Variant::DroidFuzz.to_string(), "DroidFuzz");
+        assert_eq!(Variant::NoRel.to_string(), "DF-NoRel");
+        assert_eq!(Variant::NoHCov.to_string(), "DF-NoHCov");
+        assert_eq!(Variant::DroidFuzzD.to_string(), "DroidFuzz-D");
+    }
+}

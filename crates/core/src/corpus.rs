@@ -1,0 +1,226 @@
+//! The seed corpus: programs that triggered new execution state, kept for
+//! further mutation (the daemon's persistent data of §IV-A).
+
+use fuzzlang::desc::DescTable;
+use fuzzlang::prog::Prog;
+use fuzzlang::text::format_prog;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One seed.
+#[derive(Debug, Clone)]
+pub struct Seed {
+    /// The program.
+    pub prog: Prog,
+    /// Admission score: the (kernel-weighted) signal count the seed
+    /// contributed when admitted; drives selection and eviction.
+    pub new_signals: usize,
+    /// Times it has been picked for mutation.
+    pub picks: u64,
+}
+
+/// Maximum corpus size; lowest-value seeds are evicted beyond this.
+pub const MAX_SEEDS: usize = 4096;
+
+/// The seed corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    seeds: Vec<Seed>,
+    admitted: u64,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits a program with the given admission score (the engine weights
+    /// kernel-coverage novelty above HAL-ordering novelty).
+    pub fn admit(&mut self, prog: Prog, new_signals: usize) {
+        self.admitted += 1;
+        self.seeds.push(Seed { prog, new_signals, picks: 0 });
+        if self.seeds.len() > MAX_SEEDS {
+            // Evict the least valuable (fewest signals, most picked).
+            let idx = self
+                .seeds
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| (s.new_signals, u64::MAX - s.picks))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.seeds.swap_remove(idx);
+        }
+    }
+
+    /// Picks a seed for mutation, biased toward high-signal, rarely-picked
+    /// seeds.
+    pub fn pick<R: Rng>(&mut self, rng: &mut R) -> Option<&Prog> {
+        if self.seeds.is_empty() {
+            return None;
+        }
+        // Tournament of 4: best signal-per-pick ratio wins.
+        let n = self.seeds.len();
+        let mut best: Option<usize> = None;
+        for _ in 0..4.min(n) {
+            let i = rng.gen_range(0..n);
+            let score = |s: &Seed| s.new_signals as f64 / (1.0 + s.picks as f64);
+            if best.is_none_or(|b| score(&self.seeds[i]) > score(&self.seeds[b])) {
+                best = Some(i);
+            }
+        }
+        let idx = best.expect("non-empty");
+        self.seeds[idx].picks += 1;
+        Some(&self.seeds[idx].prog)
+    }
+
+    /// Picks a uniformly random seed (for splicing).
+    pub fn pick_uniform<R: Rng>(&self, rng: &mut R) -> Option<&Prog> {
+        self.seeds.choose(rng).map(|s| &s.prog)
+    }
+
+    /// Number of seeds currently held.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Total seeds ever admitted (including evicted ones).
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Serializes the corpus in the DSL text format, seeds separated by
+    /// `# seed` comment headers — the daemon's persistent representation.
+    pub fn export(&self, table: &DescTable) -> String {
+        let mut out = String::new();
+        for (i, seed) in self.seeds.iter().enumerate() {
+            out.push_str(&format!("# seed {i} signals={}\n", seed.new_signals));
+            out.push_str(&format_prog(&seed.prog, table));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Restores a corpus from an [`export`](Self::export) dump. Seeds that
+    /// fail to parse or validate against `table` (e.g. after the device's
+    /// vocabulary changed across a firmware update) are skipped; returns
+    /// the number of seeds restored.
+    pub fn import(&mut self, text: &str, table: &DescTable) -> usize {
+        let mut restored = 0;
+        for chunk in text.split("# seed ") {
+            let body: String = chunk
+                .lines()
+                .filter(|l| l.starts_with('r'))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            if body.is_empty() {
+                continue;
+            }
+            let signals = chunk
+                .lines()
+                .next()
+                .and_then(|header| header.split("signals=").nth(1))
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(1);
+            if let Ok(prog) = fuzzlang::text::parse_prog(&body, table) {
+                if prog.validate(table).is_ok() && !prog.is_empty() {
+                    self.admit(prog, signals);
+                    restored += 1;
+                }
+            }
+        }
+        restored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzlang::desc::{CallDesc, DescTable};
+    use fuzzlang::prog::Call;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn prog(n: usize, t: &DescTable) -> Prog {
+        let id = t.id_of("openat$/dev/x").unwrap();
+        Prog { calls: (0..n).map(|_| Call { desc: id, args: vec![] }).collect() }
+    }
+
+    fn table() -> DescTable {
+        let mut t = DescTable::new();
+        t.add(CallDesc::syscall_open("/dev/x"));
+        t
+    }
+
+    #[test]
+    fn pick_prefers_valuable_seeds() {
+        let t = table();
+        let mut c = Corpus::new();
+        c.admit(prog(1, &t), 1);
+        c.admit(prog(2, &t), 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut big = 0;
+        for _ in 0..200 {
+            if c.pick(&mut rng).map(Prog::len) == Some(2) {
+                big += 1;
+            }
+        }
+        assert!(big > 120, "high-signal seed should dominate, got {big}");
+    }
+
+    #[test]
+    fn eviction_keeps_size_bounded() {
+        let t = table();
+        let mut c = Corpus::new();
+        for i in 0..MAX_SEEDS + 100 {
+            c.admit(prog(1, &t), i);
+        }
+        assert_eq!(c.len(), MAX_SEEDS);
+        assert_eq!(c.admitted(), (MAX_SEEDS + 100) as u64);
+    }
+
+    #[test]
+    fn export_contains_headers_and_calls() {
+        let t = table();
+        let mut c = Corpus::new();
+        c.admit(prog(2, &t), 7);
+        let text = c.export(&t);
+        assert!(text.contains("# seed 0 signals=7"));
+        assert!(text.contains("openat$/dev/x"));
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let t = table();
+        let mut c = Corpus::new();
+        c.admit(prog(2, &t), 7);
+        c.admit(prog(3, &t), 4);
+        let text = c.export(&t);
+        let mut restored = Corpus::new();
+        assert_eq!(restored.import(&text, &t), 2);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.export(&t), text);
+    }
+
+    #[test]
+    fn import_skips_stale_seeds() {
+        let t = table();
+        let text = "# seed 0 signals=3\nr0 = openat$/dev/x()\n\n# seed 1 signals=9\nr0 = openat$/dev/removed()\n";
+        let mut c = Corpus::new();
+        assert_eq!(c.import(text, &t), 1, "unknown call skipped, valid seed kept");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn pick_from_empty_is_none() {
+        let mut c = Corpus::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(c.pick(&mut rng).is_none());
+        assert!(c.pick_uniform(&mut rng).is_none());
+    }
+}

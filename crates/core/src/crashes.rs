@@ -1,0 +1,166 @@
+//! Crash collection: deduplication, reproducer storage, and reporting
+//! (the paper's bugs "were initially minimized, deduplicated, and
+//! reproduced", §V-B).
+
+use fuzzlang::desc::DescTable;
+use fuzzlang::prog::Prog;
+use fuzzlang::text::format_prog;
+use simkernel::report::{BugKind, BugReport, Component};
+use std::collections::BTreeMap;
+
+/// One deduplicated crash.
+#[derive(Debug, Clone)]
+pub struct CrashRecord {
+    /// Stable headline.
+    pub title: String,
+    /// Bug class.
+    pub kind: BugKind,
+    /// Stack layer.
+    pub component: Component,
+    /// Times observed.
+    pub count: u64,
+    /// Virtual time of first observation, µs.
+    pub first_seen_us: u64,
+    /// Minimized reproducer in DSL text form, once captured.
+    pub repro: Option<String>,
+}
+
+/// Normalizes a headline into the dedup key (drops KASAN's access
+/// direction and numeric suffixes, mirroring syzkaller's title hashing).
+pub fn dedup_key(title: &str) -> String {
+    title
+        .replace(" Read in ", " in ")
+        .replace(" Write in ", " in ")
+        .split(": 0x")
+        .next()
+        .unwrap_or(title)
+        .to_owned()
+}
+
+/// The deduplicating crash database.
+#[derive(Debug, Clone, Default)]
+pub struct CrashDb {
+    records: BTreeMap<String, CrashRecord>,
+    total_reports: u64,
+}
+
+impl CrashDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a report observed at `now_us`; returns `true` when this is
+    /// a previously unseen crash (which callers should then minimize and
+    /// attach a reproducer for).
+    pub fn record(&mut self, report: &BugReport, now_us: u64) -> bool {
+        self.total_reports += 1;
+        let key = dedup_key(&report.title);
+        match self.records.get_mut(&key) {
+            Some(existing) => {
+                existing.count += 1;
+                false
+            }
+            None => {
+                self.records.insert(
+                    key,
+                    CrashRecord {
+                        title: report.title.clone(),
+                        kind: report.kind,
+                        component: report.component,
+                        count: 1,
+                        first_seen_us: now_us,
+                        repro: None,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Attaches a minimized reproducer to a crash.
+    pub fn attach_repro(&mut self, title: &str, prog: &Prog, table: &DescTable) {
+        let key = dedup_key(title);
+        if let Some(record) = self.records.get_mut(&key) {
+            record.repro = Some(format_prog(prog, table));
+        }
+    }
+
+    /// All records, sorted by first observation time.
+    pub fn records(&self) -> Vec<&CrashRecord> {
+        let mut v: Vec<&CrashRecord> = self.records.values().collect();
+        v.sort_by_key(|r| r.first_seen_us);
+        v
+    }
+
+    /// Number of distinct crashes.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no crash has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total (pre-dedup) reports seen.
+    pub fn total_reports(&self) -> u64 {
+        self.total_reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(title: &str) -> BugReport {
+        BugReport::with_title(BugKind::Warning, title, Component::KernelDriver)
+    }
+
+    #[test]
+    fn dedup_by_normalized_title() {
+        let mut db = CrashDb::new();
+        assert!(db.record(&report("WARNING in foo"), 10));
+        assert!(!db.record(&report("WARNING in foo"), 20));
+        let kasan_a = BugReport::with_title(
+            BugKind::KasanUseAfterFree,
+            "KASAN: slab-use-after-free Read in bar",
+            Component::KernelDriver,
+        );
+        let kasan_b = BugReport::with_title(
+            BugKind::KasanUseAfterFree,
+            "KASAN: slab-use-after-free in bar",
+            Component::KernelDriver,
+        );
+        assert!(db.record(&kasan_a, 30));
+        assert!(!db.record(&kasan_b, 40), "access direction must not split crashes");
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.total_reports(), 4);
+    }
+
+    #[test]
+    fn records_sorted_by_first_seen() {
+        let mut db = CrashDb::new();
+        db.record(&report("B"), 50);
+        db.record(&report("A"), 10);
+        let order: Vec<&str> = db.records().iter().map(|r| r.title.as_str()).collect();
+        assert_eq!(order, vec!["A", "B"]);
+        assert_eq!(db.records()[0].first_seen_us, 10);
+    }
+
+    #[test]
+    fn repro_attaches_by_normalized_title() {
+        let mut table = DescTable::new();
+        table.add(fuzzlang::desc::CallDesc::syscall_open("/dev/x"));
+        let prog = Prog {
+            calls: vec![fuzzlang::prog::Call {
+                desc: fuzzlang::desc::DescId(0),
+                args: vec![],
+            }],
+        };
+        let mut db = CrashDb::new();
+        db.record(&report("WARNING in foo"), 1);
+        db.attach_repro("WARNING in foo", &prog, &table);
+        assert!(db.records()[0].repro.as_ref().unwrap().contains("openat$/dev/x"));
+    }
+}

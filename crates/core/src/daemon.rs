@@ -1,0 +1,148 @@
+//! The Daemon (§IV-A): the root process coordinating one fuzzing engine
+//! per device, maintaining the persistent data (corpus exports, crash
+//! records, relation tables), and running repeated campaigns for the
+//! evaluation.
+
+use crate::config::FuzzerConfig;
+use crate::crashes::CrashRecord;
+use crate::engine::{FuzzingEngine, HOUR_US};
+use crate::stats::{mean_series, Series};
+use simdevice::firmware::FirmwareSpec;
+use std::thread;
+
+/// Result of one repeated campaign on one device.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Table I device id.
+    pub device_id: String,
+    /// Variant label.
+    pub fuzzer: String,
+    /// Final kernel coverage per repetition.
+    pub final_coverage: Vec<f64>,
+    /// Mean coverage-over-time series across repetitions.
+    pub mean_series: Series,
+    /// Deduplicated crashes across all repetitions (by title).
+    pub crashes: Vec<CrashRecord>,
+    /// Total executions across repetitions.
+    pub executions: u64,
+}
+
+impl CampaignResult {
+    /// Mean of the final coverage values.
+    pub fn mean_final_coverage(&self) -> f64 {
+        crate::stats::mean(&self.final_coverage)
+    }
+}
+
+/// The campaign daemon.
+#[derive(Debug, Default)]
+pub struct Daemon;
+
+impl Daemon {
+    /// Creates a daemon.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Runs `repeats` independent campaigns of `hours` virtual hours of
+    /// `make_config(seed)` on (fresh boots of) `spec`, in parallel
+    /// threads, and aggregates the results.
+    pub fn run_campaign<F>(
+        &self,
+        spec: &FirmwareSpec,
+        make_config: F,
+        hours: f64,
+        repeats: u64,
+    ) -> CampaignResult
+    where
+        F: Fn(u64) -> FuzzerConfig + Sync,
+    {
+        let runs: Vec<(Series, f64, Vec<CrashRecord>, u64)> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..repeats)
+                .map(|rep| {
+                    let spec = spec.clone();
+                    let make_config = &make_config;
+                    scope.spawn(move || {
+                        let mut engine =
+                            FuzzingEngine::new(spec.boot(), make_config(rep + 1));
+                        engine.run_for_virtual_hours(hours);
+                        let crashes: Vec<CrashRecord> =
+                            engine.crash_db().records().into_iter().cloned().collect();
+                        (
+                            engine.coverage_series().clone(),
+                            engine.kernel_coverage() as f64,
+                            crashes,
+                            engine.executions(),
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("campaign thread")).collect()
+        });
+
+        let series: Vec<Series> = runs.iter().map(|(s, _, _, _)| s.clone()).collect();
+        let final_coverage: Vec<f64> = runs.iter().map(|(_, c, _, _)| *c).collect();
+        let end_us = (hours * HOUR_US as f64) as u64;
+        let mut crashes: Vec<CrashRecord> = Vec::new();
+        for (_, _, run_crashes, _) in &runs {
+            for crash in run_crashes {
+                match crashes.iter_mut().find(|c| c.title == crash.title) {
+                    Some(existing) => existing.count += crash.count,
+                    None => crashes.push(crash.clone()),
+                }
+            }
+        }
+        crashes.sort_by_key(|c| c.first_seen_us);
+        let fuzzer = make_config(0).variant.to_string();
+        CampaignResult {
+            device_id: spec.meta.id.clone(),
+            fuzzer,
+            final_coverage,
+            mean_series: mean_series(&series, end_us, 48),
+            crashes,
+            executions: runs.iter().map(|(_, _, _, e)| e).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdevice::catalog;
+
+    #[test]
+    fn campaign_aggregates_repeats() {
+        let daemon = Daemon::new();
+        let result = daemon.run_campaign(
+            &catalog::device_e(),
+            FuzzerConfig::droidfuzz,
+            0.05,
+            3,
+        );
+        assert_eq!(result.device_id, "E");
+        assert_eq!(result.fuzzer, "DroidFuzz");
+        assert_eq!(result.final_coverage.len(), 3);
+        assert!(result.mean_final_coverage() > 0.0);
+        assert!(result.executions > 0);
+        assert!(!result.mean_series.is_empty());
+    }
+
+    #[test]
+    fn campaign_crashes_deduplicate_across_repeats() {
+        let daemon = Daemon::new();
+        // Device E's querycap bug is shallow enough to appear in most
+        // short runs; across repeats it must appear once in the aggregate.
+        let result = daemon.run_campaign(
+            &catalog::device_e(),
+            FuzzerConfig::droidfuzz,
+            0.4,
+            2,
+        );
+        let querycaps = result
+            .crashes
+            .iter()
+            .filter(|c| c.title.contains("v4l_querycap"))
+            .count();
+        assert!(querycaps <= 1, "dedup failed: {:?}", result.crashes);
+    }
+}

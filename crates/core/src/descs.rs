@@ -1,0 +1,438 @@
+//! Syscall description synthesis.
+//!
+//! DroidFuzz "borrowed system call descriptions … from Syzkaller" (§V).
+//! Our stand-in derives equivalent typed descriptions from the simulated
+//! drivers' self-description metadata ([`simkernel::driver::DriverApi`])
+//! plus a hand-written set for the Bluetooth socket family — the same
+//! information a syzlang file encodes.
+
+use fuzzlang::desc::{ArgDesc, CallDesc, CallKind, DescTable, SyscallTemplate};
+use fuzzlang::types::{ResourceKind, TypeDesc};
+use simkernel::driver::WordShape;
+use simkernel::drivers::bt;
+use simkernel::syscall::{af, btproto};
+use simkernel::Kernel;
+
+/// Converts a driver word shape to a DSL type at syzlang fidelity (the
+/// hand-curated descriptions know exact constants and flag sets).
+fn word_type(shape: &WordShape) -> TypeDesc {
+    match shape {
+        WordShape::Range { min, max } => TypeDesc::Int { min: u64::from(*min), max: u64::from(*max) },
+        WordShape::Choice(values) => {
+            TypeDesc::Choice { values: values.iter().map(|&v| u64::from(v)).collect() }
+        }
+        WordShape::Flags(values) => {
+            TypeDesc::Flags { values: values.iter().map(|&v| u64::from(v)).collect() }
+        }
+        WordShape::Any => TypeDesc::any_u32(),
+    }
+}
+
+/// Converts a word shape at static-extraction fidelity: Difuze recovers
+/// request codes and argument structure layouts exactly, but *valid value
+/// sets* (enum constants, flag bits) are runtime semantics its analysis
+/// only bounds, not enumerates.
+fn extracted_word_type(shape: &WordShape) -> TypeDesc {
+    match shape {
+        // Explicit bounds checks are visible to static analysis…
+        WordShape::Range { min, max } => TypeDesc::Int { min: u64::from(*min), max: u64::from(*max) },
+        // …but enum constants and flag bit meanings are runtime semantics
+        // the analysis only sees as an opaque u32 of roughly bounded
+        // magnitude.
+        WordShape::Choice(values) => {
+            let max = values.iter().copied().max().unwrap_or(u32::MAX);
+            TypeDesc::Int { min: 0, max: u64::from(max.saturating_mul(2).max(255)) }
+        }
+        WordShape::Flags(values) => {
+            let all: u32 = values.iter().fold(0, |acc, v| acc | v);
+            TypeDesc::Int { min: 0, max: u64::from(all.saturating_mul(2).max(255)) }
+        }
+        WordShape::Any => TypeDesc::any_u32(),
+    }
+}
+
+/// How much a description builder is allowed to know about vendor
+/// drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VendorKnowledge {
+    /// Syzlang-level: upstream interfaces are fully typed, proprietary
+    /// vendor drivers appear only as an opaque `ioctl` surface (request
+    /// code and payload unknown). This is what "borrowed system call
+    /// descriptions from Syzkaller" gives every fuzzer's native side.
+    Syzlang,
+    /// Difuze-level: a static-analysis pass has recovered the vendor
+    /// drivers' ioctl commands and argument structures too.
+    Extracted,
+}
+
+/// Adds descriptions for every registered character device: `openat`, the
+/// per-driver ioctls (typed or opaque per `knowledge`), and
+/// `read`/`write`/`mmap`/`poll` where supported.
+pub fn add_device_descs(table: &mut DescTable, kernel: &Kernel, knowledge: VendorKnowledge) {
+    for node in kernel.device_nodes() {
+        let api = kernel.device_api(&node).expect("node listed");
+        table.add(CallDesc::syscall_open(&node));
+        let fd = TypeDesc::Resource { kind: CallDesc::fd_kind(&node) };
+        let opaque = api.vendor && knowledge == VendorKnowledge::Syzlang;
+        if opaque {
+            // No public descriptions exist: all a fuzzer can do is throw
+            // arbitrary request codes and payloads at the node.
+            let short = node.rsplit('/').next().unwrap_or(&node);
+            table.add(CallDesc::new(
+                format!("ioctl$raw_{short}"),
+                CallKind::Syscall(SyscallTemplate::IoctlAny),
+                vec![
+                    ArgDesc::new("fd", fd.clone()),
+                    ArgDesc::new("request", TypeDesc::any_u32()),
+                    ArgDesc::new("payload", TypeDesc::Buffer { min_len: 0, max_len: 32 }),
+                ],
+                None,
+            ));
+        }
+        for ioctl in api.ioctls.iter().filter(|_| !opaque) {
+            let mut args = vec![ArgDesc::new("fd", fd.clone())];
+            for (i, shape) in ioctl.words.iter().enumerate() {
+                let ty = if api.vendor && knowledge == VendorKnowledge::Extracted {
+                    extracted_word_type(shape)
+                } else {
+                    word_type(shape)
+                };
+                args.push(ArgDesc::new(&format!("w{i}"), ty));
+            }
+            if ioctl.trailing_bytes > 0 {
+                args.push(ArgDesc::new(
+                    "payload",
+                    TypeDesc::Buffer { min_len: 0, max_len: ioctl.trailing_bytes },
+                ));
+            }
+            table.add(CallDesc::new(
+                format!("ioctl${}", ioctl.name),
+                CallKind::Syscall(SyscallTemplate::Ioctl { request: ioctl.request }),
+                args,
+                None,
+            ));
+        }
+        let short = node.rsplit('/').next().unwrap_or(&node);
+        if api.supports_read {
+            table.add(CallDesc::new(
+                format!("read${short}"),
+                CallKind::Syscall(SyscallTemplate::Read),
+                vec![
+                    ArgDesc::new("fd", fd.clone()),
+                    ArgDesc::new("len", TypeDesc::Int { min: 1, max: 4096 }),
+                ],
+                None,
+            ));
+        }
+        if api.supports_write {
+            table.add(CallDesc::new(
+                format!("write${short}"),
+                CallKind::Syscall(SyscallTemplate::Write),
+                vec![
+                    ArgDesc::new("fd", fd.clone()),
+                    ArgDesc::new("data", TypeDesc::Buffer { min_len: 1, max_len: 2048 }),
+                ],
+                None,
+            ));
+        }
+        if api.supports_mmap {
+            table.add(CallDesc::new(
+                format!("mmap${short}"),
+                CallKind::Syscall(SyscallTemplate::Mmap),
+                vec![
+                    ArgDesc::new("fd", fd.clone()),
+                    ArgDesc::new("len", TypeDesc::Choice { values: vec![4096, 8192, 65536] }),
+                    ArgDesc::new("prot", TypeDesc::Flags { values: vec![1, 2] }),
+                ],
+                None,
+            ));
+        }
+        table.add(CallDesc::new(
+            format!("poll${short}"),
+            CallKind::Syscall(SyscallTemplate::Poll),
+            vec![
+                ArgDesc::new("fd", fd),
+                ArgDesc::new("events", TypeDesc::Flags { values: vec![1, 4, 8] }),
+            ],
+            None,
+        ));
+    }
+}
+
+/// Resource kind of an HCI socket.
+pub fn hci_sock_kind() -> ResourceKind {
+    ResourceKind::new("sock:hci")
+}
+
+/// Resource kind of an L2CAP socket of the given type tag.
+pub fn l2cap_sock_kind(ty: &str) -> ResourceKind {
+    ResourceKind::new(format!("sock:l2cap:{ty}"))
+}
+
+fn sock_ioctl(
+    table: &mut DescTable,
+    name: &str,
+    request: u32,
+    sock: &ResourceKind,
+    extra: Vec<ArgDesc>,
+) {
+    let mut args = vec![ArgDesc::new("sock", TypeDesc::Resource { kind: sock.clone() })];
+    args.extend(extra);
+    table.add(CallDesc::new(
+        format!("ioctl${name}"),
+        CallKind::Syscall(SyscallTemplate::Ioctl { request }),
+        args,
+        None,
+    ));
+}
+
+/// Adds the hand-written Bluetooth socket-family descriptions (the
+/// syzlang-equivalent for the HCI/L2CAP stack).
+pub fn add_bluetooth_descs(table: &mut DescTable) {
+    let hci = hci_sock_kind();
+    table.add(CallDesc::new(
+        "socket$hci",
+        CallKind::Syscall(SyscallTemplate::Socket {
+            domain: af::BLUETOOTH,
+            ty: 3,
+            proto: btproto::HCI,
+        }),
+        vec![],
+        Some(hci.clone()),
+    ));
+    table.add(CallDesc::new(
+        "bind$hci",
+        CallKind::Syscall(SyscallTemplate::Bind),
+        vec![
+            ArgDesc::new("sock", TypeDesc::Resource { kind: hci.clone() }),
+            ArgDesc::new("dev", TypeDesc::Choice { values: vec![0] }),
+        ],
+        None,
+    ));
+    sock_ioctl(
+        table,
+        "HCIDEVUP",
+        bt::HCIDEVUP,
+        &hci,
+        vec![ArgDesc::new("mode", TypeDesc::Choice { values: vec![0, 1] })],
+    );
+    sock_ioctl(table, "HCIDEVSETUP", bt::HCIDEVSETUP, &hci, vec![]);
+    sock_ioctl(table, "HCIDEVDOWN", bt::HCIDEVDOWN, &hci, vec![]);
+    sock_ioctl(table, "HCIDEVRESET", bt::HCIDEVRESET, &hci, vec![]);
+    sock_ioctl(
+        table,
+        "HCIINQUIRY",
+        bt::HCIINQUIRY,
+        &hci,
+        vec![ArgDesc::new("duration", TypeDesc::Int { min: 1, max: 8 })],
+    );
+    sock_ioctl(table, "HCIREADCODECS", bt::HCIREADCODECS, &hci, vec![]);
+
+    for (tag, ty) in [("stream", 1u32), ("dgram", 2), ("raw", 3)] {
+        let kind = l2cap_sock_kind(tag);
+        table.add(CallDesc::new(
+            format!("socket$l2cap_{tag}"),
+            CallKind::Syscall(SyscallTemplate::Socket {
+                domain: af::BLUETOOTH,
+                ty,
+                proto: btproto::L2CAP,
+            }),
+            vec![],
+            Some(kind),
+        ));
+    }
+    // Generic L2CAP operations accept any l2cap socket type.
+    let any = ResourceKind::new("sock:l2cap");
+    table.add(CallDesc::new(
+        "bind$l2cap",
+        CallKind::Syscall(SyscallTemplate::Bind),
+        vec![
+            ArgDesc::new("sock", TypeDesc::Resource { kind: any.clone() }),
+            ArgDesc::new("psm", TypeDesc::Int { min: 1, max: 0x1fff }),
+        ],
+        None,
+    ));
+    table.add(CallDesc::new(
+        "connect$l2cap",
+        CallKind::Syscall(SyscallTemplate::Connect),
+        vec![
+            ArgDesc::new("sock", TypeDesc::Resource { kind: any.clone() }),
+            ArgDesc::new(
+                "addr",
+                TypeDesc::Choice {
+                    values: vec![0x42, 0x99, 0xBDADD0, 0xBDADD1, 0xBDADD2, 0xBDADD3],
+                },
+            ),
+        ],
+        None,
+    ));
+    table.add(CallDesc::new(
+        "listen$l2cap",
+        CallKind::Syscall(SyscallTemplate::Listen),
+        vec![
+            ArgDesc::new("sock", TypeDesc::Resource { kind: l2cap_sock_kind("stream") }),
+            ArgDesc::new("backlog", TypeDesc::Int { min: 1, max: 8 }),
+        ],
+        None,
+    ));
+    table.add(CallDesc::new(
+        "accept$l2cap",
+        CallKind::Syscall(SyscallTemplate::Accept),
+        vec![ArgDesc::new("sock", TypeDesc::Resource { kind: l2cap_sock_kind("stream") })],
+        Some(l2cap_sock_kind("stream")),
+    ));
+    sock_ioctl(table, "L2CAP_DISCONN_REQ", bt::L2CAP_DISCONN_REQ, &any, vec![]);
+    sock_ioctl(
+        table,
+        "L2CAP_SET_MTU",
+        bt::L2CAP_SET_MTU,
+        &any,
+        vec![ArgDesc::new("mtu", TypeDesc::Int { min: 48, max: 65535 })],
+    );
+    sock_ioctl(
+        table,
+        "L2CAP_SET_MODE",
+        bt::L2CAP_SET_MODE,
+        &any,
+        vec![ArgDesc::new("mode", TypeDesc::Choice { values: vec![0, 1, 2, 3] })],
+    );
+    sock_ioctl(table, "L2CAP_GET_CONNINFO", bt::L2CAP_GET_CONNINFO, &any, vec![]);
+    let any_sock = ResourceKind::new("sock");
+    table.add(CallDesc::new(
+        "read$sock",
+        CallKind::Syscall(SyscallTemplate::Read),
+        vec![
+            ArgDesc::new("sock", TypeDesc::Resource { kind: any_sock.clone() }),
+            ArgDesc::new("len", TypeDesc::Int { min: 1, max: 1024 }),
+        ],
+        None,
+    ));
+    table.add(CallDesc::new(
+        "write$sock",
+        CallKind::Syscall(SyscallTemplate::Write),
+        vec![
+            ArgDesc::new("sock", TypeDesc::Resource { kind: any_sock }),
+            ArgDesc::new("data", TypeDesc::Buffer { min_len: 1, max_len: 1024 }),
+        ],
+        None,
+    ));
+}
+
+/// Builds the syzkaller-equivalent syscall vocabulary for a device
+/// kernel: generic lifecycle calls, fully-typed descriptions for upstream
+/// drivers, an opaque ioctl surface for proprietary vendor drivers, and
+/// the Bluetooth socket family. This is the native-side vocabulary of
+/// DroidFuzz and all its variants, and the entire vocabulary of the
+/// syzkaller baseline.
+pub fn build_syscall_table(kernel: &Kernel) -> DescTable {
+    let mut table = DescTable::new();
+    table.add(CallDesc::syscall_close());
+    table.add(CallDesc::syscall_dup());
+    add_device_descs(&mut table, kernel, VendorKnowledge::Syzlang);
+    add_bluetooth_descs(&mut table);
+    table
+}
+
+/// Builds the Difuze-style vocabulary: vendor ioctl interfaces recovered
+/// by (here: perfect) static analysis, restricted to the ioctl path.
+pub fn build_difuze_table(kernel: &Kernel) -> DescTable {
+    let mut table = DescTable::new();
+    table.add(CallDesc::syscall_close());
+    add_device_descs(&mut table, kernel, VendorKnowledge::Extracted);
+    ioctl_only_view(&table)
+}
+
+/// Restricts a table to the ioctl path (`openat`/`ioctl`/`close`), the
+/// vocabulary Difuze's extracted interfaces cover.
+pub fn ioctl_only_view(table: &DescTable) -> DescTable {
+    let mut out = DescTable::new();
+    for (_, desc) in table.iter() {
+        // Socket-backed ioctls need socket()/bind() producers, which the
+        // restriction blocks — drop descriptions whose resource args
+        // cannot be produced in the restricted vocabulary.
+        let needs_socket = desc
+            .args
+            .iter()
+            .any(|a| a.ty.resource_kind().is_some_and(|k| k.0.starts_with("sock")));
+        if desc.kind.is_ioctl_path() && !needs_socket && !desc.kind.is_hal() {
+            out.add(desc.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdevice::catalog;
+    // build_difuze_table used by the extraction test above.
+
+    #[test]
+    fn a1_syzlang_table_types_upstream_but_not_vendor_drivers() {
+        let mut device = catalog::device_a1().boot();
+        let table = build_syscall_table(device.kernel());
+        // Upstream interfaces are fully described…
+        assert!(table.id_of("ioctl$VIDIOC_QUERYCAP").is_some());
+        assert!(table.id_of("ioctl$DRM_MODE_SET").is_some());
+        assert!(table.id_of("socket$hci").is_some());
+        assert!(table.id_of("ioctl$HCIREADCODECS").is_some());
+        assert!(table.id_of("accept$l2cap").is_some());
+        // …vendor drivers only expose an opaque surface.
+        assert!(table.id_of("openat$/dev/tcpc0").is_some());
+        assert!(table.id_of("ioctl$TCPC_PR_SWAP").is_none());
+        assert!(table.id_of("ioctl$raw_tcpc0").is_some());
+        assert!(table.id_of("ioctl$GPU_IMPORT").is_none());
+        assert!(table.id_of("ioctl$raw_gpu0").is_some());
+        assert!(table.len() > 60, "A1 should have a rich vocabulary, got {}", table.len());
+    }
+
+    #[test]
+    fn difuze_table_recovers_vendor_ioctls() {
+        let mut device = catalog::device_a1().boot();
+        let table = build_difuze_table(device.kernel());
+        assert!(table.id_of("ioctl$TCPC_PR_SWAP").is_some());
+        assert!(table.id_of("ioctl$GPU_IMPORT").is_some());
+        assert!(table.id_of("ioctl$VIDIOC_QUERYCAP").is_some());
+        assert!(table.id_of("socket$hci").is_none(), "ioctl path only");
+        assert!(table.id_of("write$snd_pcm0").is_none());
+    }
+
+    #[test]
+    fn pi_table_lacks_tcpc() {
+        let mut device = catalog::device_b().boot();
+        let table = build_syscall_table(device.kernel());
+        assert!(table.id_of("openat$/dev/tcpc0").is_none());
+        assert!(table.id_of("openat$/dev/video0").is_some());
+    }
+
+    #[test]
+    fn ioctl_view_drops_socket_and_rw_calls() {
+        let mut device = catalog::device_a1().boot();
+        let table = build_syscall_table(device.kernel());
+        let view = ioctl_only_view(&table);
+        assert!(view.id_of("socket$hci").is_none());
+        assert!(view.id_of("ioctl$HCIDEVUP").is_none());
+        assert!(view.id_of("write$snd_pcm0").is_none());
+        assert!(view.id_of("ioctl$VIDIOC_QUERYCAP").is_some());
+        assert!(view.id_of("ioctl$raw_tcpc0").is_some());
+        assert!(view.id_of("openat$/dev/tcpc0").is_some());
+        assert!(view.len() < table.len());
+    }
+
+    #[test]
+    fn every_resource_arg_has_a_producer() {
+        let mut device = catalog::device_a2().boot();
+        let table = build_syscall_table(device.kernel());
+        for (_, desc) in table.iter() {
+            for arg in &desc.args {
+                if let Some(kind) = arg.ty.resource_kind() {
+                    assert!(
+                        !table.producers_of(kind).is_empty(),
+                        "{}: no producer for {kind}",
+                        desc.name
+                    );
+                }
+            }
+        }
+    }
+}

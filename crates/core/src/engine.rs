@@ -1,0 +1,498 @@
+//! The Fuzzing Engine (§IV-A): per-device generate → execute → analyze
+//! loop over a virtual clock.
+//!
+//! Virtual time models the host↔device pipeline of the paper's setup: an
+//! ADB round trip plus executor session per test case, per-call device
+//! time, and a multi-second reboot penalty after every bug (the paper
+//! reboots on *any* bug). Campaign lengths ("48 hours") are expressed in
+//! this virtual time, so coverage-versus-time curves have the same shape
+//! drivers as the physical experiment without wall-clock cost.
+
+use crate::config::FuzzerConfig;
+use crate::corpus::Corpus;
+use crate::crashes::CrashDb;
+use crate::descs::{build_difuze_table, build_syscall_table, ioctl_only_view};
+use crate::exec::Broker;
+use crate::feedback::{signals_from_execution, Signal, SignalSet, SyscallIdTable};
+use crate::generate::{random_generate, relational_generate};
+use crate::minimize::minimize;
+use crate::probe::{add_hal_descs, probe_device, ProbeReport};
+use crate::relation::RelationGraph;
+use crate::stats::Series;
+use fuzzlang::desc::DescTable;
+use fuzzlang::mutate::{crossover, mutate_n};
+use fuzzlang::prog::Prog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simdevice::{AdbLink, Device};
+use simkernel::coverage::CoverageMap;
+
+/// Virtual µs per executor session (ADB shell + kcov setup + teardown).
+pub const EXEC_SESSION_US: u64 = 1_500_000;
+/// Virtual µs of device time charged per executed call.
+pub const PER_CALL_US: u64 = 2_000;
+/// Coverage series sampling interval (15 virtual minutes).
+pub const SAMPLE_INTERVAL_US: u64 = 15 * 60 * 1_000_000;
+/// Virtual µs in one hour.
+pub const HOUR_US: u64 = 3_600_000_000;
+
+/// The per-device fuzzing engine.
+#[derive(Debug)]
+pub struct FuzzingEngine {
+    device: Device,
+    config: FuzzerConfig,
+    table: DescTable,
+    graph: RelationGraph,
+    corpus: Corpus,
+    crash_db: CrashDb,
+    signals: SignalSet,
+    id_table: SyscallIdTable,
+    broker: Broker,
+    adb: AdbLink,
+    rng: StdRng,
+    clock_us: u64,
+    executions: u64,
+    series: Series,
+    /// Device-wide kernel coverage across all boots — the evaluation
+    /// metric (Figs. 4/5, Table III), measured out-of-band from feedback.
+    observed_kernel: CoverageMap,
+    probe_report: Option<ProbeReport>,
+    driver_regions: Vec<(String, u64)>,
+    last_sample_us: u64,
+}
+
+impl FuzzingEngine {
+    /// Boots an engine on `device` with `config`: builds the syscall
+    /// vocabulary, runs the pre-testing HAL probing pass (when HAL access
+    /// is enabled), applies the ioctl-only restriction (when configured),
+    /// and initializes the relation graph with `E = ∅`.
+    pub fn new(mut device: Device, config: FuzzerConfig) -> Self {
+        let mut table = if config.vendor_ioctl_descs {
+            build_difuze_table(device.kernel())
+        } else {
+            let full_table = build_syscall_table(device.kernel());
+            if config.ioctl_only {
+                ioctl_only_view(&full_table)
+            } else {
+                full_table
+            }
+        };
+        let probe_report = if config.hal_enabled {
+            let report = probe_device(&mut device);
+            add_hal_descs(&mut table, &report);
+            Some(report)
+        } else {
+            None
+        };
+        device.set_ioctl_only(config.ioctl_only);
+        let id_table = SyscallIdTable::compile(device.kernel());
+        let graph = RelationGraph::new(&table);
+        let driver_regions = device.kernel().driver_regions();
+        let adb = if device.spec().meta.id.starts_with('C') {
+            AdbLink::tcp()
+        } else {
+            AdbLink::usb()
+        };
+        let rng = StdRng::seed_from_u64(config.seed ^ 0xD501D); // per-config stream
+        Self {
+            device,
+            config,
+            table,
+            graph,
+            corpus: Corpus::new(),
+            crash_db: CrashDb::new(),
+            signals: SignalSet::new(),
+            id_table,
+            broker: Broker::new(),
+            adb,
+            rng,
+            clock_us: 0,
+            executions: 0,
+            series: Series::new(),
+            observed_kernel: CoverageMap::new(),
+            probe_report,
+            driver_regions,
+            last_sample_us: 0,
+        }
+    }
+
+    fn next_prog(&mut self) -> Prog {
+        let use_corpus = self.config.feedback
+            && !self.corpus.is_empty()
+            && self.rng.gen_bool(self.config.mutate_prob);
+        if use_corpus {
+            let mut prog = self
+                .corpus
+                .pick(&mut self.rng)
+                .expect("non-empty corpus")
+                .clone();
+            if self.rng.gen_bool(0.15) {
+                if let Some(other) = self.corpus.pick_uniform(&mut self.rng) {
+                    prog = crossover(&prog, &other.clone(), &mut self.rng);
+                }
+            }
+            let n = self.rng.gen_range(1..=3);
+            mutate_n(&mut prog, &self.table, n, &mut self.rng);
+            if prog.is_empty() {
+                return self.generate_fresh();
+            }
+            prog
+        } else {
+            self.generate_fresh()
+        }
+    }
+
+    fn generate_fresh(&mut self) -> Prog {
+        if self.config.relations {
+            relational_generate(&self.table, &self.graph, self.config.max_prog_calls, &mut self.rng)
+        } else {
+            random_generate(&self.table, self.config.max_prog_calls, &mut self.rng)
+        }
+    }
+
+    /// Runs exactly one fuzzing iteration, advancing the virtual clock.
+    pub fn step(&mut self) {
+        let prog = self.next_prog();
+        if prog.is_empty() {
+            return;
+        }
+        let outcome = self.broker.execute(&mut self.device, &self.table, &prog);
+        self.charge(&prog, outcome.calls_executed, outcome.reply_bytes);
+        self.executions += 1;
+        self.observed_kernel.extend(outcome.observed_new_blocks.iter().copied());
+
+        let sigs = signals_from_execution(
+            &outcome.kcov,
+            &outcome.hal_events,
+            &mut self.id_table,
+            self.config.hal_coverage,
+        );
+
+        let had_bug = !outcome.bugs.is_empty();
+        if self.config.feedback {
+            let new_count = self.signals.count_new(&sigs);
+            // Crashing executions are reported, not seeded: their
+            // coverage is tainted and mutating them would re-trigger the
+            // same bug (and pay the reboot) forever.
+            if new_count > 0 && !had_bug {
+                let kernel_before = self.signals.kernel_blocks();
+                let mut probe = self.signals.clone();
+                probe.merge(&sigs);
+                let kernel_new = probe.kernel_blocks() - kernel_before;
+                if kernel_new > 0 {
+                    // New kernel coverage: minimize, learn relations from
+                    // the essential sequence, and seed the corpus.
+                    let admitted = if self.config.minimize && prog.len() > 2 && new_count <= 64
+                    {
+                        self.minimize_interesting(&prog, &sigs)
+                    } else {
+                        prog.clone()
+                    };
+                    if self.config.relations {
+                        self.learn_from(&admitted);
+                    }
+                    self.corpus.admit(admitted, kernel_new * 8 + (new_count - kernel_new));
+                } else if self.config.relations {
+                    // New *HAL behaviour* only (directional coverage, §IV-D):
+                    // this is how cross-boundary feedback "assist[s] in
+                    // further input generation" — it refines the relation
+                    // graph with the freshly observed valid sequence (only
+                    // pairs whose calls both succeeded; failed calls are
+                    // noise, not dependencies), and keeps a light corpus
+                    // presence as mutation material for climbing HAL state
+                    // ladders.
+                    self.learn_from_successes(&prog, &outcome.call_results);
+                    if self.rng.gen_bool(0.5) {
+                        self.corpus.admit(prog.clone(), new_count.min(8));
+                    }
+                }
+            }
+            self.signals.merge(&sigs);
+        } else {
+            // Difuze-style: still track coverage for reporting, but do not
+            // let it influence generation.
+            self.signals.merge(&sigs);
+        }
+
+        for report in &outcome.bugs {
+            if self.crash_db.record(report, self.clock_us) {
+                self.crash_db.attach_repro(&report.title, &prog, &self.table);
+            }
+        }
+        if (had_bug && self.config.reboot_on_bug) || self.device.is_wedged() {
+            self.device.reboot();
+            self.clock_us += self.adb.reboot_cost();
+        }
+
+        if self.config.relations && self.executions % self.config.decay_interval == 0 {
+            self.graph.decay(self.config.decay_factor);
+        }
+        self.sample_if_due();
+    }
+
+    /// Minimizes a coverage-increasing program against the device; the
+    /// oracle replays candidates (each replay charged to the clock) and
+    /// keeps reductions that preserve most of the new signals.
+    fn minimize_interesting(&mut self, prog: &Prog, sigs: &[Signal]) -> Prog {
+        let target: Vec<Signal> = sigs
+            .iter()
+            .copied()
+            .filter(|s| self.signals.count_new(&[*s]) > 0)
+            .collect();
+        let required = target.len().div_ceil(2);
+        let device = &mut self.device;
+        let broker = &mut self.broker;
+        let table = &self.table;
+        let id_table = &mut self.id_table;
+        let hal_cov = self.config.hal_coverage;
+        let mut replay_cost = 0u64;
+        let mut rebooted = false;
+        let (minimized, checks) = minimize(prog, |candidate| {
+            let outcome = broker.execute(device, table, candidate);
+            replay_cost += EXEC_SESSION_US / 2 + outcome.calls_executed as u64 * PER_CALL_US;
+            if !outcome.bugs.is_empty() || device.is_wedged() {
+                device.reboot();
+                rebooted = true;
+            }
+            let cand_sigs =
+                signals_from_execution(&outcome.kcov, &outcome.hal_events, id_table, hal_cov);
+            let hits = target
+                .iter()
+                .filter(|t| cand_sigs.contains(t))
+                .count();
+            hits >= required
+        });
+        let _ = checks;
+        self.clock_us += replay_cost;
+        if rebooted {
+            self.clock_us += self.adb.reboot_cost();
+        }
+        minimized
+    }
+
+    /// Learns relation edges from the adjacent call pairs of a minimized,
+    /// coverage-increasing program (§IV-C).
+    fn learn_from(&mut self, prog: &Prog) {
+        for pair in prog.calls.windows(2) {
+            self.graph.learn(pair[0].desc, pair[1].desc);
+        }
+    }
+
+    /// Learns only from adjacent pairs where both calls succeeded — the
+    /// cheap validity filter used for unminimized, HAL-novel programs.
+    fn learn_from_successes(&mut self, prog: &Prog, results: &[bool]) {
+        for (i, pair) in prog.calls.windows(2).enumerate() {
+            if results.get(i).copied().unwrap_or(false)
+                && results.get(i + 1).copied().unwrap_or(false)
+            {
+                self.graph.learn(pair[0].desc, pair[1].desc);
+            }
+        }
+    }
+
+    fn charge(&mut self, prog: &Prog, calls: usize, reply_bytes: usize) {
+        let rt = self.adb.round_trip_cost(prog.wire_size(), calls, reply_bytes);
+        self.clock_us += EXEC_SESSION_US + rt + calls as u64 * PER_CALL_US;
+    }
+
+    fn sample_if_due(&mut self) {
+        if self.clock_us - self.last_sample_us >= SAMPLE_INTERVAL_US {
+            self.last_sample_us = self.clock_us;
+            self.series.push(self.clock_us, self.observed_kernel.len() as f64);
+        }
+    }
+
+    /// Runs until the virtual clock reaches `target_us`.
+    pub fn run_until(&mut self, target_us: u64) {
+        while self.clock_us < target_us {
+            self.step();
+        }
+        self.series.push(self.clock_us, self.observed_kernel.len() as f64);
+    }
+
+    /// Runs for `hours` of virtual time from the current clock.
+    pub fn run_for_virtual_hours(&mut self, hours: f64) {
+        let target = self.clock_us + (hours * HOUR_US as f64) as u64;
+        self.run_until(target);
+    }
+
+    /// Runs exactly `n` iterations.
+    pub fn run_iterations(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Distinct kernel coverage blocks observed device-wide (the Fig. 4/5
+    /// metric, from the evaluation's kernel instrumentation — independent
+    /// of what the fuzzer's feedback loop sees).
+    pub fn kernel_coverage(&self) -> usize {
+        self.observed_kernel.len()
+    }
+
+    /// Total feedback signals (kernel + HAL-directional).
+    pub fn total_signals(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// The crash database.
+    pub fn crash_db(&self) -> &CrashDb {
+        &self.crash_db
+    }
+
+    /// The learned relation graph.
+    pub fn relation_graph(&self) -> &RelationGraph {
+        &self.graph
+    }
+
+    /// The seed corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The call-description vocabulary in use.
+    pub fn desc_table(&self) -> &DescTable {
+        &self.table
+    }
+
+    /// Serializes the seed corpus (the daemon's persistent data, §IV-A).
+    pub fn export_corpus(&self) -> String {
+        self.corpus.export(&self.table)
+    }
+
+    /// Restores seeds from a previous session's [`export_corpus`] dump;
+    /// returns how many seeds were accepted against the current
+    /// vocabulary.
+    ///
+    /// [`export_corpus`]: Self::export_corpus
+    pub fn import_corpus(&mut self, text: &str) -> usize {
+        self.corpus.import(text, &self.table)
+    }
+
+    /// The probing-pass report (None for HAL-less baselines).
+    pub fn probe_report(&self) -> Option<&ProbeReport> {
+        self.probe_report.as_ref()
+    }
+
+    /// Virtual time elapsed, µs.
+    pub fn virtual_time_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// Test cases executed.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// The coverage-over-time series.
+    pub fn coverage_series(&self) -> &Series {
+        &self.series
+    }
+
+    /// The device under test.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Per-driver kernel coverage: `(driver name, distinct blocks)`.
+    pub fn per_driver_coverage(&self) -> Vec<(String, usize)> {
+        self.driver_regions
+            .iter()
+            .map(|(name, base)| (name.clone(), self.observed_kernel.count_in_region(*base)))
+            .collect::<Vec<_>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdevice::catalog;
+
+    fn quick_engine(config: FuzzerConfig) -> FuzzingEngine {
+        FuzzingEngine::new(catalog::device_a1().boot(), config)
+    }
+
+    #[test]
+    fn engine_makes_progress_and_tracks_time() {
+        let mut engine = quick_engine(FuzzerConfig::droidfuzz(7));
+        engine.run_iterations(300);
+        assert_eq!(engine.executions(), 300);
+        assert!(engine.kernel_coverage() > 50, "got {}", engine.kernel_coverage());
+        assert!(engine.virtual_time_us() > 300 * EXEC_SESSION_US);
+        assert!(!engine.corpus().is_empty());
+    }
+
+    #[test]
+    fn relations_are_learned_during_fuzzing() {
+        let mut engine = quick_engine(FuzzerConfig::droidfuzz(3));
+        engine.run_iterations(400);
+        assert!(
+            engine.relation_graph().edge_count() > 5,
+            "edges: {}",
+            engine.relation_graph().edge_count()
+        );
+    }
+
+    #[test]
+    fn syzkaller_variant_has_no_hal_vocabulary() {
+        let engine = quick_engine(FuzzerConfig::syzkaller(5));
+        assert!(engine.desc_table().hal_ids().is_empty());
+        assert!(engine.probe_report().is_none());
+    }
+
+    #[test]
+    fn droidfuzz_has_hal_vocabulary_from_probe() {
+        let engine = quick_engine(FuzzerConfig::droidfuzz(5));
+        assert!(!engine.desc_table().hal_ids().is_empty());
+        assert!(engine.probe_report().unwrap().interface_count() > 30);
+    }
+
+    #[test]
+    fn run_until_reaches_virtual_target() {
+        let mut engine = quick_engine(FuzzerConfig::droidfuzz(9));
+        engine.run_for_virtual_hours(0.25);
+        assert!(engine.virtual_time_us() >= HOUR_US / 4);
+        assert!(!engine.coverage_series().is_empty());
+    }
+
+    #[test]
+    fn shallow_bug_found_quickly_on_device_e() {
+        // Bug #12 (v4l_querycap) is one ioctl deep; any variant finds it
+        // within a modest budget.
+        let mut engine =
+            FuzzingEngine::new(catalog::device_e().boot(), FuzzerConfig::droidfuzz(21));
+        engine.run_iterations(3000);
+        let titles: Vec<&str> = engine
+            .crash_db()
+            .records()
+            .iter()
+            .map(|r| r.title.as_str())
+            .collect();
+        assert!(
+            titles.iter().any(|t| t.contains("v4l_querycap")),
+            "expected querycap warning, got {titles:?}"
+        );
+    }
+
+    #[test]
+    fn corpus_persists_across_engine_sessions() {
+        let mut first = quick_engine(FuzzerConfig::droidfuzz(31));
+        first.run_iterations(150);
+        let dump = first.export_corpus();
+        assert!(!dump.is_empty());
+        let mut second = quick_engine(FuzzerConfig::droidfuzz(32));
+        let restored = second.import_corpus(&dump);
+        assert!(restored > 0, "seeds should survive a restart");
+        assert_eq!(second.corpus().len(), restored);
+    }
+
+    #[test]
+    fn per_driver_coverage_accounts_blocks() {
+        let mut engine = quick_engine(FuzzerConfig::droidfuzz(4));
+        engine.run_iterations(200);
+        let per_driver = engine.per_driver_coverage();
+        let sum: usize = per_driver.iter().map(|(_, c)| c).sum();
+        assert_eq!(sum, engine.kernel_coverage(), "regions partition the block space");
+        assert!(per_driver.iter().any(|(_, c)| *c > 0));
+    }
+}

@@ -1,0 +1,429 @@
+//! Execution agents (§IV-A): the Execution Broker with its HAL and Native
+//! executors, compiled into one component that runs a DSL program against
+//! a device and bonds the feedback into a uniform record.
+
+use fuzzlang::desc::{CallKind, DescTable, SyscallTemplate};
+use fuzzlang::prog::{ArgValue, Prog};
+use fuzzlang::types::TypeDesc;
+use simbinder::{Parcel, Transaction, TransactionError};
+use simdevice::Device;
+use simkernel::coverage::Block;
+use simkernel::fd::Fd;
+use simkernel::report::BugReport;
+use simkernel::trace::{Origin, SyscallEvent, TraceFilter};
+use simkernel::{Syscall, SyscallRet};
+
+/// What one call produced at runtime (for later `Ref` resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Produced {
+    Fd(Fd),
+    Scalar(u64),
+    Nothing,
+    Failed,
+}
+
+/// Bonded feedback from one program execution (§IV-A: "the feedback is
+/// then bonded to form a uniform feedback statistic").
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// kcov blocks hit by the *native executor task*. kcov is per-task:
+    /// kernel work done by HAL service processes is invisible here — the
+    /// blind spot DroidFuzz's directional HAL coverage exists to fill.
+    pub kcov: Vec<Block>,
+    /// Kernel blocks newly reached device-wide during this execution
+    /// (any task, including HAL services). This is *measurement
+    /// infrastructure* for the evaluation's coverage metric — a real
+    /// fuzzer's feedback loop does not see it.
+    pub observed_new_blocks: Vec<Block>,
+    /// HAL-originated syscall events, in order (directional coverage).
+    pub hal_events: Vec<SyscallEvent>,
+    /// Bug reports raised during the execution (kernel + HAL).
+    pub bugs: Vec<BugReport>,
+    /// Per-call success flags (relation learning, minimization).
+    pub call_results: Vec<bool>,
+    /// Calls actually dispatched.
+    pub calls_executed: usize,
+    /// Approximate feedback payload size pulled back over ADB.
+    pub reply_bytes: usize,
+}
+
+/// The device-side execution broker.
+///
+/// Forks a fresh native-executor process per program (so descriptor state
+/// never leaks between test cases, as with the paper's per-payload
+/// executor processes) and dispatches each call of a program to the
+/// native or HAL executor by its kind.
+#[derive(Debug, Default)]
+pub struct Broker {
+    executions: u64,
+}
+
+impl Broker {
+    /// Creates a broker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Programs executed so far.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Executes `prog` against `device`, returning the bonded feedback.
+    ///
+    /// Coverage is collected per-execution: the native executor's kcov
+    /// buffer captures native-call driver coverage, and the global
+    /// coverage delta captures HAL-side driver coverage; HAL-originated
+    /// syscalls are additionally recorded *in order* by an eBPF-style
+    /// trace session for the directional feedback of §IV-D.
+    pub fn execute(&mut self, device: &mut Device, table: &DescTable, prog: &Prog) -> ExecOutcome {
+        self.executions += 1;
+        let pid = device.kernel().spawn_process(Origin::Native);
+        let cov_before: std::collections::HashSet<Block> =
+            device.kernel().global_coverage().iter().copied().collect();
+        let _ = device.kernel().kcov_enable(pid);
+        let trace = device.kernel().attach_trace(TraceFilter::HalOnly);
+
+        let mut produced: Vec<Produced> = Vec::with_capacity(prog.calls.len());
+        let mut call_results = Vec::with_capacity(prog.calls.len());
+        for call in &prog.calls {
+            let desc = table.get(call.desc).clone();
+            let (result, value) = match &desc.kind {
+                CallKind::Syscall(template) => {
+                    self.run_syscall(device, pid, template, &call.args, &produced)
+                }
+                CallKind::Hal { service, code } => {
+                    self.run_hal(device, service, *code, &desc.args, &call.args, &produced)
+                }
+            };
+            call_results.push(result);
+            produced.push(value);
+        }
+
+        let kcov = device.kernel().kcov_collect(pid).unwrap_or_default();
+        let hal_events = device.kernel().trace_drain(trace);
+        device.kernel().detach_trace(trace);
+        let _ = device.kernel().exit_process(pid);
+        // The executor (the HAL services' Binder client) is gone: services
+        // drop its sessions, closing their kernel resources.
+        device.end_hal_client();
+        let observed_new_blocks: Vec<Block> = device
+            .kernel()
+            .global_coverage()
+            .iter()
+            .filter(|b| !cov_before.contains(b))
+            .copied()
+            .collect();
+        let bugs = device.take_bug_reports();
+        let reply_bytes = kcov.len() * 8 + hal_events.len() * 16;
+        ExecOutcome {
+            kcov,
+            observed_new_blocks,
+            hal_events,
+            bugs,
+            calls_executed: call_results.len(),
+            call_results,
+            reply_bytes,
+        }
+    }
+
+    fn resolve_fd(args_value: &ArgValue, produced: &[Produced]) -> Fd {
+        match args_value {
+            ArgValue::Ref(t) => match produced.get(*t) {
+                Some(Produced::Fd(fd)) => *fd,
+                // Stale/failed producer: use an invalid descriptor, which
+                // fails with EBADF like a real stale handle.
+                _ => Fd(0xFFFF),
+            },
+            _ => Fd(0xFFFF),
+        }
+    }
+
+    fn resolve_scalar(value: &ArgValue, produced: &[Produced]) -> u64 {
+        match value {
+            ArgValue::Int(v) => *v,
+            ArgValue::Ref(t) => match produced.get(*t) {
+                Some(Produced::Scalar(v)) => *v,
+                Some(Produced::Fd(fd)) => u64::from(fd.0),
+                _ => 0,
+            },
+            _ => 0,
+        }
+    }
+
+    fn run_syscall(
+        &mut self,
+        device: &mut Device,
+        pid: simkernel::Pid,
+        template: &SyscallTemplate,
+        args: &[ArgValue],
+        produced: &[Produced],
+    ) -> (bool, Produced) {
+        // Partition concrete args: first Ref is the fd; remaining ints in
+        // order; first byte blob is the payload.
+        let fd = args.first().map(|a| Self::resolve_fd(a, produced));
+        let ints: Vec<u64> = args
+            .iter()
+            .skip(1)
+            .filter_map(|a| match a {
+                ArgValue::Int(v) => Some(*v),
+                ArgValue::Ref(_) => Some(Self::resolve_scalar(a, produced)),
+                _ => None,
+            })
+            .collect();
+        let bytes: Vec<u8> = args
+            .iter()
+            .find_map(|a| match a {
+                ArgValue::Bytes(b) => Some(b.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        let int = |i: usize| ints.get(i).copied().unwrap_or(0);
+
+        let call = match template {
+            SyscallTemplate::Openat { path } => Syscall::Openat { path: path.clone() },
+            SyscallTemplate::Close => Syscall::Close { fd: fd.unwrap_or(Fd(0xFFFF)) },
+            SyscallTemplate::Read => Syscall::Read {
+                fd: fd.unwrap_or(Fd(0xFFFF)),
+                len: (int(0) as usize).min(1 << 16),
+            },
+            SyscallTemplate::Write => {
+                Syscall::Write { fd: fd.unwrap_or(Fd(0xFFFF)), data: bytes }
+            }
+            SyscallTemplate::Ioctl { request } => {
+                let mut arg = Vec::with_capacity(ints.len() * 4 + bytes.len());
+                for v in &ints {
+                    arg.extend_from_slice(&(*v as u32).to_le_bytes());
+                }
+                arg.extend_from_slice(&bytes);
+                Syscall::Ioctl { fd: fd.unwrap_or(Fd(0xFFFF)), request: *request, arg }
+            }
+            SyscallTemplate::IoctlAny => {
+                let request = int(0) as u32;
+                let mut arg = Vec::with_capacity((ints.len().saturating_sub(1)) * 4 + bytes.len());
+                for v in ints.iter().skip(1) {
+                    arg.extend_from_slice(&(*v as u32).to_le_bytes());
+                }
+                arg.extend_from_slice(&bytes);
+                Syscall::Ioctl { fd: fd.unwrap_or(Fd(0xFFFF)), request, arg }
+            }
+            SyscallTemplate::Mmap => Syscall::Mmap {
+                fd: fd.unwrap_or(Fd(0xFFFF)),
+                len: (int(0) as usize).min(1 << 24),
+                prot: int(1) as u32,
+            },
+            SyscallTemplate::Poll => {
+                Syscall::Poll { fd: fd.unwrap_or(Fd(0xFFFF)), events: int(0) as u32 }
+            }
+            SyscallTemplate::Dup => Syscall::Dup { fd: fd.unwrap_or(Fd(0xFFFF)) },
+            SyscallTemplate::Socket { domain, ty, proto } => {
+                Syscall::Socket { domain: *domain, ty: *ty, proto: *proto }
+            }
+            SyscallTemplate::Bind => {
+                Syscall::Bind { fd: fd.unwrap_or(Fd(0xFFFF)), addr: int(0) }
+            }
+            SyscallTemplate::Connect => {
+                Syscall::Connect { fd: fd.unwrap_or(Fd(0xFFFF)), addr: int(0) }
+            }
+            SyscallTemplate::Listen => Syscall::Listen {
+                fd: fd.unwrap_or(Fd(0xFFFF)),
+                backlog: int(0) as u32,
+            },
+            SyscallTemplate::Accept => Syscall::Accept { fd: fd.unwrap_or(Fd(0xFFFF)) },
+        };
+        match device.kernel().syscall(pid, call) {
+            SyscallRet::NewFd(fd) => (true, Produced::Fd(fd)),
+            SyscallRet::Ok(v) => (true, Produced::Scalar(v)),
+            SyscallRet::Data(d) => (true, Produced::Scalar(d.len() as u64)),
+            SyscallRet::Err(_) => (false, Produced::Failed),
+        }
+    }
+
+    fn run_hal(
+        &mut self,
+        device: &mut Device,
+        service: &str,
+        code: u32,
+        arg_descs: &[fuzzlang::desc::ArgDesc],
+        args: &[ArgValue],
+        produced: &[Produced],
+    ) -> (bool, Produced) {
+        let mut parcel = Parcel::new();
+        for (desc, value) in arg_descs.iter().zip(args) {
+            match (&desc.ty, value) {
+                (TypeDesc::Resource { kind }, _) if kind.0.starts_with("hal:") => {
+                    parcel.write_i32(Self::resolve_scalar(value, produced) as i32);
+                }
+                (TypeDesc::Resource { .. }, _) => {
+                    parcel.write_fd(Self::resolve_fd(value, produced).0);
+                }
+                (TypeDesc::Int { max, .. }, _) if *max > u64::from(u32::MAX) => {
+                    parcel.write_i64(Self::resolve_scalar(value, produced) as i64);
+                }
+                (_, ArgValue::Int(v)) => {
+                    parcel.write_i32(*v as i32);
+                }
+                (_, ArgValue::Ref(_)) => {
+                    parcel.write_i32(Self::resolve_scalar(value, produced) as i32);
+                }
+                (_, ArgValue::Bytes(b)) => {
+                    parcel.write_blob(b.clone());
+                }
+                (_, ArgValue::Str(s)) => {
+                    parcel.write_string16(s.clone());
+                }
+            }
+        }
+        match device.transact(service, Transaction::new(code, parcel)) {
+            Ok(reply) => {
+                let value = reply
+                    .reader()
+                    .read_i32()
+                    .map(|v| Produced::Scalar(v as u64 & 0xFFFF_FFFF))
+                    .or_else(|_| reply.reader().read_i64().map(|v| Produced::Scalar(v as u64)))
+                    .unwrap_or(Produced::Nothing);
+                (true, value)
+            }
+            Err(TransactionError::DeadObject { .. }) => (false, Produced::Failed),
+            Err(_) => (false, Produced::Failed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descs::build_syscall_table;
+    use fuzzlang::prog::Call;
+    use simdevice::catalog;
+
+    fn prog_of(table: &DescTable, lines: &[(&str, Vec<ArgValue>)]) -> Prog {
+        Prog {
+            calls: lines
+                .iter()
+                .map(|(name, args)| Call {
+                    desc: table.id_of(name).unwrap_or_else(|| panic!("{name} missing")),
+                    args: args.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn native_open_ioctl_sequence_yields_kcov() {
+        let mut device = catalog::device_a1().boot();
+        let table = build_syscall_table(device.kernel());
+        let mut broker = Broker::new();
+        let prog = prog_of(
+            &table,
+            &[
+                ("openat$/dev/video0", vec![]),
+                (
+                    "ioctl$VIDIOC_S_FMT",
+                    vec![
+                        ArgValue::Ref(0),
+                        ArgValue::Int(640),
+                        ArgValue::Int(480),
+                        ArgValue::Int(u64::from(simkernel::drivers::v4l2::PIXFMTS[0])),
+                    ],
+                ),
+                ("ioctl$VIDIOC_QUERYCAP", vec![ArgValue::Ref(0), ArgValue::Int(0)]),
+            ],
+        );
+        let outcome = broker.execute(&mut device, &table, &prog);
+        assert_eq!(outcome.call_results, vec![true, true, true]);
+        assert!(outcome.kcov.len() >= 3);
+        assert!(outcome.hal_events.is_empty());
+        assert!(outcome.bugs.is_empty());
+    }
+
+    #[test]
+    fn socket_sequence_triggers_shallow_l2cap_bug_on_pi() {
+        let mut device = catalog::device_b().boot();
+        let table = build_syscall_table(device.kernel());
+        let mut broker = Broker::new();
+        let prog = prog_of(
+            &table,
+            &[
+                ("socket$l2cap_dgram", vec![]),
+                ("connect$l2cap", vec![ArgValue::Ref(0), ArgValue::Int(0x99)]),
+                ("ioctl$L2CAP_DISCONN_REQ", vec![ArgValue::Ref(0)]),
+            ],
+        );
+        let outcome = broker.execute(&mut device, &table, &prog);
+        assert_eq!(outcome.bugs.len(), 1);
+        assert!(outcome.bugs[0].title.contains("l2cap_send_disconn_req"));
+    }
+
+    #[test]
+    fn stale_ref_after_failed_producer_is_graceful() {
+        let mut device = catalog::device_a1().boot();
+        let table = build_syscall_table(device.kernel());
+        let mut broker = Broker::new();
+        // The second close references an already-closed socket; the broker
+        // must degrade to EBADF semantics rather than panic.
+        let prog = Prog {
+            calls: vec![
+                Call { desc: table.id_of("socket$hci").unwrap(), args: vec![] },
+                Call {
+                    desc: table.id_of("close").unwrap(),
+                    args: vec![ArgValue::Ref(0)],
+                },
+                Call {
+                    desc: table.id_of("close").unwrap(),
+                    args: vec![ArgValue::Ref(0)],
+                },
+            ],
+        };
+        let outcome = broker.execute(&mut device, &table, &prog);
+        assert_eq!(outcome.call_results, vec![true, true, false]);
+    }
+
+    #[test]
+    fn broker_respawns_executor_after_reboot() {
+        let mut device = catalog::device_a1().boot();
+        let table = build_syscall_table(device.kernel());
+        let mut broker = Broker::new();
+        let prog = prog_of(&table, &[("openat$/dev/ion", vec![])]);
+        assert!(broker.execute(&mut device, &table, &prog).call_results[0]);
+        device.reboot();
+        let outcome = broker.execute(&mut device, &table, &prog);
+        assert!(outcome.call_results[0], "executor must follow the reboot");
+    }
+
+    #[test]
+    fn hal_call_produces_directional_events() {
+        let mut device = catalog::device_a1().boot();
+        let mut table = build_syscall_table(device.kernel());
+        // Hand-register a HAL desc for lights.setLight.
+        table.add(fuzzlang::desc::CallDesc::new(
+            "hal$ILight$setLight",
+            CallKind::Hal {
+                service: "android.hardware.lights@2.0::ILight/default".into(),
+                code: 1,
+            },
+            vec![
+                fuzzlang::desc::ArgDesc::new("id", TypeDesc::Choice { values: vec![0] }),
+                fuzzlang::desc::ArgDesc::new("level", TypeDesc::Int { min: 0, max: 255 }),
+            ],
+            None,
+        ));
+        let mut broker = Broker::new();
+        let prog = prog_of(
+            &table,
+            &[("hal$ILight$setLight", vec![ArgValue::Int(0), ArgValue::Int(200)])],
+        );
+        let outcome = broker.execute(&mut device, &table, &prog);
+        assert_eq!(outcome.call_results, vec![true]);
+        assert!(!outcome.hal_events.is_empty(), "HAL syscalls must be traced");
+        assert!(outcome.hal_events.iter().all(|e| matches!(e.origin, Origin::Hal(_))));
+        assert!(
+            outcome.kcov.is_empty(),
+            "per-task kcov must NOT see HAL-side kernel work"
+        );
+        assert!(
+            !outcome.observed_new_blocks.is_empty(),
+            "the measurement channel does see it"
+        );
+    }
+}

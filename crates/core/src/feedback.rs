@@ -1,0 +1,281 @@
+//! Cross-boundary execution state feedback (§IV-D).
+//!
+//! Two signal sources are merged into one uniform signal space:
+//!
+//! * **kernel code coverage** — kcov blocks, used directly;
+//! * **directional HAL syscall coverage** — the ordered sequence of
+//!   *specialized* syscall IDs the HAL issued (generic calls like `ioctl`
+//!   are split by their critical argument through a lookup table compiled
+//!   at initialization). Order is captured by hashing consecutive ID
+//!   pairs, so the same set of calls in a different order yields different
+//!   signals — the property plain kcov lacks.
+
+use simkernel::coverage::{mix64, Block};
+use simkernel::syscall::SyscallNr;
+use simkernel::trace::SyscallEvent;
+use simkernel::Kernel;
+use std::collections::{HashMap, HashSet};
+
+/// One feedback signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signal(pub u64);
+
+/// Tag bit distinguishing HAL-directional signals from kernel blocks.
+const HAL_TAG: u64 = 1 << 63;
+
+/// The lookup table assigning unique IDs to (specialized) system calls.
+///
+/// Compiled at fuzzer initialization from the device's driver metadata —
+/// "a lookup table compiled at initialization consisting of all possible
+/// system calls, including specialized system calls" (§IV-D). Calls not
+/// in the table (e.g. a HAL issuing an ioctl the metadata missed) get
+/// stable hash-derived IDs on demand.
+#[derive(Debug, Clone, Default)]
+pub struct SyscallIdTable {
+    ids: HashMap<(SyscallNr, u64), u32>,
+    next: u32,
+}
+
+impl SyscallIdTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles the table for a device: one ID per plain syscall, plus one
+    /// per `(ioctl, request)` from every registered driver's API.
+    pub fn compile(kernel: &Kernel) -> Self {
+        let mut t = Self::new();
+        for &nr in SyscallNr::all() {
+            t.intern(nr, 0);
+        }
+        for node in kernel.device_nodes() {
+            let api = kernel.device_api(&node).expect("node listed");
+            for ioctl in api.ioctls {
+                t.intern(SyscallNr::Ioctl, u64::from(ioctl.request));
+            }
+        }
+        t
+    }
+
+    fn intern(&mut self, nr: SyscallNr, critical: u64) -> u32 {
+        let key = (nr, Self::specialize_critical(nr, critical));
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.ids.insert(key, id);
+        id
+    }
+
+    fn specialize_critical(nr: SyscallNr, critical: u64) -> u64 {
+        match nr {
+            SyscallNr::Ioctl | SyscallNr::Socket => critical,
+            _ => 0,
+        }
+    }
+
+    /// The specialized ID of one observed syscall event.
+    pub fn id_of(&mut self, event: &SyscallEvent) -> u32 {
+        self.intern(event.nr, event.critical)
+    }
+
+    /// Number of interned specialized calls.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// An accumulating set of signals, partitioned so kernel coverage can be
+/// reported separately (the paper's comparison metric).
+#[derive(Debug, Clone, Default)]
+pub struct SignalSet {
+    signals: HashSet<Signal>,
+    kernel_blocks: usize,
+}
+
+impl SignalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges `signals`, returning how many were new.
+    pub fn merge(&mut self, signals: &[Signal]) -> usize {
+        let mut new = 0;
+        for &s in signals {
+            if self.signals.insert(s) {
+                new += 1;
+                if s.0 & HAL_TAG == 0 {
+                    self.kernel_blocks += 1;
+                }
+            }
+        }
+        new
+    }
+
+    /// Whether every signal in `signals` is already covered.
+    pub fn covers(&self, signals: &[Signal]) -> bool {
+        signals.iter().all(|s| self.signals.contains(s))
+    }
+
+    /// How many of `signals` would be new.
+    pub fn count_new(&self, signals: &[Signal]) -> usize {
+        signals
+            .iter()
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .filter(|s| !self.signals.contains(s))
+            .count()
+    }
+
+    /// Total distinct signals.
+    pub fn len(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Whether no signals are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.signals.is_empty()
+    }
+
+    /// Distinct *kernel* coverage blocks (the metric of Fig. 4/5 and
+    /// Table III).
+    pub fn kernel_blocks(&self) -> usize {
+        self.kernel_blocks
+    }
+
+    /// Iterates the raw values of kernel (non-HAL-tagged) signals — these
+    /// are kcov block identifiers, usable for per-driver accounting.
+    pub fn iter_kernel(&self) -> impl Iterator<Item = u64> + '_ {
+        self.signals.iter().filter(|s| s.0 & HAL_TAG == 0).map(|s| s.0)
+    }
+}
+
+/// Converts one execution's raw feedback into the uniform signal list:
+/// kcov blocks verbatim, plus directional pair-hashes of the HAL's
+/// specialized syscall ID sequence (when `hal_coverage` is enabled).
+pub fn signals_from_execution(
+    kcov: &[Block],
+    hal_events: &[SyscallEvent],
+    table: &mut SyscallIdTable,
+    hal_coverage: bool,
+) -> Vec<Signal> {
+    let mut out: Vec<Signal> = kcov.iter().map(|b| Signal(b.0 & !HAL_TAG)).collect();
+    if hal_coverage {
+        // Chain specialized IDs *per HAL service*: a service's internal
+        // syscall order is a function of its state machine, so new pairs
+        // mean genuinely new HAL behaviour — whereas cross-service
+        // interleaving is an artifact of payload order and would flood
+        // the signal space with noise.
+        let mut prev_by_tag: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        let mut occurrence: std::collections::HashMap<(u32, u64, u64), u64> =
+            std::collections::HashMap::new();
+        for event in hal_events {
+            let simkernel::trace::Origin::Hal(tag) = event.origin else { continue };
+            let id = u64::from(table.id_of(event));
+            let prev = prev_by_tag.entry(tag).or_insert(0xFFFF_FFFF);
+            // The n-th occurrence of a pair (capped) is its own signal, so
+            // repetition ladders — e.g. one more buffer queued than ever
+            // before — register as new HAL behaviour even when the kernel
+            // blocks they touch are saturated.
+            let count = occurrence.entry((tag, *prev, id)).or_insert(0);
+            *count += 1;
+            let pair = mix64(
+                (u64::from(tag) << 40)
+                    ^ prev.wrapping_mul(0x1_0000_0001)
+                    ^ id.wrapping_mul(0x9E37_79B9)
+                    ^ ((*count).min(8) << 52),
+            );
+            out.push(Signal(pair | HAL_TAG));
+            *prev = id;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::trace::Origin;
+
+    fn ev(nr: SyscallNr, critical: u64) -> SyscallEvent {
+        SyscallEvent { origin: Origin::Hal(1), nr, critical, path: None, ok: true }
+    }
+
+    #[test]
+    fn table_specializes_ioctls_but_not_reads() {
+        let mut t = SyscallIdTable::new();
+        let a = t.id_of(&ev(SyscallNr::Ioctl, 0x100));
+        let b = t.id_of(&ev(SyscallNr::Ioctl, 0x200));
+        let c = t.id_of(&ev(SyscallNr::Ioctl, 0x100));
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+        let r1 = t.id_of(&ev(SyscallNr::Read, 11));
+        let r2 = t.id_of(&ev(SyscallNr::Read, 99));
+        assert_eq!(r1, r2, "read is not specialized by critical arg");
+    }
+
+    #[test]
+    fn compile_covers_all_driver_ioctls() {
+        let mut device = simdevice::catalog::device_a1().boot();
+        let table = SyscallIdTable::compile(device.kernel());
+        let total_ioctls: usize = device
+            .kernel()
+            .device_nodes()
+            .iter()
+            .map(|n| device.kernel().device_api(n).unwrap().ioctls.len())
+            .sum();
+        assert_eq!(table.len(), SyscallNr::all().len() + total_ioctls);
+    }
+
+    #[test]
+    fn directional_coverage_distinguishes_order() {
+        let mut t = SyscallIdTable::new();
+        let seq_a = [ev(SyscallNr::Ioctl, 1), ev(SyscallNr::Ioctl, 2)];
+        let seq_b = [ev(SyscallNr::Ioctl, 2), ev(SyscallNr::Ioctl, 1)];
+        let sig_a = signals_from_execution(&[], &seq_a, &mut t, true);
+        let sig_b = signals_from_execution(&[], &seq_b, &mut t, true);
+        assert_ne!(sig_a, sig_b, "order must matter (directional)");
+        let mut set = SignalSet::new();
+        assert_eq!(set.merge(&sig_a), 2);
+        assert!(set.count_new(&sig_b) > 0);
+    }
+
+    #[test]
+    fn hal_signals_do_not_count_as_kernel_blocks() {
+        let mut t = SyscallIdTable::new();
+        let sigs = signals_from_execution(
+            &[Block(0x1000)],
+            &[ev(SyscallNr::Ioctl, 7)],
+            &mut t,
+            true,
+        );
+        let mut set = SignalSet::new();
+        set.merge(&sigs);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.kernel_blocks(), 1);
+    }
+
+    #[test]
+    fn hal_coverage_flag_gates_directional_signals() {
+        let mut t = SyscallIdTable::new();
+        let sigs = signals_from_execution(&[], &[ev(SyscallNr::Ioctl, 7)], &mut t, false);
+        assert!(sigs.is_empty());
+    }
+
+    #[test]
+    fn covers_and_count_new() {
+        let mut set = SignalSet::new();
+        set.merge(&[Signal(1), Signal(2)]);
+        assert!(set.covers(&[Signal(1)]));
+        assert!(!set.covers(&[Signal(1), Signal(3)]));
+        assert_eq!(set.count_new(&[Signal(2), Signal(3), Signal(3)]), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! # droidfuzz — proprietary driver fuzzing for embedded Android devices
+//!
+//! A from-scratch Rust reproduction of **DroidFuzz** (DAC 2025): a fuzzer
+//! that jointly tests the proprietary drivers of embedded Android devices
+//! across the kernel/HAL boundary. The three techniques of the paper map
+//! to three modules:
+//!
+//! 1. **Pre-testing HAL driver probing** (§IV-B) → [`probe`]: enumerate
+//!    HAL services through the service manager, trial every method from a
+//!    Poke-app stand-in while eBPF-style trace hooks record the resulting
+//!    Binder/kernel activity, and derive typed interface descriptions plus
+//!    normalized-occurrence weights.
+//! 2. **Kernel-user relational payload generation** (§IV-C) →
+//!    [`relation`] + [`generate`]: a weighted directed relation graph over
+//!    {syscalls} ∪ {HAL interfaces}, learned from minimized
+//!    coverage-increasing programs via Eq. 1, decayed periodically, and
+//!    sampled to build call sequences with automatic producer insertion.
+//! 3. **Cross-boundary execution state feedback** (§IV-D) → [`feedback`]:
+//!    kcov kernel coverage merged with *directional* HAL syscall
+//!    invocation coverage, specialized through a lookup table compiled at
+//!    initialization.
+//!
+//! The remaining modules implement the fuzzing harness of §IV-A
+//! ([`engine`], [`exec`], [`daemon`]), corpus and crash management
+//! ([`corpus`], [`crashes`], [`minimize`]), the evaluation baselines
+//! ([`baselines`]: syzkaller-like and Difuze-like fuzzers plus the
+//! DroidFuzz-D / ablation configurations in [`config`]), and the
+//! statistics of §V ([`stats`], including the Mann-Whitney U test).
+//!
+//! ```no_run
+//! use droidfuzz::config::FuzzerConfig;
+//! use droidfuzz::engine::FuzzingEngine;
+//! use simdevice::catalog;
+//!
+//! let device = catalog::device_a1().boot();
+//! let mut engine = FuzzingEngine::new(device, FuzzerConfig::droidfuzz(1));
+//! engine.run_for_virtual_hours(1.0);
+//! println!("coverage: {}", engine.kernel_coverage());
+//! for crash in engine.crash_db().records() {
+//!     println!("bug: {}", crash.title);
+//! }
+//! ```
+
+pub mod baselines;
+pub mod config;
+pub mod corpus;
+pub mod crashes;
+pub mod daemon;
+pub mod descs;
+pub mod engine;
+pub mod exec;
+pub mod feedback;
+pub mod generate;
+pub mod minimize;
+pub mod probe;
+pub mod relation;
+pub mod report;
+pub mod stats;
+
+pub use config::FuzzerConfig;
+pub use engine::FuzzingEngine;

@@ -1,0 +1,116 @@
+//! Test-case minimization: "when a new coverage is detected, we *minimize*
+//! the call to the bare bones API and system calls, ensuring that only the
+//! most essential invocations that trigger the same execution behavior are
+//! exercised" (§IV-C). Minimized programs both seed the corpus and define
+//! the adjacency pairs the relation graph learns from.
+
+use fuzzlang::prog::Prog;
+
+/// Greedily removes calls (latest first) while `still_interesting`
+/// continues to hold; each removal cascades dependents via
+/// [`Prog::remove_call`]. Returns the minimized program and how many
+/// oracle invocations were spent.
+pub fn minimize<F>(prog: &Prog, mut still_interesting: F) -> (Prog, usize)
+where
+    F: FnMut(&Prog) -> bool,
+{
+    let mut current = prog.clone();
+    let mut checks = 0;
+    let mut idx = current.len();
+    while idx > 0 {
+        idx -= 1;
+        if idx >= current.len() {
+            idx = current.len();
+            continue;
+        }
+        let mut candidate = current.clone();
+        candidate.remove_call(idx);
+        if candidate.is_empty() {
+            continue;
+        }
+        checks += 1;
+        if still_interesting(&candidate) {
+            current = candidate;
+            // Indices shifted; restart the cursor from the (new) end of
+            // the shortened program region we have not yet examined.
+            if idx > current.len() {
+                idx = current.len();
+            }
+        }
+    }
+    (current, checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzlang::desc::{ArgDesc, CallDesc, CallKind, DescTable, SyscallTemplate};
+    use fuzzlang::prog::{ArgValue, Call};
+    use fuzzlang::types::TypeDesc;
+
+    fn table() -> DescTable {
+        let mut t = DescTable::new();
+        t.add(CallDesc::syscall_open("/dev/x")); // 0
+        t.add(CallDesc::new(
+            "ioctl$A",
+            CallKind::Syscall(SyscallTemplate::Ioctl { request: 1 }),
+            vec![ArgDesc::new("fd", TypeDesc::Resource { kind: "fd:/dev/x".into() })],
+            None,
+        )); // 1
+        t.add(CallDesc::new(
+            "ioctl$B",
+            CallKind::Syscall(SyscallTemplate::Ioctl { request: 2 }),
+            vec![ArgDesc::new("fd", TypeDesc::Resource { kind: "fd:/dev/x".into() })],
+            None,
+        )); // 2
+        t
+    }
+
+    /// open, A, A, B, A — where the "behavior" is `open followed by B`.
+    fn noisy_prog() -> Prog {
+        use fuzzlang::desc::DescId;
+        Prog {
+            calls: vec![
+                Call { desc: DescId(0), args: vec![] },
+                Call { desc: DescId(1), args: vec![ArgValue::Ref(0)] },
+                Call { desc: DescId(1), args: vec![ArgValue::Ref(0)] },
+                Call { desc: DescId(2), args: vec![ArgValue::Ref(0)] },
+                Call { desc: DescId(1), args: vec![ArgValue::Ref(0)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn minimize_strips_noise_keeping_essential_pair() {
+        let t = table();
+        let prog = noisy_prog();
+        let oracle = |p: &Prog| {
+            let names: Vec<&str> = p.calls.iter().map(|c| t.get(c.desc).name.as_str()).collect();
+            names.contains(&"openat$/dev/x") && names.contains(&"ioctl$B")
+        };
+        let (minimized, checks) = minimize(&prog, oracle);
+        assert_eq!(minimized.len(), 2, "open + B survive: {minimized:?}");
+        assert!(checks > 0);
+        assert_eq!(minimized.validate(&t), Ok(()));
+    }
+
+    #[test]
+    fn minimize_keeps_everything_when_all_essential() {
+        let t = table();
+        let prog = noisy_prog();
+        let original = prog.clone();
+        let (minimized, _) = minimize(&prog, |p| *p == original);
+        assert_eq!(minimized.len(), original.len());
+    }
+
+    #[test]
+    fn minimize_never_produces_invalid_program() {
+        let t = table();
+        let prog = noisy_prog();
+        let (minimized, _) = minimize(&prog, |p| {
+            assert_eq!(p.validate(&t), Ok(()), "oracle sees only valid programs");
+            p.len() >= 2
+        });
+        assert_eq!(minimized.validate(&t), Ok(()));
+    }
+}

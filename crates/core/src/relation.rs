@@ -1,0 +1,284 @@
+//! The relation graph of §IV-C.
+//!
+//! `G_rel = (V, E)` with `V = {syscalls} ∪ {HAL interfaces}`, each vertex
+//! carrying a fixed weight (its probability mass as the *base invocation*
+//! during generation), and directed weighted edges expressing learned
+//! dependencies. Edge insertion follows Eq. 1:
+//!
+//! ```text
+//! w(a,b) = 1 − Σ_{x≠a} w(x,b) / 2
+//! ```
+//!
+//! with the other in-edges of `b` halved — so the in-weights of every
+//! vertex always sum to exactly 1 once it has any. Periodic decay
+//! multiplies all edge weights by a factor < 1 to escape local optima.
+
+use fuzzlang::desc::{DescId, DescTable};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// The relation graph.
+#[derive(Debug, Clone)]
+pub struct RelationGraph {
+    vertex_weight: Vec<f64>,
+    /// `out[a][b] = w(a,b)`.
+    out: BTreeMap<usize, BTreeMap<usize, f64>>,
+    edge_count: usize,
+    learn_events: u64,
+}
+
+impl RelationGraph {
+    /// Initializes the graph from a description table: all vertices with
+    /// their description weights, and `E = ∅`.
+    pub fn new(table: &DescTable) -> Self {
+        let vertex_weight = table.iter().map(|(_, d)| d.weight.max(1e-6)).collect();
+        Self { vertex_weight, out: BTreeMap::new(), edge_count: 0, learn_events: 0 }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_weight.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Times [`learn`](Self::learn) has been called.
+    pub fn learn_events(&self) -> u64 {
+        self.learn_events
+    }
+
+    /// Current weight of edge `a → b`, if present.
+    pub fn edge_weight(&self, a: DescId, b: DescId) -> Option<f64> {
+        self.out.get(&a.0).and_then(|m| m.get(&b.0)).copied()
+    }
+
+    /// Records the learned dependency `a → b` per Eq. 1: existing
+    /// in-edges of `b` are halved and the new (or refreshed) edge takes
+    /// the remaining mass, so `Σ_x w(x,b) = 1`.
+    pub fn learn(&mut self, a: DescId, b: DescId) {
+        if a == b {
+            return;
+        }
+        self.learn_events += 1;
+        // Halve all other in-edges of b and sum their (halved) weights.
+        let mut sum_others = 0.0;
+        for (&from, targets) in &mut self.out {
+            if from == a.0 {
+                continue;
+            }
+            if let Some(w) = targets.get_mut(&b.0) {
+                *w /= 2.0;
+                sum_others += *w;
+            }
+        }
+        let entry = self.out.entry(a.0).or_default();
+        let new_weight = (1.0 - sum_others).max(0.0);
+        if entry.insert(b.0, new_weight).is_none() {
+            self.edge_count += 1;
+        }
+    }
+
+    /// Multiplies all edge weights by `factor` (< 1), dropping edges that
+    /// fall below a floor — the periodic diversity reduction of §IV-C.
+    pub fn decay(&mut self, factor: f64) {
+        const FLOOR: f64 = 1e-4;
+        for targets in self.out.values_mut() {
+            targets.retain(|_, w| {
+                *w *= factor;
+                *w >= FLOOR
+            });
+        }
+        self.out.retain(|_, t| !t.is_empty());
+        self.edge_count = self.out.values().map(BTreeMap::len).sum();
+    }
+
+    /// Samples a base invocation by vertex weight.
+    pub fn sample_base<R: Rng>(&self, rng: &mut R) -> DescId {
+        let total: f64 = self.vertex_weight.iter().sum();
+        let mut x = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        for (i, &w) in self.vertex_weight.iter().enumerate() {
+            if x < w {
+                return DescId(i);
+            }
+            x -= w;
+        }
+        DescId(self.vertex_weight.len().saturating_sub(1))
+    }
+
+    /// Walks one step from `from`: picks a successor with probability
+    /// equal to its edge weight (the walk may stop — return `None` — with
+    /// the residual probability `1 − Σ w`).
+    pub fn sample_next<R: Rng>(&self, from: DescId, rng: &mut R) -> Option<DescId> {
+        let targets = self.out.get(&from.0)?;
+        let mut x = rng.gen_range(0.0..1.0f64);
+        for (&to, &w) in targets {
+            if x < w {
+                return Some(DescId(to));
+            }
+            x -= w;
+        }
+        None
+    }
+
+    /// All out-edges of `from`, for diagnostics and the relation-explorer
+    /// example.
+    pub fn successors(&self, from: DescId) -> Vec<(DescId, f64)> {
+        self.out
+            .get(&from.0)
+            .map(|m| m.iter().map(|(&to, &w)| (DescId(to), w)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The `count` heaviest edges, descending, as `(from, to, weight)`.
+    pub fn top_edges(&self, count: usize) -> Vec<(DescId, DescId, f64)> {
+        let mut edges: Vec<(DescId, DescId, f64)> = self
+            .out
+            .iter()
+            .flat_map(|(&a, m)| m.iter().map(move |(&b, &w)| (DescId(a), DescId(b), w)))
+            .collect();
+        edges.sort_by(|x, y| y.2.total_cmp(&x.2));
+        edges.truncate(count);
+        edges
+    }
+
+    /// Sum of in-edge weights of `b` (1.0 for any vertex that has been a
+    /// learn target and has not decayed — the Eq. 1 invariant).
+    pub fn in_weight_sum(&self, b: DescId) -> f64 {
+        self.out.values().filter_map(|m| m.get(&b.0)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzlang::desc::{CallDesc, CallKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize) -> DescTable {
+        let mut t = DescTable::new();
+        for i in 0..n {
+            t.add(CallDesc::new(
+                format!("call{i}"),
+                CallKind::Hal { service: "s".into(), code: i as u32 },
+                vec![],
+                None,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn eq1_first_edge_gets_full_weight() {
+        let t = table(3);
+        let mut g = RelationGraph::new(&t);
+        g.learn(DescId(0), DescId(2));
+        assert_eq!(g.edge_weight(DescId(0), DescId(2)), Some(1.0));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn eq1_in_weights_always_sum_to_one() {
+        let t = table(5);
+        let mut g = RelationGraph::new(&t);
+        g.learn(DescId(0), DescId(4));
+        g.learn(DescId(1), DescId(4));
+        g.learn(DescId(2), DescId(4));
+        let sum = g.in_weight_sum(DescId(4));
+        assert!((sum - 1.0).abs() < 1e-9, "in-weights sum to {sum}");
+        // Latest learner holds the majority of the mass.
+        let w2 = g.edge_weight(DescId(2), DescId(4)).unwrap();
+        let w1 = g.edge_weight(DescId(1), DescId(4)).unwrap();
+        let w0 = g.edge_weight(DescId(0), DescId(4)).unwrap();
+        // After (0→4), (1→4), (2→4): w = 0.25, 0.25, 0.5 per Eq. 1.
+        assert!(w2 > w1 && w1 >= w0);
+        assert!((w2 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relearning_same_edge_restores_dominance() {
+        let t = table(4);
+        let mut g = RelationGraph::new(&t);
+        g.learn(DescId(0), DescId(3));
+        g.learn(DescId(1), DescId(3));
+        g.learn(DescId(0), DescId(3));
+        let w0 = g.edge_weight(DescId(0), DescId(3)).unwrap();
+        let w1 = g.edge_weight(DescId(1), DescId(3)).unwrap();
+        assert!(w0 > w1);
+        assert!((g.in_weight_sum(DescId(3)) - 1.0).abs() < 1e-9);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_edges_ignored() {
+        let t = table(2);
+        let mut g = RelationGraph::new(&t);
+        g.learn(DescId(1), DescId(1));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn decay_shrinks_and_prunes() {
+        let t = table(3);
+        let mut g = RelationGraph::new(&t);
+        g.learn(DescId(0), DescId(1));
+        g.decay(0.5);
+        assert_eq!(g.edge_weight(DescId(0), DescId(1)), Some(0.5));
+        for _ in 0..20 {
+            g.decay(0.5);
+        }
+        assert_eq!(g.edge_count(), 0, "tiny edges are pruned");
+    }
+
+    #[test]
+    fn sample_base_respects_vertex_weights() {
+        let mut t = DescTable::new();
+        t.add(
+            CallDesc::new("rare", CallKind::Hal { service: "s".into(), code: 0 }, vec![], None)
+                .with_weight(0.01),
+        );
+        t.add(
+            CallDesc::new("hot", CallKind::Hal { service: "s".into(), code: 1 }, vec![], None)
+                .with_weight(10.0),
+        );
+        let g = RelationGraph::new(&t);
+        let mut rng = StdRng::seed_from_u64(5);
+        let hot = (0..1000).filter(|_| g.sample_base(&mut rng) == DescId(1)).count();
+        assert!(hot > 950, "hot vertex should dominate, got {hot}");
+    }
+
+    #[test]
+    fn sample_next_follows_edges_or_stops() {
+        let t = table(3);
+        let mut g = RelationGraph::new(&t);
+        g.learn(DescId(0), DescId(1));
+        g.decay(0.6); // w = 0.6: both outcomes possible
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut hits = 0;
+        let mut stops = 0;
+        for _ in 0..1000 {
+            match g.sample_next(DescId(0), &mut rng) {
+                Some(DescId(1)) => hits += 1,
+                None => stops += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(hits > 500 && stops > 300, "hits={hits} stops={stops}");
+        assert_eq!(g.sample_next(DescId(2), &mut rng), None);
+    }
+
+    #[test]
+    fn top_edges_sorted_descending() {
+        let t = table(4);
+        let mut g = RelationGraph::new(&t);
+        g.learn(DescId(0), DescId(1));
+        g.learn(DescId(2), DescId(1));
+        g.learn(DescId(0), DescId(3));
+        let top = g.top_edges(10);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].2 >= top[1].2 && top[1].2 >= top[2].2);
+    }
+}

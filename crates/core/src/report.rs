@@ -1,0 +1,132 @@
+//! Plain-text rendering of tables and coverage series for the experiment
+//! harness binaries (one per paper table/figure).
+
+use crate::stats::Series;
+
+/// Renders rows as an aligned ASCII table with a header rule.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::from("|");
+        for i in 0..cols {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            line.push_str(&format!(" {cell:<width$} |", width = widths[i]));
+        }
+        line
+    };
+    let rule: String = {
+        let mut r = String::from("+");
+        for w in &widths {
+            r.push_str(&"-".repeat(w + 2));
+            r.push('+');
+        }
+        r
+    };
+    let mut out = String::new();
+    out.push_str(&rule);
+    out.push('\n');
+    out.push_str(&render_row(
+        &headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out
+}
+
+/// Renders several named series as a shared-axis ASCII line chart
+/// (time on x, value on y), for figure regeneration in a terminal.
+pub fn ascii_chart(title: &str, series: &[(&str, &Series)], width: usize, height: usize) -> String {
+    let mut out = format!("{title}\n");
+    let max_v = series
+        .iter()
+        .flat_map(|(_, s)| s.points().iter().map(|&(_, v)| v))
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let max_t = series
+        .iter()
+        .flat_map(|(_, s)| s.points().iter().map(|&(t, _)| t))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let marks = ['#', '*', '+', 'o', 'x', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for col in 0..width {
+            let t = max_t * (col as u64 + 1) / width as u64;
+            let v = s.value_at(t);
+            let row = ((v / max_v) * (height as f64 - 1.0)).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col] = mark;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max_v:>9.0} ")
+        } else if i == height - 1 {
+            format!("{:>9.0} ", 0.0)
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let hours = max_t as f64 / 3_600_000_000.0;
+    out.push_str(&format!("{:>10}0h{}{:.0}h\n", "", " ".repeat(width.saturating_sub(5)), hours));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} = {name}\n", marks[si % marks.len()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_and_frames() {
+        let table = ascii_table(
+            &["ID", "Device"],
+            &[
+                vec!["A1".into(), "Phone Dev Board".into()],
+                vec!["B".into(), "Pi 5".into()],
+            ],
+        );
+        assert!(table.contains("| A1 | Phone Dev Board |"));
+        assert!(table.contains("| B  | Pi 5            |"));
+        assert!(table.starts_with('+'));
+    }
+
+    #[test]
+    fn chart_renders_marks_for_each_series() {
+        let mut a = Series::new();
+        a.push(3_600_000_000, 10.0);
+        let mut b = Series::new();
+        b.push(3_600_000_000, 5.0);
+        let chart = ascii_chart("cov", &[("one", &a), ("two", &b)], 20, 8);
+        assert!(chart.contains('#'));
+        assert!(chart.contains('*'));
+        assert!(chart.contains("one"));
+        assert!(chart.contains("two"));
+    }
+}

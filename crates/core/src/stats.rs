@@ -1,0 +1,238 @@
+//! Campaign statistics: coverage-over-time series, aggregation across
+//! repeated runs, and the Mann-Whitney U test the paper uses for
+//! significance (§V-A).
+
+/// A sampled `(virtual time µs, value)` series, e.g. kernel coverage over
+/// a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample (time must be non-decreasing).
+    pub fn push(&mut self, time_us: u64, value: f64) {
+        debug_assert!(self.points.last().is_none_or(|&(t, _)| t <= time_us));
+        self.points.push((time_us, value));
+    }
+
+    /// The samples.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Last value (0 when empty).
+    pub fn last_value(&self) -> f64 {
+        self.points.last().map_or(0.0, |&(_, v)| v)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Value at `time_us` (step interpolation; 0 before the first sample).
+    pub fn value_at(&self, time_us: u64) -> f64 {
+        match self.points.partition_point(|&(t, _)| t <= time_us) {
+            0 => 0.0,
+            n => self.points[n - 1].1,
+        }
+    }
+
+    /// Resamples onto `ticks` evenly spaced timestamps over `[0, end_us]`.
+    pub fn resample(&self, end_us: u64, ticks: usize) -> Vec<(u64, f64)> {
+        (1..=ticks)
+            .map(|i| {
+                let t = end_us * i as u64 / ticks as u64;
+                (t, self.value_at(t))
+            })
+            .collect()
+    }
+}
+
+/// Pointwise mean of several series resampled onto a common grid.
+pub fn mean_series(series: &[Series], end_us: u64, ticks: usize) -> Series {
+    let mut out = Series::new();
+    if series.is_empty() {
+        return out;
+    }
+    for i in 1..=ticks {
+        let t = end_us * i as u64 / ticks as u64;
+        let mean = series.iter().map(|s| s.value_at(t)).sum::<f64>() / series.len() as f64;
+        out.push(t, mean);
+    }
+    out
+}
+
+/// Two-sided Mann-Whitney U test via the normal approximation with tie
+/// correction. Returns `(u_statistic, p_value)`.
+///
+/// The paper uses this to assess statistical significance across its ten
+/// repetitions; p < 0.05 is the conventional threshold.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> (f64, f64) {
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+    if a.is_empty() || b.is_empty() {
+        return (0.0, 1.0);
+    }
+    // Rank the pooled sample, averaging ranks of ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&v| (v, 0usize))
+        .chain(b.iter().map(|&v| (v, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let n = pooled.len();
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, group), _)| *group == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+    let u2 = n1 * n2 - u1;
+    let u = u1.min(u2);
+    // Normal approximation with tie-corrected variance.
+    let mu = n1 * n2 / 2.0;
+    let n_total = n1 + n2;
+    let sigma2 = n1 * n2 / 12.0 * ((n_total + 1.0) - tie_term / (n_total * (n_total - 1.0)));
+    if sigma2 <= 0.0 {
+        return (u, 1.0);
+    }
+    let z = (u - mu).abs() / sigma2.sqrt();
+    let p = 2.0 * (1.0 - phi(z));
+    (u, p.clamp(0.0, 1.0))
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+fn phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, |error| ≤ 1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Basic descriptive statistics.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_step_interpolation() {
+        let mut s = Series::new();
+        s.push(10, 1.0);
+        s.push(20, 5.0);
+        assert_eq!(s.value_at(5), 0.0);
+        assert_eq!(s.value_at(10), 1.0);
+        assert_eq!(s.value_at(15), 1.0);
+        assert_eq!(s.value_at(25), 5.0);
+        assert_eq!(s.last_value(), 5.0);
+    }
+
+    #[test]
+    fn resample_produces_requested_grid() {
+        let mut s = Series::new();
+        s.push(50, 2.0);
+        let grid = s.resample(100, 4);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0], (25, 0.0));
+        assert_eq!(grid[1], (50, 2.0));
+        assert_eq!(grid[3], (100, 2.0));
+    }
+
+    #[test]
+    fn mean_series_averages_pointwise() {
+        let mut a = Series::new();
+        a.push(10, 2.0);
+        let mut b = Series::new();
+        b.push(10, 4.0);
+        let m = mean_series(&[a, b], 20, 2);
+        assert_eq!(m.points(), &[(10, 3.0), (20, 3.0)]);
+    }
+
+    #[test]
+    fn mann_whitney_separated_groups_significant() {
+        let a = [100.0, 101.0, 99.0, 102.0, 98.0, 103.0, 100.5, 101.5, 99.5, 100.2];
+        let b = [110.0, 111.0, 109.0, 112.0, 108.0, 113.0, 110.5, 111.5, 109.5, 110.2];
+        let (_, p) = mann_whitney_u(&a, &b);
+        assert!(p < 0.01, "clearly separated groups: p = {p}");
+    }
+
+    #[test]
+    fn mann_whitney_identical_groups_not_significant() {
+        let a = [5.0, 6.0, 7.0, 8.0, 9.0];
+        let b = [5.0, 6.0, 7.0, 8.0, 9.0];
+        let (_, p) = mann_whitney_u(&a, &b);
+        assert!(p > 0.9, "identical groups: p = {p}");
+    }
+
+    #[test]
+    fn mann_whitney_small_overlap() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [3.0, 4.0, 5.0, 6.0, 7.0];
+        let (_, p) = mann_whitney_u(&a, &b);
+        assert!(p > 0.05 && p < 0.8, "overlapping groups: p = {p}");
+    }
+
+    #[test]
+    fn descriptive_stats() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138).abs() < 0.01);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # fuzzlang — the test-case DSL
+//!
+//! DroidFuzz represents test cases as "sequences of HAL interface and
+//! Linux kernel system call invocations in a Domain Specific Language
+//! form" (paper §IV-A). This crate is that DSL:
+//!
+//! * [`types::TypeDesc`] — argument type system (ranged ints, choices,
+//!   flag sets, buffers, strings, and *resources* produced by earlier
+//!   calls),
+//! * [`desc::CallDesc`] — typed descriptions of syscalls and HAL methods
+//!   (the analogue of syzlang descriptions and probed HAL interfaces),
+//! * [`prog::Prog`] — call sequences with resource references,
+//! * [`gen`] — syntax-directed generation with automatic producer-call
+//!   insertion,
+//! * [`mutate`] — mutation operators over programs,
+//! * [`text`] — human-readable serialization with full round-trip.
+//!
+//! ```
+//! use fuzzlang::desc::{CallDesc, CallKind, DescTable, SyscallTemplate};
+//! use fuzzlang::gen;
+//! use rand::SeedableRng;
+//!
+//! let mut table = DescTable::new();
+//! table.add(CallDesc::syscall_open("/dev/leds"));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let prog = gen::generate(&table, 3, &mut rng);
+//! assert!(!prog.calls.is_empty());
+//! ```
+
+pub mod desc;
+pub mod gen;
+pub mod mutate;
+pub mod prog;
+pub mod text;
+pub mod types;
+
+pub use desc::{ArgDesc, CallDesc, CallKind, DescTable, SyscallTemplate};
+pub use prog::{ArgValue, Call, Prog};
+pub use types::{ResourceKind, TypeDesc};

@@ -1,0 +1,393 @@
+//! Programs: ordered call sequences with resource references.
+
+use crate::desc::{DescId, DescTable};
+use crate::types::TypeDesc;
+use std::fmt;
+
+/// A concrete argument value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// Integer (also used for flags/choices).
+    Int(u64),
+    /// Byte buffer.
+    Bytes(Vec<u8>),
+    /// String.
+    Str(String),
+    /// Reference to the result of the call at this index in the program.
+    Ref(usize),
+}
+
+/// One call in a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Which description this call instantiates.
+    pub desc: DescId,
+    /// Concrete argument values, one per described argument.
+    pub args: Vec<ArgValue>,
+}
+
+/// A test case: an ordered sequence of calls.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Prog {
+    /// The calls, executed front to back.
+    pub calls: Vec<Call>,
+}
+
+/// Why a program failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateProgError {
+    /// A call's arg count differs from its description.
+    ArgCount {
+        /// Offending call index.
+        call: usize,
+    },
+    /// A `Ref` does not point at an earlier call.
+    ForwardRef {
+        /// Offending call index.
+        call: usize,
+        /// The referenced index.
+        target: usize,
+    },
+    /// A `Ref` points at a call that produces nothing, or a resource of
+    /// the wrong kind.
+    BadProducer {
+        /// Offending call index.
+        call: usize,
+        /// The referenced index.
+        target: usize,
+    },
+    /// A resource argument holds a non-`Ref` value.
+    NotARef {
+        /// Offending call index.
+        call: usize,
+        /// Argument position.
+        arg: usize,
+    },
+}
+
+impl fmt::Display for ValidateProgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateProgError::ArgCount { call } => write!(f, "call {call}: argument count mismatch"),
+            ValidateProgError::ForwardRef { call, target } => {
+                write!(f, "call {call}: forward/self reference to {target}")
+            }
+            ValidateProgError::BadProducer { call, target } => {
+                write!(f, "call {call}: call {target} does not produce the wanted resource")
+            }
+            ValidateProgError::NotARef { call, arg } => {
+                write!(f, "call {call}: resource arg {arg} is not a reference")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateProgError {}
+
+impl Prog {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of calls.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether the program has no calls.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Checks structural validity against `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found (see [`ValidateProgError`]).
+    pub fn validate(&self, table: &DescTable) -> Result<(), ValidateProgError> {
+        for (i, call) in self.calls.iter().enumerate() {
+            let desc = table.get(call.desc);
+            if call.args.len() != desc.args.len() {
+                return Err(ValidateProgError::ArgCount { call: i });
+            }
+            for (a, (value, arg_desc)) in call.args.iter().zip(&desc.args).enumerate() {
+                match (&arg_desc.ty, value) {
+                    (TypeDesc::Resource { kind }, ArgValue::Ref(target)) => {
+                        if *target >= i {
+                            return Err(ValidateProgError::ForwardRef { call: i, target: *target });
+                        }
+                        let producer = table.get(self.calls[*target].desc);
+                        let ok = producer
+                            .produces
+                            .as_ref()
+                            .is_some_and(|p| kind.accepts(p));
+                        if !ok {
+                            return Err(ValidateProgError::BadProducer { call: i, target: *target });
+                        }
+                    }
+                    (TypeDesc::Resource { .. }, _) => {
+                        return Err(ValidateProgError::NotARef { call: i, arg: a });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes the call at `index`, cascading removal of any later calls
+    /// that (transitively) referenced it, and remapping surviving `Ref`s.
+    /// Returns how many calls were removed.
+    ///
+    /// This is the primitive DroidFuzz's minimizer is built on.
+    pub fn remove_call(&mut self, index: usize) -> usize {
+        if index >= self.calls.len() {
+            return 0;
+        }
+        let n = self.calls.len();
+        let mut dead = vec![false; n];
+        dead[index] = true;
+        for i in index + 1..n {
+            let depends_on_dead = self.calls[i].args.iter().any(|a| match a {
+                ArgValue::Ref(t) => dead[*t],
+                _ => false,
+            });
+            if depends_on_dead {
+                dead[i] = true;
+            }
+        }
+        // Old index → new index for survivors.
+        let mut remap = vec![usize::MAX; n];
+        let mut next = 0;
+        for i in 0..n {
+            if !dead[i] {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let old_calls = std::mem::take(&mut self.calls);
+        for (i, mut call) in old_calls.into_iter().enumerate() {
+            if dead[i] {
+                continue;
+            }
+            for arg in &mut call.args {
+                if let ArgValue::Ref(t) = arg {
+                    *t = remap[*t];
+                }
+            }
+            self.calls.push(call);
+        }
+        dead.iter().filter(|&&d| d).count()
+    }
+
+    /// Inserts all calls of `sub` at position `at` (≤ `len()`): `sub`'s
+    /// internal references shift by `at`, and references of existing calls
+    /// that point at or past `at` shift by `sub.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    pub fn insert_at(&mut self, at: usize, sub: &Prog) {
+        assert!(at <= self.calls.len(), "insert position out of bounds");
+        let shift = sub.calls.len();
+        for call in &mut self.calls[at..] {
+            for arg in &mut call.args {
+                if let ArgValue::Ref(t) = arg {
+                    if *t >= at {
+                        *t += shift;
+                    }
+                }
+            }
+        }
+        let mut inserted: Vec<Call> = Vec::with_capacity(shift);
+        for call in &sub.calls {
+            let mut call = call.clone();
+            for arg in &mut call.args {
+                if let ArgValue::Ref(t) = arg {
+                    *t += at;
+                }
+            }
+            inserted.push(call);
+        }
+        self.calls.splice(at..at, inserted);
+    }
+
+    /// Appends all calls of `other`, shifting its internal references.
+    pub fn splice(&mut self, other: &Prog) {
+        let offset = self.calls.len();
+        for call in &other.calls {
+            let mut call = call.clone();
+            for arg in &mut call.args {
+                if let ArgValue::Ref(t) = arg {
+                    *t += offset;
+                }
+            }
+            self.calls.push(call);
+        }
+    }
+
+    /// Indices of calls whose result no later call references.
+    pub fn unreferenced(&self) -> Vec<usize> {
+        let mut referenced = vec![false; self.calls.len()];
+        for call in &self.calls {
+            for arg in &call.args {
+                if let ArgValue::Ref(t) = arg {
+                    referenced[*t] = true;
+                }
+            }
+        }
+        referenced
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| (!r).then_some(i))
+            .collect()
+    }
+
+    /// Approximate serialized size in bytes (for transport cost modeling).
+    pub fn wire_size(&self) -> usize {
+        self.calls
+            .iter()
+            .map(|c| {
+                8 + c
+                    .args
+                    .iter()
+                    .map(|a| match a {
+                        ArgValue::Int(_) | ArgValue::Ref(_) => 8,
+                        ArgValue::Bytes(b) => 4 + b.len(),
+                        ArgValue::Str(s) => 4 + s.len(),
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::{ArgDesc, CallDesc, CallKind, SyscallTemplate};
+
+    fn table() -> DescTable {
+        let mut t = DescTable::new();
+        t.add(CallDesc::syscall_open("/dev/x")); // 0
+        t.add(CallDesc::syscall_close()); // 1
+        t.add(CallDesc::new(
+            // 2: ioctl on /dev/x
+            "ioctl$X",
+            CallKind::Syscall(SyscallTemplate::Ioctl { request: 7 }),
+            vec![
+                ArgDesc::new("fd", TypeDesc::Resource { kind: "fd:/dev/x".into() }),
+                ArgDesc::new("v", TypeDesc::any_u32()),
+            ],
+            None,
+        ));
+        t
+    }
+
+    fn open_ioctl_close() -> Prog {
+        Prog {
+            calls: vec![
+                Call { desc: DescId(0), args: vec![] },
+                Call { desc: DescId(2), args: vec![ArgValue::Ref(0), ArgValue::Int(5)] },
+                Call { desc: DescId(1), args: vec![ArgValue::Ref(0)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_program_validates() {
+        let t = table();
+        assert_eq!(open_ioctl_close().validate(&t), Ok(()));
+    }
+
+    #[test]
+    fn forward_ref_rejected() {
+        let t = table();
+        let p = Prog {
+            calls: vec![Call { desc: DescId(1), args: vec![ArgValue::Ref(0)] }],
+        };
+        assert_eq!(
+            p.validate(&t),
+            Err(ValidateProgError::ForwardRef { call: 0, target: 0 })
+        );
+    }
+
+    #[test]
+    fn resource_arg_must_be_ref() {
+        let t = table();
+        let mut p = open_ioctl_close();
+        p.calls[1].args[0] = ArgValue::Int(3);
+        assert_eq!(p.validate(&t), Err(ValidateProgError::NotARef { call: 1, arg: 0 }));
+    }
+
+    #[test]
+    fn remove_call_cascades_and_remaps() {
+        let t = table();
+        let mut p = open_ioctl_close();
+        // Removing the open must cascade to both dependents.
+        assert_eq!(p.remove_call(0), 3);
+        assert!(p.is_empty());
+
+        let mut p = open_ioctl_close();
+        // Removing the ioctl keeps open+close, with refs remapped.
+        assert_eq!(p.remove_call(1), 1);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.validate(&t), Ok(()));
+        assert_eq!(p.calls[1].args[0], ArgValue::Ref(0));
+    }
+
+    #[test]
+    fn insert_at_rewires_refs_on_both_sides() {
+        let t = table();
+        let mut p = open_ioctl_close();
+        let sub = open_ioctl_close();
+        p.insert_at(1, &sub);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.validate(&t), Ok(()));
+        // Original calls 1,2 (now at 4,5) still reference the original
+        // open, which stayed at index 0.
+        assert_eq!(p.calls[4].args[0], ArgValue::Ref(0));
+        assert_eq!(p.calls[5].args[0], ArgValue::Ref(0));
+        // Inserted calls reference their own open at index 1.
+        assert_eq!(p.calls[2].args[0], ArgValue::Ref(1));
+    }
+
+    #[test]
+    fn insert_at_start_and_end() {
+        let t = table();
+        let mut p = open_ioctl_close();
+        let sub = open_ioctl_close();
+        p.insert_at(0, &sub);
+        assert_eq!(p.validate(&t), Ok(()));
+        let len = p.len();
+        p.insert_at(len, &sub);
+        assert_eq!(p.validate(&t), Ok(()));
+        assert_eq!(p.len(), 9);
+    }
+
+    #[test]
+    fn splice_offsets_refs() {
+        let t = table();
+        let mut a = open_ioctl_close();
+        let b = open_ioctl_close();
+        a.splice(&b);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.validate(&t), Ok(()));
+        assert_eq!(a.calls[4].args[0], ArgValue::Ref(3));
+    }
+
+    #[test]
+    fn unreferenced_finds_leaf_calls() {
+        let p = open_ioctl_close();
+        assert_eq!(p.unreferenced(), vec![1, 2]);
+    }
+
+    #[test]
+    fn wire_size_is_positive_and_monotonic() {
+        let mut p = open_ioctl_close();
+        let s1 = p.wire_size();
+        p.splice(&open_ioctl_close());
+        assert!(p.wire_size() > s1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Human-readable program serialization with full round-trip, used for
+//! the persistent seed corpus and crash reproducers.
+//!
+//! Format, one call per line:
+//!
+//! ```text
+//! r0 = openat$/dev/tcpc0()
+//! r1 = ioctl$TCPC_SET_CC(r0, 0x1)
+//! r2 = hal$IComposer$createLayer()
+//! r3 = hal$IComposer$setLayerBuffer(r2, 0x40, "name", hex:00ff12)
+//! ```
+//!
+//! Every call is labelled `r<index>`; arguments are hex integers, quoted
+//! strings (with `\"`/`\\` escapes), `hex:` byte blobs, or `r<N>`
+//! references.
+
+use crate::desc::DescTable;
+use crate::prog::{ArgValue, Call, Prog};
+use std::fmt;
+
+/// Error parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseProgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseProgError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseProgError {
+    ParseProgError { line, message: message.into() }
+}
+
+/// Serializes a program.
+pub fn format_prog(prog: &Prog, table: &DescTable) -> String {
+    let mut out = String::new();
+    for (i, call) in prog.calls.iter().enumerate() {
+        let desc = table.get(call.desc);
+        out.push_str(&format!("r{i} = {}(", desc.name));
+        for (j, arg) in call.args.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            match arg {
+                ArgValue::Int(v) => out.push_str(&format!("0x{v:x}")),
+                ArgValue::Ref(t) => out.push_str(&format!("r{t}")),
+                ArgValue::Str(s) => {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                ArgValue::Bytes(b) => {
+                    out.push_str("hex:");
+                    for byte in b {
+                        out.push_str(&format!("{byte:02x}"));
+                    }
+                }
+            }
+        }
+        out.push_str(")\n");
+    }
+    out
+}
+
+/// Splits a call's argument list on top-level commas (commas inside
+/// quoted strings don't count).
+fn split_args(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            cur.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                cur.push(c);
+            }
+            ',' => {
+                parts.push(cur.trim().to_owned());
+                cur.clear();
+            }
+            c => cur.push(c),
+        }
+    }
+    let last = cur.trim();
+    if !last.is_empty() {
+        parts.push(last.to_owned());
+    }
+    parts
+}
+
+fn parse_string_literal(line: usize, token: &str) -> Result<String, ParseProgError> {
+    let inner = token
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| err(line, format!("bad string literal {token}")))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                other => return Err(err(line, format!("bad escape {other:?}"))),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_arg(line: usize, token: &str) -> Result<ArgValue, ParseProgError> {
+    if let Some(hexstr) = token.strip_prefix("0x") {
+        let v = u64::from_str_radix(hexstr, 16)
+            .map_err(|e| err(line, format!("bad int {token}: {e}")))?;
+        return Ok(ArgValue::Int(v));
+    }
+    if let Some(refstr) = token.strip_prefix('r') {
+        if let Ok(t) = refstr.parse::<usize>() {
+            return Ok(ArgValue::Ref(t));
+        }
+    }
+    if let Some(hexstr) = token.strip_prefix("hex:") {
+        if hexstr.len() % 2 != 0 {
+            return Err(err(line, "odd-length hex blob"));
+        }
+        let mut bytes = Vec::with_capacity(hexstr.len() / 2);
+        for i in (0..hexstr.len()).step_by(2) {
+            let byte = u8::from_str_radix(&hexstr[i..i + 2], 16)
+                .map_err(|e| err(line, format!("bad hex blob: {e}")))?;
+            bytes.push(byte);
+        }
+        return Ok(ArgValue::Bytes(bytes));
+    }
+    if token.starts_with('"') {
+        return parse_string_literal(line, token).map(ArgValue::Str);
+    }
+    Err(err(line, format!("unrecognized argument {token}")))
+}
+
+/// Parses the text format back into a program.
+///
+/// # Errors
+///
+/// Returns a [`ParseProgError`] on malformed lines, unknown call names,
+/// or label/index mismatches. The result is *not* validated against arg
+/// types — callers should run [`Prog::validate`].
+pub fn parse_prog(text: &str, table: &DescTable) -> Result<Prog, ParseProgError> {
+    let mut prog = Prog::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (label, rest) = trimmed
+            .split_once('=')
+            .ok_or_else(|| err(line, "missing `=`"))?;
+        let label = label.trim();
+        let expected = format!("r{}", prog.calls.len());
+        if label != expected {
+            return Err(err(line, format!("expected label {expected}, got {label}")));
+        }
+        let rest = rest.trim();
+        let open = rest.find('(').ok_or_else(|| err(line, "missing `(`"))?;
+        let name = &rest[..open];
+        let close = rest.rfind(')').ok_or_else(|| err(line, "missing `)`"))?;
+        let args_str = &rest[open + 1..close];
+        let desc_id = table
+            .id_of(name)
+            .ok_or_else(|| err(line, format!("unknown call {name}")))?;
+        let mut args = Vec::new();
+        for token in split_args(args_str) {
+            args.push(parse_arg(line, &token)?);
+        }
+        prog.calls.push(Call { desc: desc_id, args });
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::{ArgDesc, CallDesc, CallKind, SyscallTemplate};
+    use crate::types::TypeDesc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> DescTable {
+        let mut t = DescTable::new();
+        t.add(CallDesc::syscall_open("/dev/x"));
+        t.add(CallDesc::syscall_close());
+        t.add(CallDesc::new(
+            "ioctl$X",
+            CallKind::Syscall(SyscallTemplate::Ioctl { request: 7 }),
+            vec![
+                ArgDesc::new("fd", TypeDesc::Resource { kind: "fd:/dev/x".into() }),
+                ArgDesc::new("mode", TypeDesc::any_u32()),
+            ],
+            None,
+        ));
+        t.add(CallDesc::new(
+            "hal$ISvc$method",
+            CallKind::Hal { service: "svc".into(), code: 3 },
+            vec![
+                ArgDesc::new("name", TypeDesc::Str { choices: vec!["a".into()] }),
+                ArgDesc::new("data", TypeDesc::Buffer { min_len: 0, max_len: 8 }),
+            ],
+            None,
+        ));
+        t
+    }
+
+    #[test]
+    fn roundtrip_hand_written() {
+        let t = table();
+        let text = "r0 = openat$/dev/x()\nr1 = ioctl$X(r0, 0x2a)\nr2 = hal$ISvc$method(\"he\\\"y, you\", hex:00ff12)\n";
+        let prog = parse_prog(text, &t).unwrap();
+        assert_eq!(prog.len(), 3);
+        assert_eq!(prog.calls[1].args[1], ArgValue::Int(0x2a));
+        assert_eq!(prog.calls[2].args[0], ArgValue::Str("he\"y, you".into()));
+        assert_eq!(prog.calls[2].args[1], ArgValue::Bytes(vec![0, 0xff, 0x12]));
+        let formatted = format_prog(&prog, &t);
+        let reparsed = parse_prog(&formatted, &t).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn roundtrip_generated_programs() {
+        let t = table();
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let prog = crate::gen::generate(&t, 6, &mut rng);
+            let text = format_prog(&prog, &t);
+            let reparsed = parse_prog(&text, &t).unwrap();
+            assert_eq!(prog, reparsed, "seed {seed}\n{text}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let t = table();
+        let text = "# corpus entry 1\n\nr0 = openat$/dev/x()\n";
+        assert_eq!(parse_prog(text, &t).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let t = table();
+        let bad = "r0 = openat$/dev/x()\nr1 = nosuchcall()\n";
+        let e = parse_prog(bad, &t).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("nosuchcall"));
+        let bad_label = "r7 = openat$/dev/x()\n";
+        assert!(parse_prog(bad_label, &t).unwrap_err().message.contains("expected label"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # simbinder — simulated Binder IPC
+//!
+//! Stands in for Android's Binder kernel driver plus `libbinder`: typed
+//! [`Parcel`] marshaling, [`Transaction`]s addressed by interface code, and
+//! the [`ServiceManager`] registry that `lshal` and `service list` query.
+//!
+//! DroidFuzz's probing pass (paper §IV-B) discovers HAL interfaces through
+//! exactly this surface: enumerate services via the service manager, fetch
+//! each service's [`InterfaceInfo`], and trial-invoke methods while tracing
+//! the resulting kernel activity.
+//!
+//! ```
+//! use simbinder::{Parcel, ServiceManager, InterfaceInfo, MethodInfo, ArgKind};
+//!
+//! let mut sm = ServiceManager::new();
+//! sm.register(InterfaceInfo {
+//!     descriptor: "android.hardware.lights@2.0::ILights/default".into(),
+//!     methods: vec![MethodInfo {
+//!         name: "setLight".into(),
+//!         code: 1,
+//!         args: vec![ArgKind::Int32, ArgKind::Int32],
+//!     }],
+//! });
+//! assert_eq!(sm.list().len(), 1);
+//!
+//! let mut parcel = Parcel::new();
+//! parcel.write_i32(0);
+//! parcel.write_i32(255);
+//! let mut reader = parcel.reader();
+//! assert_eq!(reader.read_i32().unwrap(), 0);
+//! ```
+
+pub mod parcel;
+pub mod service_manager;
+pub mod transaction;
+
+pub use parcel::{Parcel, ParcelReader, ReadParcelError};
+pub use service_manager::{ArgKind, InterfaceInfo, MethodInfo, ServiceManager};
+pub use transaction::{Transaction, TransactionError, TransactionResult};

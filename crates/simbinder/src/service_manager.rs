@@ -1,0 +1,168 @@
+//! The service registry (`servicemanager` + `lshal`).
+//!
+//! Services publish an [`InterfaceInfo`]: descriptor string plus the method
+//! table with marshaling shapes. This mirrors what reflection through
+//! `ServiceManager` gives the paper's Poke app — enough to *construct* a
+//! call, but nothing about semantics, state requirements, or which kernel
+//! paths a method exercises (those must be learned by probing and fuzzing).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Marshaling shape of one HAL method argument, as visible through
+/// interface reflection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArgKind {
+    /// 32-bit integer.
+    Int32,
+    /// 64-bit integer.
+    Int64,
+    /// UTF-16 string.
+    String16,
+    /// Byte blob.
+    Blob,
+    /// File-descriptor token.
+    FileDescriptor,
+    /// Opaque handle returned by another method of the same service.
+    Handle,
+}
+
+impl fmt::Display for ArgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArgKind::Int32 => "int32",
+            ArgKind::Int64 => "int64",
+            ArgKind::String16 => "string16",
+            ArgKind::Blob => "blob",
+            ArgKind::FileDescriptor => "fd",
+            ArgKind::Handle => "handle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One method of a HAL interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodInfo {
+    /// Method name as it appears in the interface dump.
+    pub name: String,
+    /// Transaction code.
+    pub code: u32,
+    /// Argument marshaling shapes.
+    pub args: Vec<ArgKind>,
+}
+
+/// A registered HAL interface: descriptor plus method table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceInfo {
+    /// Full descriptor, e.g.
+    /// `"android.hardware.camera.provider@2.6::ICameraProvider/internal/0"`.
+    pub descriptor: String,
+    /// Methods in transaction-code order.
+    pub methods: Vec<MethodInfo>,
+}
+
+impl InterfaceInfo {
+    /// Looks up a method by transaction code.
+    pub fn method(&self, code: u32) -> Option<&MethodInfo> {
+        self.methods.iter().find(|m| m.code == code)
+    }
+}
+
+/// The service registry.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceManager {
+    services: BTreeMap<String, InterfaceInfo>,
+}
+
+impl ServiceManager {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a service.
+    pub fn register(&mut self, info: InterfaceInfo) {
+        self.services.insert(info.descriptor.clone(), info);
+    }
+
+    /// Removes a service, returning its info if it was present.
+    pub fn unregister(&mut self, descriptor: &str) -> Option<InterfaceInfo> {
+        self.services.remove(descriptor)
+    }
+
+    /// Lists registered descriptors in sorted order (what `lshal` prints).
+    pub fn list(&self) -> Vec<&str> {
+        self.services.keys().map(String::as_str).collect()
+    }
+
+    /// Fetches a service's interface info (reflection).
+    pub fn get(&self, descriptor: &str) -> Option<&InterfaceInfo> {
+        self.services.get(descriptor)
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InterfaceInfo {
+        InterfaceInfo {
+            descriptor: "android.hardware.audio@7.0::IDevice/default".into(),
+            methods: vec![
+                MethodInfo { name: "openStream".into(), code: 1, args: vec![ArgKind::Int32] },
+                MethodInfo { name: "closeStream".into(), code: 2, args: vec![ArgKind::Handle] },
+            ],
+        }
+    }
+
+    #[test]
+    fn register_list_get() {
+        let mut sm = ServiceManager::new();
+        assert!(sm.is_empty());
+        sm.register(sample());
+        assert_eq!(sm.list(), vec!["android.hardware.audio@7.0::IDevice/default"]);
+        let info = sm.get("android.hardware.audio@7.0::IDevice/default").unwrap();
+        assert_eq!(info.method(2).unwrap().name, "closeStream");
+        assert!(info.method(3).is_none());
+    }
+
+    #[test]
+    fn register_replaces_and_unregister_removes() {
+        let mut sm = ServiceManager::new();
+        sm.register(sample());
+        let mut replacement = sample();
+        replacement.methods.pop();
+        sm.register(replacement);
+        assert_eq!(sm.len(), 1);
+        assert_eq!(
+            sm.get("android.hardware.audio@7.0::IDevice/default").unwrap().methods.len(),
+            1
+        );
+        assert!(sm.unregister("android.hardware.audio@7.0::IDevice/default").is_some());
+        assert!(sm.unregister("android.hardware.audio@7.0::IDevice/default").is_none());
+        assert!(sm.is_empty());
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let mut sm = ServiceManager::new();
+        for name in ["z.service/default", "a.service/default", "m.service/default"] {
+            sm.register(InterfaceInfo { descriptor: name.into(), methods: vec![] });
+        }
+        let listed = sm.list();
+        let mut sorted = listed.clone();
+        sorted.sort_unstable();
+        assert_eq!(listed, sorted);
+    }
+}

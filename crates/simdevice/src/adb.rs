@@ -1,0 +1,119 @@
+//! ADB transport model.
+//!
+//! The paper's host-side fuzzing engine talks to each device over the
+//! Android Debug Bridge. The dominant costs per test case are one
+//! request/response round trip plus per-call execution time on the device;
+//! this module provides that cost model (driving the engine's *virtual
+//! clock*) and byte counters, so throughput-dependent results — coverage
+//! over a 48 h window — have a physically plausible basis.
+
+/// Microseconds in one virtual second.
+pub const US_PER_SEC: u64 = 1_000_000;
+
+/// A host↔device ADB connection with a fixed cost model.
+#[derive(Debug, Clone)]
+pub struct AdbLink {
+    /// One-way transport latency in µs (USB ≈ 250 µs, TCP ≈ 1200 µs).
+    latency_us: u64,
+    /// Payload throughput in bytes/µs.
+    bytes_per_us: u64,
+    /// Fixed device-side cost to dispatch one call, µs.
+    per_call_us: u64,
+    /// Cost of a device reboot, µs.
+    reboot_us: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+    round_trips: u64,
+}
+
+impl AdbLink {
+    /// A USB-attached device (the common dev-board case).
+    pub fn usb() -> Self {
+        Self {
+            latency_us: 250,
+            bytes_per_us: 30,
+            per_call_us: 120,
+            reboot_us: 20 * US_PER_SEC,
+            bytes_sent: 0,
+            bytes_received: 0,
+            round_trips: 0,
+        }
+    }
+
+    /// A network-attached device (kiosks on the bench LAN).
+    pub fn tcp() -> Self {
+        Self {
+            latency_us: 1_200,
+            bytes_per_us: 12,
+            per_call_us: 120,
+            reboot_us: 25 * US_PER_SEC,
+            ..Self::usb()
+        }
+    }
+
+    /// Virtual cost, in µs, of shipping a `request_bytes`-byte program,
+    /// executing `calls` calls, and pulling `reply_bytes` of feedback.
+    pub fn round_trip_cost(&mut self, request_bytes: usize, calls: usize, reply_bytes: usize) -> u64 {
+        self.bytes_sent += request_bytes as u64;
+        self.bytes_received += reply_bytes as u64;
+        self.round_trips += 1;
+        2 * self.latency_us
+            + (request_bytes as u64 + reply_bytes as u64) / self.bytes_per_us.max(1)
+            + calls as u64 * self.per_call_us
+    }
+
+    /// Virtual cost of a reboot cycle, in µs.
+    pub fn reboot_cost(&self) -> u64 {
+        self.reboot_us
+    }
+
+    /// Total bytes pushed to the device.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total bytes pulled from the device.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Round trips performed.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+}
+
+impl Default for AdbLink {
+    fn default() -> Self {
+        Self::usb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usb_round_trip_accounts_latency_payload_and_calls() {
+        let mut link = AdbLink::usb();
+        let cost = link.round_trip_cost(300, 5, 600);
+        assert_eq!(cost, 2 * 250 + 900 / 30 + 5 * 120);
+        assert_eq!(link.bytes_sent(), 300);
+        assert_eq!(link.bytes_received(), 600);
+        assert_eq!(link.round_trips(), 1);
+    }
+
+    #[test]
+    fn tcp_is_slower_than_usb() {
+        let mut usb = AdbLink::usb();
+        let mut tcp = AdbLink::tcp();
+        assert!(tcp.round_trip_cost(100, 3, 100) > usb.round_trip_cost(100, 3, 100));
+    }
+
+    #[test]
+    fn reboot_dwarfs_round_trips() {
+        let mut link = AdbLink::usb();
+        let trip = link.round_trip_cost(100, 3, 100);
+        assert!(link.reboot_cost() > 1000 * trip);
+    }
+}

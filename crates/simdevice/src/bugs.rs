@@ -1,0 +1,188 @@
+//! The ground-truth bug catalog: Table II of the paper, used by the
+//! experiment harness to label discovered crashes and check completeness.
+
+use simkernel::report::{BugKind, BugReport, Component};
+
+/// A Table II bug number (1..=12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BugId(pub u8);
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownBug {
+    /// Bug number.
+    pub id: BugId,
+    /// Table I device id the bug lives on.
+    pub device: &'static str,
+    /// Crash headline (the dedup key reports carry).
+    pub title: &'static str,
+    /// Bug class.
+    pub kind: BugKind,
+    /// Paper's "Bug Type" column.
+    pub bug_type: &'static str,
+    /// Stack layer.
+    pub component: Component,
+}
+
+/// Table II, verbatim (redacted entries use our synthetic stand-in titles).
+pub const BUG_CATALOG: [KnownBug; 12] = [
+    KnownBug {
+        id: BugId(1),
+        device: "A1",
+        title: "WARNING in rt1711_i2c_probe",
+        kind: BugKind::Warning,
+        bug_type: "Logic Error",
+        component: Component::KernelDriver,
+    },
+    KnownBug {
+        id: BugId(2),
+        device: "A1",
+        title: "Native crash in Graphics HAL (redacted)",
+        kind: BugKind::NativeCrash,
+        bug_type: "Memory Related Bug",
+        component: Component::Hal,
+    },
+    KnownBug {
+        id: BugId(3),
+        device: "A1",
+        title: "BUG: looking up invalid subclass: NUM",
+        kind: BugKind::Bug,
+        bug_type: "Logic Error",
+        component: Component::KernelSubsystem,
+    },
+    KnownBug {
+        id: BugId(4),
+        device: "A1",
+        title: "WARNING in tcpc_pr_swap",
+        kind: BugKind::Warning,
+        bug_type: "Logic Error",
+        component: Component::KernelDriver,
+    },
+    KnownBug {
+        id: BugId(5),
+        device: "A2",
+        title: "Infinite Loop in driver sensorhub",
+        kind: BugKind::SoftLockup,
+        bug_type: "Logic Error",
+        component: Component::KernelDriver,
+    },
+    KnownBug {
+        id: BugId(6),
+        device: "A2",
+        title: "Native crash in Media HAL (redacted)",
+        kind: BugKind::NativeCrash,
+        bug_type: "Memory Related Bug",
+        component: Component::Hal,
+    },
+    KnownBug {
+        id: BugId(7),
+        device: "A2",
+        title: "KASAN: invalid-access in hci_read_supported_codecs",
+        kind: BugKind::KasanInvalidAccess,
+        bug_type: "Memory Related Bug",
+        component: Component::KernelDriver,
+    },
+    KnownBug {
+        id: BugId(8),
+        device: "B",
+        title: "WARNING in l2cap_send_disconn_req",
+        kind: BugKind::Warning,
+        bug_type: "Logic Error",
+        component: Component::KernelSubsystem,
+    },
+    KnownBug {
+        id: BugId(9),
+        device: "C1",
+        title: "Native crash in Camera HAL (redacted)",
+        kind: BugKind::NativeCrash,
+        bug_type: "Memory Related Bug",
+        component: Component::Hal,
+    },
+    KnownBug {
+        id: BugId(10),
+        device: "C2",
+        title: "WARNING in rate_control_rate_init",
+        kind: BugKind::Warning,
+        bug_type: "Logic Error",
+        component: Component::KernelDriver,
+    },
+    KnownBug {
+        id: BugId(11),
+        device: "D",
+        title: "KASAN: slab-use-after-free Read in bt_accept_unlink",
+        kind: BugKind::KasanUseAfterFree,
+        bug_type: "Memory Related Bug",
+        component: Component::KernelDriver,
+    },
+    KnownBug {
+        id: BugId(12),
+        device: "E",
+        title: "WARNING in v4l_querycap",
+        kind: BugKind::Warning,
+        bug_type: "Logic Error",
+        component: Component::KernelDriver,
+    },
+];
+
+/// Strips the access-direction qualifier KASAN headlines sometimes carry
+/// (`slab-use-after-free Read in …` vs `slab-use-after-free in …`).
+fn normalize(title: &str) -> String {
+    title.replace(" Read in ", " in ").replace(" Write in ", " in ")
+}
+
+/// Matches a crash report against the catalog by headline (titles are
+/// stable dedup keys; matching is tolerant of the `Read`/`Write`
+/// qualifier KASAN adds).
+pub fn identify(report: &BugReport) -> Option<&'static KnownBug> {
+    let norm = normalize(&report.title);
+    BUG_CATALOG.iter().find(|kb| normalize(kb.title) == norm)
+}
+
+/// Bugs the catalog places on `device_id`.
+pub fn bugs_on(device_id: &str) -> Vec<&'static KnownBug> {
+    BUG_CATALOG.iter().filter(|kb| kb.device == device_id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_twelve_unique_ids() {
+        let mut ids: Vec<u8> = BUG_CATALOG.iter().map(|b| b.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, (1..=12).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn component_split_matches_paper() {
+        let hal = BUG_CATALOG.iter().filter(|b| b.component == Component::Hal).count();
+        let kernel = BUG_CATALOG.len() - hal;
+        // §V-B: "3 bugs triggered crashes in the HAL layer, whereas the
+        // other 9 bugs were found in the kernel".
+        assert_eq!(hal, 3);
+        assert_eq!(kernel, 9);
+    }
+
+    #[test]
+    fn identify_matches_kasan_title_with_read_qualifier() {
+        let report = BugReport::at_site(
+            BugKind::KasanUseAfterFree,
+            "bt_accept_unlink",
+            Component::KernelDriver,
+        );
+        // at_site produces "KASAN: slab-use-after-free in bt_accept_unlink"
+        // while the catalog says "... Read in ..." — identify() tolerates it.
+        let found = identify(&report);
+        assert_eq!(found.map(|b| b.id), Some(BugId(11)));
+    }
+
+    #[test]
+    fn bugs_on_groups_by_device() {
+        assert_eq!(bugs_on("A1").len(), 4);
+        assert_eq!(bugs_on("A2").len(), 3);
+        assert_eq!(bugs_on("E").len(), 1);
+        assert!(bugs_on("Z").is_empty());
+    }
+}

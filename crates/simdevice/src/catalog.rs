@@ -1,0 +1,201 @@
+//! The seven-device catalog of Table I, with each device's Table II bugs
+//! armed in its firmware.
+
+use crate::firmware::{Arch, BugSet, DeviceMeta, DriverKind, FirmwareSpec, ServiceKind};
+
+fn meta(id: &str, name: &str, vendor: &str, arch: Arch, aosp: u32, kernel: &str) -> DeviceMeta {
+    DeviceMeta {
+        id: id.into(),
+        name: name.into(),
+        vendor: vendor.into(),
+        arch,
+        aosp,
+        kernel: kernel.into(),
+    }
+}
+
+fn without(all: &[DriverKind], drop: &[DriverKind]) -> Vec<DriverKind> {
+    all.iter().copied().filter(|d| !drop.contains(d)).collect()
+}
+
+fn services_for(drivers: &[DriverKind]) -> Vec<ServiceKind> {
+    ServiceKind::all()
+        .iter()
+        .copied()
+        .filter(|s| s.required_drivers().iter().all(|d| drivers.contains(d)))
+        .collect()
+}
+
+/// A1 — Xiaomi Phone Dev Board (bugs №1–№4).
+pub fn device_a1() -> FirmwareSpec {
+    let drivers = DriverKind::all().to_vec();
+    let services = services_for(&drivers);
+    FirmwareSpec {
+        meta: meta("A1", "Phone Dev Board", "Xiaomi", Arch::Aarch64, 15, "6.6"),
+        drivers,
+        services,
+        bugs: BugSet {
+            tcpc_probe_warn: true,
+            graphics_crash: true,
+            gpu_subclass_bug: true,
+            tcpc_pr_swap_warn: true,
+            ..Default::default()
+        },
+    }
+}
+
+/// A2 — Xiaomi Tablet Dev Board (bugs №5–№7).
+pub fn device_a2() -> FirmwareSpec {
+    let drivers = DriverKind::all().to_vec();
+    let services = services_for(&drivers);
+    FirmwareSpec {
+        meta: meta("A2", "Tablet Dev Board", "Xiaomi", Arch::Aarch64, 15, "6.6"),
+        drivers,
+        services,
+        bugs: BugSet {
+            sensor_lockup: true,
+            media_crash: true,
+            hci_codecs_kasan: true,
+            ..Default::default()
+        },
+    }
+}
+
+/// B — Raspberry Pi 5 (bug №8).
+pub fn device_b() -> FirmwareSpec {
+    let drivers = without(DriverKind::all(), &[DriverKind::Tcpc, DriverKind::SensorHub]);
+    let services = services_for(&drivers);
+    FirmwareSpec {
+        meta: meta("B", "Pi 5", "Raspberry Pi", Arch::Aarch64, 15, "6.1"),
+        drivers,
+        services,
+        bugs: BugSet { l2cap_disconn_warn: true, ..Default::default() },
+    }
+}
+
+/// C1 — Sunmi Commercial Tablet (bug №9).
+pub fn device_c1() -> FirmwareSpec {
+    let drivers = without(DriverKind::all(), &[DriverKind::SensorHub]);
+    let services = services_for(&drivers);
+    FirmwareSpec {
+        meta: meta("C1", "Commercial Tablet", "Sunmi", Arch::Aarch64, 13, "5.15"),
+        drivers,
+        services,
+        bugs: BugSet { camera_crash: true, ..Default::default() },
+    }
+}
+
+/// C2 — Sunmi Cashier Kiosk (bug №10).
+pub fn device_c2() -> FirmwareSpec {
+    let drivers = without(DriverKind::all(), &[DriverKind::Vcodec, DriverKind::SensorHub]);
+    let services = services_for(&drivers);
+    FirmwareSpec {
+        meta: meta("C2", "Cashier Kiosk", "Sunmi", Arch::Aarch64, 13, "5.15"),
+        drivers,
+        services,
+        bugs: BugSet { rate_init_warn: true, ..Default::default() },
+    }
+}
+
+/// D — EmbedFire LubanCat 5 (bug №11).
+pub fn device_d() -> FirmwareSpec {
+    let drivers = without(DriverKind::all(), &[DriverKind::Tcpc]);
+    let services = services_for(&drivers);
+    FirmwareSpec {
+        meta: meta("D", "LubanCat 5", "EmbedFire", Arch::Aarch64, 13, "5.10"),
+        drivers,
+        services,
+        bugs: BugSet { accept_unlink_uaf: true, ..Default::default() },
+    }
+}
+
+/// E — AAEON UP Core Plus (bug №12).
+pub fn device_e() -> FirmwareSpec {
+    let drivers = without(DriverKind::all(), &[DriverKind::SensorHub]);
+    let services = services_for(&drivers);
+    FirmwareSpec {
+        meta: meta("E", "UP Core Plus", "AAEON", Arch::Amd64, 13, "5.10"),
+        drivers,
+        services,
+        bugs: BugSet { querycap_warn: true, ..Default::default() },
+    }
+}
+
+/// All seven Table I devices, in paper order.
+pub fn all_devices() -> Vec<FirmwareSpec> {
+    vec![
+        device_a1(),
+        device_a2(),
+        device_b(),
+        device_c1(),
+        device_c2(),
+        device_d(),
+        device_e(),
+    ]
+}
+
+/// Looks up a device spec by its Table I id ("A1" … "E").
+pub fn by_id(id: &str) -> Option<FirmwareSpec> {
+    all_devices().into_iter().find(|d| d.meta.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_devices_all_valid() {
+        let devices = all_devices();
+        assert_eq!(devices.len(), 7);
+        for spec in &devices {
+            assert!(spec.validate().is_ok(), "{} invalid", spec.meta.id);
+        }
+    }
+
+    #[test]
+    fn every_table_ii_bug_is_armed_exactly_once_across_the_fleet() {
+        let mut armed: Vec<u8> = all_devices()
+            .iter()
+            .flat_map(|d| d.bugs.armed_ids())
+            .collect();
+        armed.sort_unstable();
+        assert_eq!(armed, (1..=12).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn bug_device_assignment_matches_table_ii() {
+        assert_eq!(device_a1().bugs.armed_ids(), vec![1, 2, 3, 4]);
+        assert_eq!(device_a2().bugs.armed_ids(), vec![5, 6, 7]);
+        assert_eq!(device_b().bugs.armed_ids(), vec![8]);
+        assert_eq!(device_c1().bugs.armed_ids(), vec![9]);
+        assert_eq!(device_c2().bugs.armed_ids(), vec![10]);
+        assert_eq!(device_d().bugs.armed_ids(), vec![11]);
+        assert_eq!(device_e().bugs.armed_ids(), vec![12]);
+    }
+
+    #[test]
+    fn by_id_resolves_and_rejects() {
+        assert_eq!(by_id("C2").unwrap().meta.vendor, "Sunmi");
+        assert!(by_id("Z9").is_none());
+    }
+
+    #[test]
+    fn metadata_matches_table_i() {
+        let e = device_e();
+        assert_eq!(e.meta.arch, Arch::Amd64);
+        assert_eq!(e.meta.aosp, 13);
+        assert_eq!(device_a1().meta.kernel, "6.6");
+        assert_eq!(device_c1().meta.kernel, "5.15");
+    }
+
+    #[test]
+    fn services_never_lack_their_drivers() {
+        for spec in all_devices() {
+            for svc in &spec.services {
+                for drv in svc.required_drivers() {
+                    assert!(spec.drivers.contains(drv));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Firmware specifications: which drivers, HAL services, and injected bugs
+//! a device image ships with.
+
+use std::fmt;
+
+/// CPU architecture (Table I's `Arch.` column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// 64-bit Arm.
+    Aarch64,
+    /// 64-bit x86.
+    Amd64,
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arch::Aarch64 => f.write_str("aarch64"),
+            Arch::Amd64 => f.write_str("amd64"),
+        }
+    }
+}
+
+/// Device identity metadata (Table I row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceMeta {
+    /// Short id used throughout the paper ("A1", "B", …).
+    pub id: String,
+    /// Product name.
+    pub name: String,
+    /// Hardware vendor.
+    pub vendor: String,
+    /// CPU architecture.
+    pub arch: Arch,
+    /// AOSP major version.
+    pub aosp: u32,
+    /// Kernel version string.
+    pub kernel: String,
+}
+
+/// A kernel driver a firmware image can ship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriverKind {
+    /// USB Type-C port controller.
+    Tcpc,
+    /// Vendor sensor hub.
+    SensorHub,
+    /// mac80211-style wireless.
+    Wlan,
+    /// V4L2 camera.
+    V4l2,
+    /// ION allocator.
+    Ion,
+    /// GPU.
+    Gpu,
+    /// DRM display.
+    Drm,
+    /// Video codec.
+    Vcodec,
+    /// PCM audio.
+    Pcm,
+    /// I²C adapter.
+    I2c,
+    /// evdev input.
+    Input,
+    /// Thermal zones.
+    Thermal,
+    /// LED bank.
+    Leds,
+}
+
+impl DriverKind {
+    /// Every driver kind, for building full-featured firmwares.
+    pub fn all() -> &'static [DriverKind] {
+        use DriverKind::*;
+        &[Tcpc, SensorHub, Wlan, V4l2, Ion, Gpu, Drm, Vcodec, Pcm, I2c, Input, Thermal, Leds]
+    }
+}
+
+/// A HAL service a firmware image can ship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceKind {
+    /// Graphics composer.
+    Graphics,
+    /// Media codec.
+    Media,
+    /// Camera provider.
+    Camera,
+    /// Audio devices factory.
+    Audio,
+    /// Sensors.
+    Sensors,
+    /// Bluetooth HCI.
+    Bluetooth,
+    /// Wi-Fi.
+    Wifi,
+    /// Lights.
+    Lights,
+    /// Power/thermal.
+    Power,
+    /// USB Type-C.
+    Usb,
+}
+
+impl ServiceKind {
+    /// Every service kind.
+    pub fn all() -> &'static [ServiceKind] {
+        use ServiceKind::*;
+        &[Graphics, Media, Camera, Audio, Sensors, Bluetooth, Wifi, Lights, Power, Usb]
+    }
+
+    /// The kernel drivers this service needs to function.
+    pub fn required_drivers(self) -> &'static [DriverKind] {
+        use DriverKind::*;
+        match self {
+            ServiceKind::Graphics => &[Drm, Ion, Gpu],
+            ServiceKind::Media => &[Vcodec],
+            ServiceKind::Camera => &[V4l2],
+            ServiceKind::Audio => &[Pcm],
+            ServiceKind::Sensors => &[SensorHub],
+            ServiceKind::Bluetooth => &[],
+            ServiceKind::Wifi => &[Wlan],
+            ServiceKind::Lights => &[Leds],
+            ServiceKind::Power => &[Thermal],
+            ServiceKind::Usb => &[Tcpc],
+        }
+    }
+}
+
+/// Which of Table II's twelve injected bugs this firmware arms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(clippy::struct_excessive_bools)]
+pub struct BugSet {
+    /// №1 — `WARNING in rt1711_i2c_probe` (tcpc).
+    pub tcpc_probe_warn: bool,
+    /// №2 — Graphics HAL native crash.
+    pub graphics_crash: bool,
+    /// №3 — lockdep invalid-subclass BUG (gpu import chain).
+    pub gpu_subclass_bug: bool,
+    /// №4 — `WARNING in tcpc_pr_swap`.
+    pub tcpc_pr_swap_warn: bool,
+    /// №5 — sensor-hub calibration soft lockup.
+    pub sensor_lockup: bool,
+    /// №6 — Media HAL native crash.
+    pub media_crash: bool,
+    /// №7 — `KASAN: invalid-access in hci_read_supported_codecs`.
+    pub hci_codecs_kasan: bool,
+    /// №8 — `WARNING in l2cap_send_disconn_req`.
+    pub l2cap_disconn_warn: bool,
+    /// №9 — Camera HAL native crash.
+    pub camera_crash: bool,
+    /// №10 — `WARNING in rate_control_rate_init`.
+    pub rate_init_warn: bool,
+    /// №11 — `KASAN: slab-use-after-free in bt_accept_unlink`.
+    pub accept_unlink_uaf: bool,
+    /// №12 — `WARNING in v4l_querycap`.
+    pub querycap_warn: bool,
+}
+
+impl BugSet {
+    /// Table II bug numbers this set arms, ascending.
+    pub fn armed_ids(&self) -> Vec<u8> {
+        let flags = [
+            self.tcpc_probe_warn,
+            self.graphics_crash,
+            self.gpu_subclass_bug,
+            self.tcpc_pr_swap_warn,
+            self.sensor_lockup,
+            self.media_crash,
+            self.hci_codecs_kasan,
+            self.l2cap_disconn_warn,
+            self.camera_crash,
+            self.rate_init_warn,
+            self.accept_unlink_uaf,
+            self.querycap_warn,
+        ];
+        flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &armed)| armed.then_some(i as u8 + 1))
+            .collect()
+    }
+}
+
+/// A complete firmware image description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirmwareSpec {
+    /// Device identity.
+    pub meta: DeviceMeta,
+    /// Kernel drivers in the image.
+    pub drivers: Vec<DriverKind>,
+    /// HAL services in the image.
+    pub services: Vec<ServiceKind>,
+    /// Injected bugs armed.
+    pub bugs: BugSet,
+}
+
+impl FirmwareSpec {
+    /// Boots a device from this spec. Convenience for
+    /// [`crate::Device::boot`].
+    pub fn boot(self) -> crate::Device {
+        crate::Device::boot(self)
+    }
+
+    /// Validates that every service's required drivers are present.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first `(service, missing driver)` pair found.
+    pub fn validate(&self) -> Result<(), (ServiceKind, DriverKind)> {
+        for &svc in &self.services {
+            for &drv in svc.required_drivers() {
+                if !self.drivers.contains(&drv) {
+                    return Err((svc, drv));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_ids_map_to_table_ii_numbers() {
+        let set = BugSet { tcpc_probe_warn: true, querycap_warn: true, ..Default::default() };
+        assert_eq!(set.armed_ids(), vec![1, 12]);
+        assert!(BugSet::default().armed_ids().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_missing_driver() {
+        let spec = FirmwareSpec {
+            meta: DeviceMeta {
+                id: "X".into(),
+                name: "x".into(),
+                vendor: "v".into(),
+                arch: Arch::Aarch64,
+                aosp: 15,
+                kernel: "6.6".into(),
+            },
+            drivers: vec![DriverKind::Leds],
+            services: vec![ServiceKind::Camera],
+            bugs: BugSet::default(),
+        };
+        assert_eq!(spec.validate(), Err((ServiceKind::Camera, DriverKind::V4l2)));
+    }
+
+    #[test]
+    fn all_lists_are_exhaustive_and_unique() {
+        assert_eq!(DriverKind::all().len(), 13);
+        assert_eq!(ServiceKind::all().len(), 10);
+        let mut drivers = DriverKind::all().to_vec();
+        drivers.dedup();
+        assert_eq!(drivers.len(), 13);
+    }
+}

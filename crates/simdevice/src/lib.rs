@@ -1,0 +1,26 @@
+//! # simdevice — simulated embedded Android devices
+//!
+//! Assembles [`simkernel`] and [`simhal`] into complete device models per a
+//! [`firmware::FirmwareSpec`], and ships the seven-device catalog of the
+//! DroidFuzz paper's Table I ([`catalog`]), each with its Table II bugs
+//! armed ([`bugs`]). The [`adb`] module models the Android Debug Bridge
+//! transport costs the host-side fuzzer pays per test case.
+//!
+//! ```
+//! use simdevice::catalog;
+//!
+//! let mut device = catalog::device_a1().boot();
+//! assert!(device.kernel().device_nodes().iter().any(|n| n == "/dev/tcpc0"));
+//! assert_eq!(device.spec().meta.id, "A1");
+//! ```
+
+pub mod adb;
+pub mod bugs;
+pub mod catalog;
+pub mod device;
+pub mod firmware;
+
+pub use adb::AdbLink;
+pub use bugs::{BugId, KnownBug, BUG_CATALOG};
+pub use device::Device;
+pub use firmware::{Arch, BugSet, DeviceMeta, DriverKind, FirmwareSpec, ServiceKind};

@@ -1,0 +1,384 @@
+//! The character-driver framework: the trait vendor drivers implement, the
+//! execution context handed to them, and the self-description metadata the
+//! fuzzer turns into syscall descriptions (standing in for syzkaller's
+//! hand-written syzlang files, which DroidFuzz borrows).
+
+use crate::coverage::{block_for, CoverageMap, KcovBuffer};
+use crate::errno::Errno;
+use crate::report::{BugKind, BugReport, BugSink, Component};
+
+/// Loop budget charged by [`DriverCtx::spin`]; exceeding it fires the
+/// soft-lockup watchdog, modelling `watchdog: BUG: soft lockup`.
+pub const WATCHDOG_BUDGET: u64 = 10_000;
+
+/// Execution context passed to driver entry points.
+///
+/// Carries the coverage recorders, the bug sink, and the watchdog budget for
+/// this syscall. Drivers report state fingerprints through [`hit`], raise
+/// injected defects through the `warn`/`kasan_*`/`bug_msg` helpers, and
+/// charge loop iterations through [`spin`].
+///
+/// [`hit`]: DriverCtx::hit
+/// [`spin`]: DriverCtx::spin
+#[derive(Debug)]
+pub struct DriverCtx<'a> {
+    /// Coverage-region base of the driver being executed.
+    base: u64,
+    /// Short driver name for watchdog reports.
+    driver: &'a str,
+    kcov: Option<&'a mut KcovBuffer>,
+    global: &'a mut CoverageMap,
+    bugs: &'a mut BugSink,
+    budget: u64,
+    /// Identity of the open file this call arrived through; lets drivers
+    /// keep per-open state.
+    pub open_id: u64,
+}
+
+impl<'a> DriverCtx<'a> {
+    /// Builds a context. Used by the kernel dispatcher and by tests that
+    /// poke drivers directly.
+    pub fn new(
+        base: u64,
+        driver: &'a str,
+        kcov: Option<&'a mut KcovBuffer>,
+        global: &'a mut CoverageMap,
+        bugs: &'a mut BugSink,
+        open_id: u64,
+    ) -> Self {
+        Self {
+            base,
+            driver,
+            kcov,
+            global,
+            bugs,
+            budget: WATCHDOG_BUDGET,
+            open_id,
+        }
+    }
+
+    /// Records the basic block identified by the state fingerprint `parts`
+    /// (operation code, state-machine fields, branch tags, …).
+    pub fn hit(&mut self, parts: &[u64]) {
+        self.hit_raw(block_for(self.base, parts));
+    }
+
+    /// Records a *path* of `weight` related blocks for the state
+    /// fingerprint `parts`. Deep, state-gated driver paths execute many
+    /// basic blocks; shallow queries and error returns execute few — this
+    /// is what makes kernel coverage reward stateful exploration over
+    /// argument spraying.
+    pub fn hit_path(&mut self, weight: u64, parts: &[u64]) {
+        for i in 0..weight.max(1) {
+            let mut fp = Vec::with_capacity(parts.len() + 1);
+            fp.extend_from_slice(parts);
+            fp.push(0xBB00 + i);
+            self.hit(&fp);
+        }
+    }
+
+    /// Records a precomputed block (for stacks like Bluetooth that span
+    /// multiple coverage regions and compute their own blocks).
+    pub fn hit_raw(&mut self, block: crate::coverage::Block) {
+        if let Some(kcov) = self.kcov.as_deref_mut() {
+            kcov.record(block);
+        }
+        self.global.insert(block);
+    }
+
+    /// Raises a `WARNING in <site>` report (recoverable logic error).
+    pub fn warn(&mut self, site: &str) {
+        self.bugs
+            .push(BugReport::at_site(BugKind::Warning, site, Component::KernelDriver));
+    }
+
+    /// Raises a `WARNING in <site>` attributed to a shared kernel subsystem.
+    pub fn warn_subsystem(&mut self, site: &str) {
+        self.bugs.push(BugReport::at_site(
+            BugKind::Warning,
+            site,
+            Component::KernelSubsystem,
+        ));
+    }
+
+    /// Raises a verbatim `BUG:`-style report attributed to a subsystem.
+    pub fn bug_msg(&mut self, title: &str) {
+        self.bugs.push(BugReport::with_title(
+            BugKind::Bug,
+            title,
+            Component::KernelSubsystem,
+        ));
+    }
+
+    /// Raises `KASAN: slab-use-after-free Read in <site>`.
+    pub fn kasan_uaf(&mut self, site: &str) {
+        self.bugs.push(BugReport::at_site(
+            BugKind::KasanUseAfterFree,
+            site,
+            Component::KernelDriver,
+        ));
+    }
+
+    /// Raises `KASAN: invalid-access in <site>`.
+    pub fn kasan_invalid(&mut self, site: &str) {
+        self.bugs.push(BugReport::at_site(
+            BugKind::KasanInvalidAccess,
+            site,
+            Component::KernelDriver,
+        ));
+    }
+
+    /// Charges `n` loop iterations against the watchdog budget. Returns
+    /// `false` — after raising a soft-lockup report — once the budget is
+    /// exhausted; the driver must then bail out of its loop.
+    pub fn spin(&mut self, n: u64) -> bool {
+        if self.budget <= n {
+            self.budget = 0;
+            self.bugs.push(BugReport::with_title(
+                BugKind::SoftLockup,
+                format!("Infinite Loop in driver {}", self.driver),
+                Component::KernelDriver,
+            ));
+            false
+        } else {
+            self.budget -= n;
+            true
+        }
+    }
+
+    /// Remaining watchdog budget (mostly for tests).
+    pub fn budget_left(&self) -> u64 {
+        self.budget
+    }
+}
+
+/// Result of a successful `ioctl`: a scalar or an out-buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoctlOut {
+    /// Scalar return (often 0).
+    Val(u64),
+    /// Data copied back to userspace.
+    Out(Vec<u8>),
+}
+
+/// A character device driver bound to a devfs node.
+///
+/// All entry points receive a [`DriverCtx`] for coverage/bug reporting.
+/// Default implementations return `EOPNOTSUPP`/`ENOTTY` like a real driver
+/// with unimplemented file operations.
+pub trait CharDevice: Send {
+    /// Short driver name (e.g. `"tcpc"`), used in logs and per-driver
+    /// coverage accounting.
+    fn name(&self) -> &str;
+
+    /// The `/dev/...` node this driver is mounted at.
+    fn node(&self) -> String;
+
+    /// Machine-readable interface description, the stand-in for the
+    /// syzlang descriptions DroidFuzz borrows from syzkaller.
+    fn api(&self) -> DriverApi;
+
+    /// `open(2)` on the node. `ctx.open_id` identifies the new open file.
+    fn open(&mut self, ctx: &mut DriverCtx<'_>) -> Result<(), Errno> {
+        ctx.hit(&[0x10]);
+        Ok(())
+    }
+
+    /// Last close of an open file.
+    fn release(&mut self, ctx: &mut DriverCtx<'_>) {
+        ctx.hit(&[0x11]);
+    }
+
+    /// `read(2)`.
+    fn read(&mut self, ctx: &mut DriverCtx<'_>, len: usize) -> Result<Vec<u8>, Errno> {
+        let _ = (ctx, len);
+        Err(Errno::EOPNOTSUPP)
+    }
+
+    /// `write(2)`.
+    fn write(&mut self, ctx: &mut DriverCtx<'_>, data: &[u8]) -> Result<usize, Errno> {
+        let _ = (ctx, data);
+        Err(Errno::EOPNOTSUPP)
+    }
+
+    /// `ioctl(2)`.
+    fn ioctl(
+        &mut self,
+        ctx: &mut DriverCtx<'_>,
+        request: u32,
+        arg: &[u8],
+    ) -> Result<IoctlOut, Errno> {
+        let _ = (ctx, request, arg);
+        Err(Errno::ENOTTY)
+    }
+
+    /// `mmap(2)`.
+    fn mmap(&mut self, ctx: &mut DriverCtx<'_>, len: usize, prot: u32) -> Result<(), Errno> {
+        let _ = (ctx, len, prot);
+        Err(Errno::ENODEV)
+    }
+
+    /// `poll(2)`; returns the ready-event mask.
+    fn poll(&mut self, ctx: &mut DriverCtx<'_>, events: u32) -> Result<u32, Errno> {
+        ctx.hit(&[0x12, u64::from(events)]);
+        Ok(0)
+    }
+}
+
+/// Shape of one 32-bit word inside an ioctl argument structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordShape {
+    /// Any value in `[min, max]`.
+    Range {
+        /// Inclusive lower bound.
+        min: u32,
+        /// Inclusive upper bound.
+        max: u32,
+    },
+    /// One of an enumerated set of meaningful values.
+    Choice(Vec<u32>),
+    /// A bitwise OR of a subset of these flags.
+    Flags(Vec<u32>),
+    /// Uninterpreted word.
+    Any,
+}
+
+/// Description of one ioctl command: name, request code, and the word-wise
+/// shape of its argument structure (arguments here are sequences of
+/// little-endian `u32` words, optionally followed by a raw byte payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoctlDesc {
+    /// Symbolic command name (e.g. `"VIDIOC_S_FMT"`).
+    pub name: String,
+    /// Request code passed as the `ioctl` second argument.
+    pub request: u32,
+    /// Shapes of the leading argument words.
+    pub words: Vec<WordShape>,
+    /// Maximum trailing payload bytes (0 = none).
+    pub trailing_bytes: usize,
+}
+
+impl IoctlDesc {
+    /// Convenience constructor for an ioctl without argument payload.
+    pub fn bare(name: &str, request: u32) -> Self {
+        Self {
+            name: name.to_owned(),
+            request,
+            words: Vec::new(),
+            trailing_bytes: 0,
+        }
+    }
+
+    /// Convenience constructor for an ioctl taking `words` and no blob.
+    pub fn with_words(name: &str, request: u32, words: Vec<WordShape>) -> Self {
+        Self {
+            name: name.to_owned(),
+            request,
+            words,
+            trailing_bytes: 0,
+        }
+    }
+}
+
+/// Self-description of a driver's syscall surface.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DriverApi {
+    /// Supported ioctl commands.
+    pub ioctls: Vec<IoctlDesc>,
+    /// Whether `read(2)` does something useful.
+    pub supports_read: bool,
+    /// Whether `write(2)` does something useful.
+    pub supports_write: bool,
+    /// Whether `mmap(2)` does something useful.
+    pub supports_mmap: bool,
+    /// Whether this is a proprietary vendor driver. Upstream interfaces
+    /// (V4L2, DRM, ALSA, evdev, …) have public syzlang descriptions;
+    /// vendor drivers do not — a syscall fuzzer only sees an opaque
+    /// ioctl surface for them, while their interface knowledge lives in
+    /// the (closed-source) HAL. This asymmetry is the core premise of
+    /// the DroidFuzz paper.
+    pub vendor: bool,
+}
+
+/// Reads little-endian word `i` of an ioctl argument, 0 when out of range
+/// (mirrors a kernel copying a short user buffer padded with zeroes).
+pub fn word(arg: &[u8], i: usize) -> u32 {
+    let off = i * 4;
+    if off + 4 <= arg.len() {
+        u32::from_le_bytes([arg[off], arg[off + 1], arg[off + 2], arg[off + 3]])
+    } else if off < arg.len() {
+        let mut buf = [0u8; 4];
+        buf[..arg.len() - off].copy_from_slice(&arg[off..]);
+        u32::from_le_bytes(buf)
+    } else {
+        0
+    }
+}
+
+/// Encodes words into a little-endian byte buffer (the inverse of [`word`]).
+pub fn encode_words(words: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_decoding_handles_short_buffers() {
+        let buf = encode_words(&[0xdead_beef, 0x1234_5678]);
+        assert_eq!(word(&buf, 0), 0xdead_beef);
+        assert_eq!(word(&buf, 1), 0x1234_5678);
+        assert_eq!(word(&buf, 2), 0);
+        assert_eq!(word(&buf[..6], 1), 0x5678);
+    }
+
+    #[test]
+    fn ctx_hit_records_to_kcov_and_global() {
+        let mut kcov = KcovBuffer::new();
+        kcov.enable();
+        let mut global = CoverageMap::new();
+        let mut bugs = BugSink::new();
+        let mut ctx = DriverCtx::new(0x100, "t", Some(&mut kcov), &mut global, &mut bugs, 1);
+        ctx.hit(&[1, 2]);
+        ctx.hit(&[1, 2]);
+        ctx.hit(&[3]);
+        assert_eq!(kcov.len(), 3, "kcov keeps duplicates");
+        assert_eq!(global.len(), 2, "global map deduplicates");
+    }
+
+    #[test]
+    fn ctx_spin_fires_watchdog_once_budget_exhausted() {
+        let mut global = CoverageMap::new();
+        let mut bugs = BugSink::new();
+        let mut ctx = DriverCtx::new(0, "sensorhub", None, &mut global, &mut bugs, 1);
+        assert!(ctx.spin(WATCHDOG_BUDGET - 1));
+        assert!(!ctx.spin(10));
+        let reports = bugs.take();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, BugKind::SoftLockup);
+        assert!(reports[0].title.contains("sensorhub"));
+    }
+
+    #[test]
+    fn ctx_bug_helpers_classify_components() {
+        let mut global = CoverageMap::new();
+        let mut bugs = BugSink::new();
+        let mut ctx = DriverCtx::new(0, "d", None, &mut global, &mut bugs, 1);
+        ctx.warn("a");
+        ctx.warn_subsystem("b");
+        ctx.kasan_uaf("c");
+        ctx.kasan_invalid("d");
+        ctx.bug_msg("BUG: looking up invalid subclass: 8");
+        let reports = bugs.take();
+        assert_eq!(reports[0].component, Component::KernelDriver);
+        assert_eq!(reports[1].component, Component::KernelSubsystem);
+        assert_eq!(reports[2].kind, BugKind::KasanUseAfterFree);
+        assert_eq!(reports[3].kind, BugKind::KasanInvalidAccess);
+        assert_eq!(reports[4].kind, BugKind::Bug);
+    }
+}

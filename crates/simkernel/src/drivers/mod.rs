@@ -1,0 +1,21 @@
+//! Vendor driver implementations.
+//!
+//! Each driver is a stateful state machine that emits coverage blocks
+//! derived from its state (see [`crate::coverage`]) and carries the
+//! injected, state-gated defects of the paper's Table II. Which defects are
+//! *armed* is decided per device by the firmware spec (`simdevice` crate).
+
+pub mod audio;
+pub mod bt;
+pub mod drm;
+pub mod gpu;
+pub mod i2c;
+pub mod input;
+pub mod ion;
+pub mod leds;
+pub mod sensorhub;
+pub mod tcpc;
+pub mod thermal;
+pub mod v4l2;
+pub mod vcodec;
+pub mod wlan;

@@ -1,0 +1,132 @@
+//! Kernel error numbers, mirroring the subset of Linux `errno` values that
+//! device drivers commonly return.
+
+use std::fmt;
+
+/// A Linux-style error number returned by a failing system call.
+///
+/// The discriminants match the canonical Linux values so that logs read
+/// naturally next to real kernel traces.
+///
+/// ```
+/// use simkernel::Errno;
+/// assert_eq!(Errno::EINVAL.code(), 22);
+/// assert_eq!(Errno::EINVAL.to_string(), "EINVAL");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// Interrupted system call.
+    EINTR = 4,
+    /// I/O error.
+    EIO = 5,
+    /// No such device or address.
+    ENXIO = 6,
+    /// Bad file descriptor.
+    EBADF = 9,
+    /// Try again.
+    EAGAIN = 11,
+    /// Out of memory.
+    ENOMEM = 12,
+    /// Permission denied.
+    EACCES = 13,
+    /// Bad address.
+    EFAULT = 14,
+    /// Device or resource busy.
+    EBUSY = 16,
+    /// File exists.
+    EEXIST = 17,
+    /// No such device.
+    ENODEV = 19,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// Too many open files.
+    EMFILE = 24,
+    /// Inappropriate ioctl for device.
+    ENOTTY = 25,
+    /// No space left on device.
+    ENOSPC = 28,
+    /// Broken pipe.
+    EPIPE = 32,
+    /// Protocol not supported.
+    EPROTONOSUPPORT = 93,
+    /// Operation not supported.
+    EOPNOTSUPP = 95,
+    /// Address already in use.
+    EADDRINUSE = 98,
+    /// Connection reset by peer.
+    ECONNRESET = 104,
+    /// Transport endpoint is not connected.
+    ENOTCONN = 107,
+    /// Connection refused.
+    ECONNREFUSED = 111,
+    /// Operation already in progress.
+    EALREADY = 114,
+    /// Operation now in progress.
+    EINPROGRESS = 115,
+}
+
+impl Errno {
+    /// The numeric errno value as found in the Linux uapi headers.
+    pub fn code(self) -> u32 {
+        self as u32
+    }
+
+    /// All errno values this simulation can produce, useful for exhaustive
+    /// table construction in fuzzer feedback code.
+    pub fn all() -> &'static [Errno] {
+        use Errno::*;
+        &[
+            EPERM, ENOENT, EINTR, EIO, ENXIO, EBADF, EAGAIN, ENOMEM, EACCES, EFAULT, EBUSY,
+            EEXIST, ENODEV, EINVAL, EMFILE, ENOTTY, ENOSPC, EPIPE, EPROTONOSUPPORT, EOPNOTSUPP,
+            EADDRINUSE, ECONNRESET, ENOTCONN, ECONNREFUSED, EALREADY, EINPROGRESS,
+        ]
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_linux_uapi() {
+        assert_eq!(Errno::EPERM.code(), 1);
+        assert_eq!(Errno::ENOENT.code(), 2);
+        assert_eq!(Errno::EBADF.code(), 9);
+        assert_eq!(Errno::EINVAL.code(), 22);
+        assert_eq!(Errno::ENOTTY.code(), 25);
+        assert_eq!(Errno::EOPNOTSUPP.code(), 95);
+    }
+
+    #[test]
+    fn all_is_deduplicated() {
+        let all = Errno::all();
+        let mut codes: Vec<u32> = all.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn display_matches_symbol() {
+        assert_eq!(Errno::ENODEV.to_string(), "ENODEV");
+    }
+
+    #[test]
+    fn errno_is_error_trait() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Errno>();
+    }
+}

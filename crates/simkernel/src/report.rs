@@ -1,0 +1,223 @@
+//! Kernel bug reports: the simulated analogue of WARNING/BUG/KASAN splats
+//! and soft-lockup watchdog messages appearing in the device's kernel log.
+
+use std::fmt;
+
+/// The class of a detected kernel (or HAL) bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugKind {
+    /// `WARN_ON`-style recoverable logic error.
+    Warning,
+    /// `BUG()`-style unrecoverable logic error.
+    Bug,
+    /// KASAN slab-use-after-free.
+    KasanUseAfterFree,
+    /// KASAN invalid memory access (wild read/write).
+    KasanInvalidAccess,
+    /// Soft lockup reported by the watchdog (infinite loop in the driver).
+    SoftLockup,
+    /// Full kernel panic.
+    Panic,
+    /// Userspace native crash (HAL process received SIGSEGV/SIGABRT).
+    NativeCrash,
+}
+
+impl BugKind {
+    /// Whether this bug class corrupts or hangs the kernel badly enough
+    /// that the device must reboot before continuing (the paper reboots on
+    /// *any* bug, but dedup/repro logic needs to know severity).
+    pub fn is_fatal(self) -> bool {
+        matches!(
+            self,
+            BugKind::Bug | BugKind::KasanUseAfterFree | BugKind::KasanInvalidAccess
+                | BugKind::SoftLockup
+                | BugKind::Panic
+        )
+    }
+
+    /// Whether this is a memory-safety bug (the paper's "Memory Related
+    /// Bug" column) as opposed to a logic error.
+    pub fn is_memory_bug(self) -> bool {
+        matches!(
+            self,
+            BugKind::KasanUseAfterFree | BugKind::KasanInvalidAccess | BugKind::NativeCrash
+        )
+    }
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BugKind::Warning => "WARNING",
+            BugKind::Bug => "BUG",
+            BugKind::KasanUseAfterFree => "KASAN: slab-use-after-free",
+            BugKind::KasanInvalidAccess => "KASAN: invalid-access",
+            BugKind::SoftLockup => "watchdog: soft lockup",
+            BugKind::Panic => "Kernel panic",
+            BugKind::NativeCrash => "Native crash",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which layer of the Android stack the bug lives in (Table II's
+/// "Component" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// A vendor kernel driver.
+    KernelDriver,
+    /// A shared kernel subsystem (locking, net, …).
+    KernelSubsystem,
+    /// A userspace HAL service.
+    Hal,
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Component::KernelDriver => "Kernel Driver",
+            Component::KernelSubsystem => "Kernel Subsystem",
+            Component::Hal => "HAL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single bug occurrence, as the fuzzer's crash collector sees it.
+///
+/// `title` is the stable deduplication key (mirroring syzkaller's practice
+/// of keying reports by the crash headline); `log` carries the synthetic
+/// splat text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BugReport {
+    /// Bug class.
+    pub kind: BugKind,
+    /// Stable headline, e.g. `"WARNING in rt1711_i2c_probe"`.
+    pub title: String,
+    /// Stack layer the bug belongs to.
+    pub component: Component,
+    /// Synthetic kernel-log excerpt for the report.
+    pub log: String,
+}
+
+impl BugReport {
+    /// Builds a report with a standard headline format `"{kind} in {site}"`.
+    pub fn at_site(kind: BugKind, site: &str, component: Component) -> Self {
+        let title = format!("{kind} in {site}");
+        let log = format!(
+            "------------[ cut here ]------------\n{title}\nCall trace: {site}+0x1c4/0x2d8\n---[ end trace ]---"
+        );
+        Self {
+            kind,
+            title,
+            component,
+            log,
+        }
+    }
+
+    /// Builds a report with a verbatim headline (for `BUG:`-style messages
+    /// that do not follow the `in <site>` pattern).
+    pub fn with_title(kind: BugKind, title: impl Into<String>, component: Component) -> Self {
+        let title = title.into();
+        let log = format!("{title}\n(simulated splat)");
+        Self {
+            kind,
+            title,
+            component,
+            log,
+        }
+    }
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.title, self.component)
+    }
+}
+
+/// Collects bug reports raised while executing syscalls, and tracks whether
+/// the kernel is wedged (fatal bug seen) so the device knows it must reboot.
+#[derive(Debug, Clone, Default)]
+pub struct BugSink {
+    reports: Vec<BugReport>,
+    wedged: bool,
+}
+
+impl BugSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a bug report; fatal kinds wedge the kernel.
+    pub fn push(&mut self, report: BugReport) {
+        if report.kind.is_fatal() {
+            self.wedged = true;
+        }
+        self.reports.push(report);
+    }
+
+    /// Drains all accumulated reports.
+    pub fn take(&mut self) -> Vec<BugReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Whether a fatal bug has occurred since boot.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Number of pending (undrained) reports.
+    pub fn pending(&self) -> usize {
+        self.reports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warning_is_not_fatal_but_kasan_is() {
+        assert!(!BugKind::Warning.is_fatal());
+        assert!(BugKind::KasanUseAfterFree.is_fatal());
+        assert!(BugKind::SoftLockup.is_fatal());
+        assert!(!BugKind::NativeCrash.is_fatal());
+    }
+
+    #[test]
+    fn memory_bug_classification() {
+        assert!(BugKind::KasanInvalidAccess.is_memory_bug());
+        assert!(BugKind::NativeCrash.is_memory_bug());
+        assert!(!BugKind::Warning.is_memory_bug());
+        assert!(!BugKind::SoftLockup.is_memory_bug());
+    }
+
+    #[test]
+    fn at_site_formats_title_like_syzkaller() {
+        let r = BugReport::at_site(BugKind::Warning, "rt1711_i2c_probe", Component::KernelDriver);
+        assert_eq!(r.title, "WARNING in rt1711_i2c_probe");
+        assert!(r.log.contains("rt1711_i2c_probe"));
+    }
+
+    #[test]
+    fn sink_wedges_on_fatal() {
+        let mut sink = BugSink::new();
+        sink.push(BugReport::at_site(
+            BugKind::Warning,
+            "x",
+            Component::KernelDriver,
+        ));
+        assert!(!sink.is_wedged());
+        sink.push(BugReport::at_site(
+            BugKind::Panic,
+            "y",
+            Component::KernelSubsystem,
+        ));
+        assert!(sink.is_wedged());
+        assert_eq!(sink.take().len(), 2);
+        assert_eq!(sink.pending(), 0);
+        // wedged persists after draining reports
+        assert!(sink.is_wedged());
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation mini-study on one device: run all six fuzzer variants side by
+//! side and print coverage, executions, and bugs — a small-scale version
+//! of the paper's §V-C/§V-D analysis.
+//!
+//! ```sh
+//! cargo run --release --example ablation [device-id] [virtual-hours]
+//! ```
+
+use droidfuzz_repro::droidfuzz::{FuzzerConfig, FuzzingEngine};
+use droidfuzz_repro::simdevice::catalog;
+use std::sync::Mutex;
+
+fn main() {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "A1".into());
+    let hours: f64 = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12.0);
+    let spec = catalog::by_id(&id).unwrap_or_else(|| {
+        eprintln!("unknown device id {id}");
+        std::process::exit(1);
+    });
+    type Make = fn(u64) -> FuzzerConfig;
+    let variants: Vec<Make> = vec![
+        FuzzerConfig::droidfuzz,
+        FuzzerConfig::droidfuzz_norel,
+        FuzzerConfig::droidfuzz_nohcov,
+        FuzzerConfig::droidfuzz_d,
+        FuzzerConfig::syzkaller,
+        FuzzerConfig::difuze,
+    ];
+    println!("device {id}, {hours} virtual hours per variant\n");
+    let rows = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (i, make) in variants.iter().enumerate() {
+            let rows = &rows;
+            let spec = spec.clone();
+            let make = *make;
+            scope.spawn(move || {
+                let mut engine = FuzzingEngine::new(spec.boot(), make(3));
+                engine.run_for_virtual_hours(hours);
+                rows.lock().expect("no poisoning").push((
+                    i,
+                    make(3).variant.to_string(),
+                    engine.kernel_coverage(),
+                    engine.executions(),
+                    engine
+                        .crash_db()
+                        .records()
+                        .iter()
+                        .map(|r| r.title.clone())
+                        .collect::<Vec<_>>(),
+                ));
+            });
+        }
+    });
+    let mut rows = rows.into_inner().expect("no poisoning");
+    rows.sort_by_key(|(i, ..)| *i);
+    for (_, name, cov, execs, bugs) in rows {
+        println!("{name:<12} coverage={cov:<6} executions={execs:<7} bugs={bugs:?}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Bug hunt: run DroidFuzz on every Table I device until each device's
+//! catalog bugs are found (or a virtual-time budget runs out), printing
+//! crash reports with minimized reproducers as they appear.
+//!
+//! ```sh
+//! cargo run --release --example bug_hunt [virtual-hours-per-device]
+//! ```
+
+use droidfuzz_repro::droidfuzz::{FuzzerConfig, FuzzingEngine};
+use droidfuzz_repro::simdevice::bugs::{bugs_on, identify};
+use droidfuzz_repro::simdevice::catalog;
+use droidfuzz_repro::simkernel::report::BugReport;
+use std::sync::Mutex;
+
+fn main() {
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24.0);
+    let found = Mutex::new(0usize);
+    std::thread::scope(|scope| {
+        for spec in catalog::all_devices() {
+            let found = &found;
+            scope.spawn(move || {
+                let id = spec.meta.id.clone();
+                let expected = bugs_on(&id).len();
+                let mut engine = FuzzingEngine::new(spec.boot(), FuzzerConfig::droidfuzz(99));
+                let step_hours = 2.0;
+                let mut elapsed = 0.0;
+                while elapsed < hours && engine.crash_db().len() < expected {
+                    engine.run_for_virtual_hours(step_hours);
+                    elapsed += step_hours;
+                }
+                let mut lines = format!(
+                    "== {id}: {}/{expected} bugs in {elapsed:.0} virtual hours ==\n",
+                    engine.crash_db().len()
+                );
+                for crash in engine.crash_db().records() {
+                    let report =
+                        BugReport::with_title(crash.kind, crash.title.clone(), crash.component);
+                    let tag = identify(&report)
+                        .map_or("unlisted".to_owned(), |kb| format!("Table II #{}", kb.id.0));
+                    lines.push_str(&format!("  [{tag}] {} ({})\n", crash.title, crash.component));
+                }
+                *found.lock().expect("no poisoning") += engine.crash_db().len();
+                print!("{lines}");
+            });
+        }
+    });
+    println!("\ntotal distinct crashes across the fleet: {}", found.into_inner().unwrap());
+}

@@ -1,0 +1,48 @@
+//! Pre-testing HAL driver probing (paper §IV-B) on its own: enumerate a
+//! device's HAL services, trial every method, and print the extracted
+//! interfaces with their learned argument types and normalized-occurrence
+//! weights.
+//!
+//! ```sh
+//! cargo run --release --example hal_probe [device-id]
+//! ```
+
+use droidfuzz_repro::droidfuzz::probe::probe_device;
+use droidfuzz_repro::simdevice::catalog;
+
+fn main() {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "A1".into());
+    let spec = catalog::by_id(&id).unwrap_or_else(|| {
+        eprintln!("unknown device id {id}; use one of A1 A2 B C1 C2 D E");
+        std::process::exit(1);
+    });
+    let mut device = spec.boot();
+    println!("probing {} ({} services via lshal)\n", id, device.service_manager().len());
+    let report = probe_device(&mut device);
+    let mut current_service = String::new();
+    for m in &report.methods {
+        if m.service != current_service {
+            current_service = m.service.clone();
+            println!("{current_service}");
+        }
+        let args: Vec<String> = m.args.iter().map(|a| format!("{a:?}")).collect();
+        println!(
+            "  [{}] {}({}) weight={:.2}{}{}",
+            m.code,
+            m.method,
+            args.join(", "),
+            m.weight,
+            if m.produces_handle { " -> handle" } else { "" },
+            if m.kernel_events > 0 {
+                format!("  ({} kernel events observed)", m.kernel_events)
+            } else {
+                String::new()
+            },
+        );
+    }
+    println!(
+        "\nextracted {} interfaces; device rebooted to pristine state (boot #{})",
+        report.interface_count(),
+        device.boot_count()
+    );
+}

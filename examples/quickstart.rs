@@ -1,0 +1,54 @@
+//! Quickstart: fuzz one simulated embedded Android device for an hour of
+//! virtual time and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use droidfuzz_repro::droidfuzz::{FuzzerConfig, FuzzingEngine};
+use droidfuzz_repro::simdevice::catalog;
+
+fn main() {
+    // Boot the Xiaomi Phone Dev Board model (Table I, device A1) with its
+    // four Table II bugs armed in the firmware.
+    let device = catalog::device_a1().boot();
+    println!(
+        "booted {} {} (AOSP {}, kernel {})",
+        device.spec().meta.vendor,
+        device.spec().meta.name,
+        device.spec().meta.aosp,
+        device.spec().meta.kernel
+    );
+
+    // Full DroidFuzz: HAL probing + relational generation + cross-boundary
+    // feedback. The constructor runs the pre-testing probing pass.
+    let mut engine = FuzzingEngine::new(device, FuzzerConfig::droidfuzz(2024));
+    println!(
+        "probed {} HAL interfaces across {} services",
+        engine.probe_report().map_or(0, |r| r.interface_count()),
+        engine.probe_report().map_or(0, |r| r.services),
+    );
+
+    engine.run_for_virtual_hours(1.0);
+
+    println!(
+        "\nafter 1 virtual hour: {} executions, {} kernel blocks covered, {} corpus seeds, {} learned relations",
+        engine.executions(),
+        engine.kernel_coverage(),
+        engine.corpus().len(),
+        engine.relation_graph().edge_count(),
+    );
+    for crash in engine.crash_db().records() {
+        println!("crash: {} [{}] x{}", crash.title, crash.component, crash.count);
+        if let Some(repro) = &crash.repro {
+            println!("  reproducer:\n{}", indent(repro));
+        }
+    }
+    if engine.crash_db().is_empty() {
+        println!("no crashes yet — try more virtual hours (the deep bugs take longer)");
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}\n")).collect()
+}

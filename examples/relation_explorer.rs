@@ -1,0 +1,46 @@
+//! Relation explorer: fuzz a device briefly, then dump the learned
+//! kernel↔HAL relation graph (paper §IV-C) — the heaviest dependencies the
+//! fuzzer discovered between HAL interfaces and system calls.
+//!
+//! ```sh
+//! cargo run --release --example relation_explorer [device-id]
+//! ```
+
+use droidfuzz_repro::droidfuzz::{FuzzerConfig, FuzzingEngine};
+use droidfuzz_repro::simdevice::catalog;
+
+fn main() {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "A2".into());
+    let spec = catalog::by_id(&id).unwrap_or_else(|| {
+        eprintln!("unknown device id {id}");
+        std::process::exit(1);
+    });
+    let mut engine = FuzzingEngine::new(spec.boot(), FuzzerConfig::droidfuzz(5));
+    engine.run_for_virtual_hours(4.0);
+
+    let table = engine.desc_table();
+    let graph = engine.relation_graph();
+    println!(
+        "device {id}: {} vertices, {} learned edges after {} executions\n",
+        graph.vertex_count(),
+        graph.edge_count(),
+        engine.executions()
+    );
+    println!("the 25 heaviest learned relations (a → b, weight):");
+    for (a, b, w) in graph.top_edges(25) {
+        println!("  {:<40} → {:<40} {w:.3}", table.get(a).name, table.get(b).name);
+    }
+
+    // Cross-boundary edges are the interesting ones: HAL method on one
+    // side, raw syscall on the other.
+    let cross: Vec<_> = graph
+        .top_edges(usize::MAX)
+        .into_iter()
+        .filter(|(a, b, _)| table.get(*a).kind.is_hal() != table.get(*b).kind.is_hal())
+        .take(15)
+        .collect();
+    println!("\nheaviest cross-boundary (HAL ↔ syscall) relations:");
+    for (a, b, w) in cross {
+        println!("  {:<40} → {:<40} {w:.3}", table.get(a).name, table.get(b).name);
+    }
+}

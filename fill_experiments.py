@@ -1,0 +1,26 @@
+import re
+raw = open('experiments_raw.txt').read()
+sections = {}
+cur = None
+for line in raw.splitlines(keepends=True):
+    if line.startswith('### '):
+        cur = line[4:].split()[0]
+        sections[cur] = ''
+    elif cur:
+        sections[cur] += line
+mapping = {
+    '(TABLE1)': sections.get('table1','(missing)').strip(),
+    '(TABLE2)': sections.get('table2','(missing)').strip(),
+    '(TABLE3)': sections.get('table3','(missing)').strip(),
+    '(FIG4)': '\n'.join(
+        l for l in sections.get('fig4','(missing)').splitlines()
+        if not re.match(r'\s*[0-9]+\.[0-9]+,', l) and not l.strip().startswith('t(h)')
+    ).strip(),
+    '(FIG5)': sections.get('fig5','(missing)').strip(),
+    '(DRIVERCOV)': sections.get('driver_cov','(missing)').strip(),
+}
+doc = open('EXPERIMENTS.md').read()
+for k, v in mapping.items():
+    doc = doc.replace(k, v)
+open('EXPERIMENTS.md','w').write(doc)
+print('filled')

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Recorded-run scale (single core): reduced hours/repeats; see EXPERIMENTS.md.
+set -e
+B=./target/release
+{
+  echo "### table1"
+  $B/table1
+  echo "### table2 (DF_HOURS=48 DF_REPEATS=2)"
+  DF_HOURS=48 DF_REPEATS=2 $B/table2
+  echo "### table3 (DF_HOURS=12 DF_REPEATS=2)"
+  DF_HOURS=12 DF_REPEATS=2 $B/table3
+  echo "### fig4 (DF_HOURS=12 DF_REPEATS=2)"
+  DF_HOURS=12 DF_REPEATS=2 $B/fig4
+  echo "### fig5 (DF_HOURS=12 DF_REPEATS=2)"
+  DF_HOURS=12 DF_REPEATS=2 $B/fig5
+  echo "### driver_cov (DF_HOURS=12)"
+  DF_HOURS=12 $B/driver_cov
+} > experiments_raw.txt 2>&1
+echo EXPERIMENTS-DONE

@@ -1,0 +1,20 @@
+//! # droidfuzz-repro — umbrella crate
+//!
+//! Re-exports every crate of the DroidFuzz (DAC'25) reproduction workspace
+//! so the `examples/` and `tests/` at the repository root can use a single
+//! dependency. See the README for the architecture overview and
+//! `DESIGN.md` for the paper-to-module mapping.
+//!
+//! ```
+//! use droidfuzz_repro::simdevice::catalog;
+//!
+//! let devices = catalog::all_devices();
+//! assert_eq!(devices.len(), 7);
+//! ```
+
+pub use droidfuzz;
+pub use fuzzlang;
+pub use simbinder;
+pub use simdevice;
+pub use simhal;
+pub use simkernel;

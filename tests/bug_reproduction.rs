@@ -1,0 +1,204 @@
+//! Integration test: every Table II bug is reproducible with a hand-written
+//! DSL program executed through the full stack (descriptions → broker →
+//! device → kernel/HAL), on the device the paper found it on — and the
+//! same trigger is benign on devices that don't arm it.
+
+use droidfuzz_repro::droidfuzz::descs::build_syscall_table;
+use droidfuzz_repro::droidfuzz::exec::Broker;
+use droidfuzz_repro::droidfuzz::probe::{add_hal_descs, probe_device};
+use droidfuzz_repro::fuzzlang::desc::DescTable;
+use droidfuzz_repro::fuzzlang::prog::{ArgValue, Call, Prog};
+use droidfuzz_repro::simdevice::bugs::identify;
+use droidfuzz_repro::simdevice::{catalog, Device};
+
+fn setup(device_id: &str) -> (Device, DescTable, Broker) {
+    let mut device = catalog::by_id(device_id).expect("known device").boot();
+    let mut table = build_syscall_table(device.kernel());
+    let report = probe_device(&mut device);
+    add_hal_descs(&mut table, &report);
+    (device, table, Broker::new())
+}
+
+/// Builds a program from `(name, args)` pairs, panicking on unknown names.
+fn prog(table: &DescTable, calls: &[(&str, Vec<ArgValue>)]) -> Prog {
+    Prog {
+        calls: calls
+            .iter()
+            .map(|(name, args)| Call {
+                desc: table.id_of(name).unwrap_or_else(|| panic!("missing desc {name}")),
+                args: args.clone(),
+            })
+            .collect(),
+    }
+}
+
+fn int(v: u64) -> ArgValue {
+    ArgValue::Int(v)
+}
+
+fn assert_bug(device_id: &str, calls: &[(&str, Vec<ArgValue>)], expect_id: u8) {
+    let (mut device, table, mut broker) = setup(device_id);
+    let p = prog(&table, calls);
+    assert_eq!(p.validate(&table), Ok(()), "reproducer must be well-formed");
+    let outcome = broker.execute(&mut device, &table, &p);
+    let hit = outcome
+        .bugs
+        .iter()
+        .filter_map(identify)
+        .any(|kb| kb.id.0 == expect_id);
+    assert!(
+        hit,
+        "bug #{expect_id} should fire on {device_id}; got {:?}",
+        outcome.bugs.iter().map(|b| &b.title).collect::<Vec<_>>()
+    );
+}
+
+fn assert_benign(device_id: &str, calls: &[(&str, Vec<ArgValue>)]) {
+    let (mut device, table, mut broker) = setup(device_id);
+    let p = prog(&table, calls);
+    let outcome = broker.execute(&mut device, &table, &p);
+    assert!(
+        outcome.bugs.is_empty(),
+        "expected benign on {device_id}, got {:?}",
+        outcome.bugs.iter().map(|b| &b.title).collect::<Vec<_>>()
+    );
+}
+
+fn composer_layers(n: usize) -> Vec<(&'static str, Vec<ArgValue>)> {
+    let mut calls = vec![("hal$IComposer$init", vec![])];
+    for i in 0..n {
+        calls.push(("hal$IComposer$createLayer", vec![]));
+        calls.push((
+            "hal$IComposer$setLayerBuffer",
+            vec![ArgValue::Ref(1 + 2 * i), int(64)],
+        ));
+    }
+    calls
+}
+
+#[test]
+fn bug_01_rt1711_probe_after_i2c_error() {
+    let calls = [
+        ("hal$IUsb$writeVendorRegister", vec![int(16), int(0)]),
+        ("hal$IUsb$recoverController", vec![]),
+    ];
+    assert_bug("A1", &calls, 1);
+    // Same chip recovery on A2's firmware (bug not armed) is benign.
+    assert_benign("A2", &calls);
+}
+
+#[test]
+fn bug_02_graphics_hal_crash_on_detached_present() {
+    let mut calls = composer_layers(3);
+    calls.push(("hal$IComposer$detachBuffer", vec![ArgValue::Ref(1)]));
+    calls.push(("hal$IComposer$presentDisplay", vec![]));
+    assert_bug("A1", &calls, 2);
+    assert_benign("A2", &calls);
+}
+
+#[test]
+fn bug_03_lockdep_subclass_via_import_chain() {
+    let mut calls = composer_layers(4);
+    calls.push(("hal$IComposer$presentDisplay", vec![]));
+    assert_bug("A1", &calls, 3);
+    assert_benign("A2", &calls);
+}
+
+#[test]
+fn bug_04_pr_swap_while_unattached_with_vbus() {
+    let calls = [
+        ("hal$IUsb$overrideVbus", vec![int(1)]),
+        ("hal$IUsb$switchPowerRole", vec![]),
+    ];
+    assert_bug("A1", &calls, 4);
+    assert_benign("A2", &calls);
+}
+
+#[test]
+fn bug_05_sensor_calibration_lockup() {
+    let calls = [("hal$ISensors$calibrate", vec![int(2), int(0)])];
+    assert_bug("A2", &calls, 5);
+    assert_benign("A1", &calls);
+}
+
+#[test]
+fn bug_06_media_flush_while_draining() {
+    let calls = [
+        ("hal$IComponentStore$createComponent", vec![int(1)]),
+        ("hal$IComponentStore$configure", vec![int(1), int(1)]),
+        ("hal$IComponentStore$start", vec![]),
+        ("hal$IComponentStore$queueInput", vec![ArgValue::Bytes(vec![0u8; 16])]),
+        ("hal$IComponentStore$drain", vec![]),
+        ("hal$IComponentStore$flush", vec![]),
+    ];
+    assert_bug("A2", &calls, 6);
+    assert_benign("A1", &calls);
+}
+
+#[test]
+fn bug_07_hci_codecs_during_staged_init() {
+    let calls = [
+        ("hal$IBluetoothHci$enable", vec![int(1)]),
+        ("hal$IBluetoothHci$readSupportedCodecs", vec![]),
+    ];
+    assert_bug("A2", &calls, 7);
+    assert_benign("B", &calls);
+}
+
+#[test]
+fn bug_08_l2cap_disconn_on_connectionless_channel() {
+    // Native path — this is one of the two bugs syzkaller also finds.
+    let calls = [
+        ("socket$l2cap_dgram", vec![]),
+        ("connect$l2cap", vec![ArgValue::Ref(0), int(0x99)]),
+        ("ioctl$L2CAP_DISCONN_REQ", vec![ArgValue::Ref(0)]),
+    ];
+    assert_bug("B", &calls, 8);
+    assert_benign("E", &calls);
+}
+
+#[test]
+fn bug_09_camera_capture_after_teardown() {
+    let calls = [
+        ("hal$ICameraProvider$openSession", vec![]),
+        ("hal$ICameraProvider$closeSession", vec![]),
+        ("hal$ICameraProvider$processCaptureRequest", vec![]),
+    ];
+    assert_bug("C1", &calls, 9);
+    assert_benign("C2", &calls);
+}
+
+#[test]
+fn bug_10_rate_init_with_empty_rates() {
+    let calls = [
+        ("hal$IWifi$startScan", vec![]),
+        ("hal$IWifi$getScanResults", vec![]),
+        ("hal$IWifi$setSupportedRates", vec![int(0)]),
+        ("hal$IWifi$connect", vec![int(0)]),
+    ];
+    assert_bug("C2", &calls, 10);
+    assert_benign("C1", &calls);
+}
+
+#[test]
+fn bug_11_accept_unlink_use_after_free() {
+    let calls = [
+        ("hal$IBluetoothHci$startServer", vec![int(1)]),
+        ("hal$IBluetoothHci$acceptClient", vec![]),
+        ("hal$IBluetoothHci$closeServer", vec![]),
+        ("hal$IBluetoothHci$sendData", vec![ArgValue::Bytes(vec![1, 2, 3])]),
+    ];
+    assert_bug("D", &calls, 11);
+    assert_benign("B", &calls);
+}
+
+#[test]
+fn bug_12_querycap_with_wild_pointer() {
+    // Native path — the other syzkaller-findable bug.
+    let calls = [
+        ("openat$/dev/video0", vec![]),
+        ("ioctl$VIDIOC_QUERYCAP", vec![ArgValue::Ref(0), int(0xffff_ffff)]),
+    ];
+    assert_bug("E", &calls, 12);
+    assert_benign("B", &calls);
+}

@@ -1,0 +1,226 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+
+use droidfuzz_repro::droidfuzz::crashes::dedup_key;
+use droidfuzz_repro::droidfuzz::feedback::{signals_from_execution, SignalSet, SyscallIdTable};
+use droidfuzz_repro::droidfuzz::relation::RelationGraph;
+use droidfuzz_repro::fuzzlang::desc::{ArgDesc, CallDesc, CallKind, DescId, DescTable, SyscallTemplate};
+use droidfuzz_repro::fuzzlang::text::{format_prog, parse_prog};
+use droidfuzz_repro::fuzzlang::types::TypeDesc;
+use droidfuzz_repro::simbinder::Parcel;
+use droidfuzz_repro::simkernel::coverage::Block;
+use droidfuzz_repro::simkernel::fd::{FdTable, OpenFileId};
+use droidfuzz_repro::simkernel::syscall::SyscallNr;
+use droidfuzz_repro::simkernel::trace::{Origin, SyscallEvent};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn test_table() -> DescTable {
+    let mut t = DescTable::new();
+    t.add(CallDesc::syscall_open("/dev/p"));
+    t.add(CallDesc::syscall_close());
+    t.add(CallDesc::new(
+        "ioctl$P",
+        CallKind::Syscall(SyscallTemplate::Ioctl { request: 0x11 }),
+        vec![
+            ArgDesc::new("fd", TypeDesc::Resource { kind: "fd:/dev/p".into() }),
+            ArgDesc::new("v", TypeDesc::any_u32()),
+            ArgDesc::new("blob", TypeDesc::Buffer { min_len: 0, max_len: 16 }),
+        ],
+        None,
+    ));
+    t.add(CallDesc::new(
+        "hal$I$m",
+        CallKind::Hal { service: "svc".into(), code: 1 },
+        vec![ArgDesc::new("s", TypeDesc::Str { choices: vec!["a\"b".into(), "".into()] })],
+        None,
+    ));
+    t
+}
+
+proptest! {
+    /// Parcel writes read back in order with the same values.
+    #[test]
+    fn parcel_roundtrip(ints in prop::collection::vec(any::<i32>(), 0..8),
+                        s in "[ -~]{0,32}",
+                        blob in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut p = Parcel::new();
+        for &v in &ints {
+            p.write_i32(v);
+        }
+        p.write_string16(s.clone());
+        p.write_blob(blob.clone());
+        let mut r = p.reader();
+        for &v in &ints {
+            prop_assert_eq!(r.read_i32().unwrap(), v);
+        }
+        prop_assert_eq!(r.read_string16().unwrap(), s.as_str());
+        prop_assert_eq!(r.read_blob().unwrap(), blob.as_slice());
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Generated programs always validate, and survive a text round-trip
+    /// exactly.
+    #[test]
+    fn generated_prog_text_roundtrip(seed in any::<u64>(), len in 1usize..12) {
+        let table = test_table();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let prog = droidfuzz_repro::fuzzlang::gen::generate(&table, len, &mut rng);
+        prop_assert_eq!(prog.validate(&table), Ok(()));
+        let text = format_prog(&prog, &table);
+        let reparsed = parse_prog(&text, &table).unwrap();
+        prop_assert_eq!(prog, reparsed);
+    }
+
+    /// Mutation chains never produce invalid programs.
+    #[test]
+    fn mutation_preserves_validity(seed in any::<u64>(), mutations in 1usize..40) {
+        let table = test_table();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut prog = droidfuzz_repro::fuzzlang::gen::generate(&table, 5, &mut rng);
+        for _ in 0..mutations {
+            droidfuzz_repro::fuzzlang::mutate::mutate(&mut prog, &table, &mut rng);
+            prop_assert_eq!(prog.validate(&table), Ok(()));
+        }
+    }
+
+    /// Removing any call keeps the program valid.
+    #[test]
+    fn remove_call_preserves_validity(seed in any::<u64>(), idx in 0usize..16) {
+        let table = test_table();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut prog = droidfuzz_repro::fuzzlang::gen::generate(&table, 8, &mut rng);
+        prog.remove_call(idx.min(prog.len().saturating_sub(1)));
+        prop_assert_eq!(prog.validate(&table), Ok(()));
+    }
+
+    /// Eq. 1 invariant: after any learn sequence, the in-weights of every
+    /// vertex sum to at most 1 (exactly 1 for any learn target).
+    #[test]
+    fn relation_in_weights_bounded(edges in prop::collection::vec((0usize..6, 0usize..6), 1..40)) {
+        let mut t = DescTable::new();
+        for i in 0..6 {
+            t.add(CallDesc::new(
+                format!("c{i}"),
+                CallKind::Hal { service: "s".into(), code: i as u32 },
+                vec![],
+                None,
+            ));
+        }
+        let mut g = RelationGraph::new(&t);
+        let mut targets = std::collections::HashSet::new();
+        for (a, b) in edges {
+            if a != b {
+                targets.insert(b);
+            }
+            g.learn(DescId(a), DescId(b));
+        }
+        for b in 0..6 {
+            let sum = g.in_weight_sum(DescId(b));
+            prop_assert!(sum <= 1.0 + 1e-9, "in-weights of {b} sum to {sum}");
+            if targets.contains(&b) {
+                prop_assert!((sum - 1.0).abs() < 1e-9, "learn target {b} sums to {sum}");
+            }
+        }
+    }
+
+    /// Decay never increases weights and never breaks sampling.
+    #[test]
+    fn relation_decay_monotone(factor in 0.1f64..0.99, rounds in 1usize..20) {
+        let mut t = DescTable::new();
+        for i in 0..4 {
+            t.add(CallDesc::new(
+                format!("c{i}"),
+                CallKind::Hal { service: "s".into(), code: i as u32 },
+                vec![],
+                None,
+            ));
+        }
+        let mut g = RelationGraph::new(&t);
+        g.learn(DescId(0), DescId(1));
+        g.learn(DescId(2), DescId(1));
+        let before = g.in_weight_sum(DescId(1));
+        for _ in 0..rounds {
+            g.decay(factor);
+        }
+        prop_assert!(g.in_weight_sum(DescId(1)) <= before + 1e-9);
+    }
+
+    /// Fd tables allocate unique descriptors and never lose entries.
+    #[test]
+    fn fd_table_unique_and_consistent(ops in prop::collection::vec(any::<bool>(), 1..64)) {
+        let mut table = FdTable::new();
+        let mut live = std::collections::HashMap::new();
+        let mut counter = 0u64;
+        for install in ops {
+            if install {
+                counter += 1;
+                if let Ok(fd) = table.install(OpenFileId(counter)) {
+                    prop_assert!(live.insert(fd, counter).is_none(), "fd reused while live");
+                }
+            } else if let Some(&fd) = live.keys().next() {
+                let expected = live.remove(&fd).unwrap();
+                prop_assert_eq!(table.remove(fd).unwrap(), OpenFileId(expected));
+            }
+        }
+        prop_assert_eq!(table.len(), live.len());
+        for (&fd, &id) in &live {
+            prop_assert_eq!(table.get(fd).unwrap(), OpenFileId(id));
+        }
+    }
+
+    /// Signal merging is idempotent and order-insensitive in totals.
+    #[test]
+    fn signal_set_merge_idempotent(blocks in prop::collection::vec(any::<u32>(), 0..64)) {
+        let mut id_table = SyscallIdTable::new();
+        let kcov: Vec<Block> = blocks.iter().map(|&b| Block(u64::from(b))).collect();
+        let sigs = signals_from_execution(&kcov, &[], &mut id_table, true);
+        let mut set = SignalSet::new();
+        let first = set.merge(&sigs);
+        let second = set.merge(&sigs);
+        prop_assert_eq!(second, 0, "second merge adds nothing");
+        let distinct: std::collections::HashSet<_> = blocks.iter().collect();
+        prop_assert_eq!(first, distinct.len());
+        prop_assert_eq!(set.kernel_blocks(), distinct.len());
+    }
+
+    /// Directional coverage depends on order; undirected sets do not.
+    #[test]
+    fn directional_signals_are_order_sensitive(reqs in prop::collection::vec(1u64..50, 2..12)) {
+        let mut sorted = reqs.clone();
+        sorted.sort_unstable();
+        let mut reversed = sorted.clone();
+        reversed.reverse();
+        prop_assume!(sorted != reversed);
+        let ev = |critical: u64| SyscallEvent {
+            origin: Origin::Hal(1),
+            nr: SyscallNr::Ioctl,
+            critical,
+            path: None,
+            ok: true,
+        };
+        // One shared lookup table, pre-populated in a canonical order (as
+        // the compiled table of §IV-D would be) so IDs are stable across
+        // both observations.
+        let mut table = SyscallIdTable::new();
+        let mut canonical = sorted.clone();
+        canonical.dedup();
+        let pre: Vec<_> = canonical.iter().map(|&c| ev(c)).collect();
+        let _ = signals_from_execution(&[], &pre, &mut table, true);
+        let a: Vec<_> = sorted.iter().map(|&c| ev(c)).collect();
+        let sig_a = signals_from_execution(&[], &a, &mut table, true);
+        let b: Vec<_> = reversed.iter().map(|&c| ev(c)).collect();
+        let sig_b = signals_from_execution(&[], &b, &mut table, true);
+        prop_assert_ne!(sig_a, sig_b);
+    }
+
+    /// Crash dedup keys are stable under KASAN access-direction noise.
+    #[test]
+    fn dedup_key_normalizes_direction(site in "[a-z_]{1,24}") {
+        let read = format!("KASAN: slab-use-after-free Read in {site}");
+        let write = format!("KASAN: slab-use-after-free Write in {site}");
+        let plain = format!("KASAN: slab-use-after-free in {site}");
+        prop_assert_eq!(dedup_key(&read), dedup_key(&plain));
+        prop_assert_eq!(dedup_key(&write), dedup_key(&plain));
+    }
+}
