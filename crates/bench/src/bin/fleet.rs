@@ -1,0 +1,122 @@
+//! Fleet orchestration demo: a synced multi-shard campaign versus the
+//! same shards running as independent repeats — the speedup the corpus
+//! hub and relation-graph sync buy, measured as executions-to-coverage —
+//! plus a mid-campaign kill/resume exercise of the snapshot path.
+//!
+//! Scale: `DF_HOURS` (default 2 virtual hours), `DF_SHARDS` (falls back
+//! to `DF_REPEATS`, then 4),
+//! `DF_SYNC_MIN` (sync round interval in virtual minutes, default 15),
+//! `DF_DEVICE` (default A1). `DF_SNAPSHOT_OUT` writes the final fleet
+//! snapshot to a file.
+
+use droidfuzz::config::FuzzerConfig;
+use droidfuzz::fleet::{Fleet, FleetConfig, FleetResult};
+use droidfuzz::report::ascii_chart;
+use droidfuzz_bench::{env_f64, env_u64};
+use simdevice::catalog;
+
+fn fleet_config(shards: usize, hours: f64, sync_min: f64, sync: bool) -> FleetConfig {
+    FleetConfig {
+        shards,
+        hours,
+        sync_interval_hours: sync_min / 60.0,
+        sync,
+        ..FleetConfig::default()
+    }
+}
+
+/// Executions spent per distinct kernel block — lower is better; the
+/// fleet's cost metric for "executions-to-coverage".
+fn execs_per_block(result: &FleetResult) -> f64 {
+    result.executions as f64 / result.union_coverage.max(1) as f64
+}
+
+fn main() {
+    let hours = env_f64("DF_HOURS", 2.0);
+    // DF_REPEATS (the knob the other bench binaries use) doubles as the
+    // shard count so one env block drives the whole suite.
+    let shards = env_u64("DF_SHARDS", env_u64("DF_REPEATS", 4)).max(1) as usize;
+    let sync_min = env_f64("DF_SYNC_MIN", 15.0);
+    let device = std::env::var("DF_DEVICE").unwrap_or_else(|_| "A1".into());
+    let Some(spec) = catalog::by_id(&device) else {
+        eprintln!("unknown device {device}; known: A1 A2 B C1 C2 D E");
+        std::process::exit(2);
+    };
+
+    println!(
+        "fleet campaign: {shards} shards x {hours} h on device {device}, sync every {sync_min} virtual min\n"
+    );
+
+    let synced =
+        Fleet::new(fleet_config(shards, hours, sync_min, true)).run(&spec, FuzzerConfig::droidfuzz);
+    println!("== synced fleet ==");
+    println!("{}", synced.stats.render());
+
+    let independent = Fleet::new(fleet_config(shards, hours, sync_min, false))
+        .run(&spec, FuzzerConfig::droidfuzz);
+    println!("== independent repeats (no sync) ==");
+    println!("{}", independent.stats.render());
+
+    println!(
+        "{}",
+        ascii_chart(
+            "union coverage over the campaign",
+            &[("synced", &synced.union_series), ("independent", &independent.union_series)],
+            64,
+            12,
+        )
+    );
+
+    let synced_cost = execs_per_block(&synced);
+    let independent_cost = execs_per_block(&independent);
+    println!(
+        "executions-to-coverage: synced {:.1} execs/block ({} execs -> {} blocks), \
+         independent {:.1} execs/block ({} execs -> {} blocks)",
+        synced_cost,
+        synced.executions,
+        synced.union_coverage,
+        independent_cost,
+        independent.executions,
+        independent.union_coverage,
+    );
+    if synced_cost < independent_cost {
+        println!(
+            "sync speedup: {:.2}x fewer executions per covered block",
+            independent_cost / synced_cost
+        );
+    } else {
+        println!("no speedup at this scale; longer campaigns amortize the sync better");
+    }
+
+    // Kill/resume exercise: kill the synced fleet after half its rounds,
+    // then resume from the snapshot it left behind.
+    let rounds = ((hours * 60.0) / sync_min).ceil() as usize;
+    let kill_at = (rounds / 2).max(1);
+    let fleet = Fleet::new(FleetConfig {
+        kill_after_rounds: Some(kill_at),
+        ..fleet_config(shards, hours, sync_min, true)
+    });
+    let killed = fleet.run(&spec, FuzzerConfig::droidfuzz);
+    let resumed = Fleet::new(fleet_config(shards, hours, sync_min, true))
+        .resume(&spec, FuzzerConfig::droidfuzz, &killed.snapshot)
+        .expect("snapshot restores");
+    println!(
+        "\nkill/resume: killed after round {}/{} (union coverage {}), resumed to round {} \
+         (union coverage {}, {} crashes carried over, finished: {})",
+        killed.rounds_completed,
+        rounds,
+        killed.union_coverage,
+        resumed.rounds_completed,
+        resumed.union_coverage,
+        resumed.crashes.len(),
+        resumed.finished,
+    );
+
+    if let Ok(path) = std::env::var("DF_SNAPSHOT_OUT") {
+        if let Err(e) = std::fs::write(&path, &synced.snapshot) {
+            eprintln!("cannot write snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote fleet snapshot to {path}");
+    }
+}

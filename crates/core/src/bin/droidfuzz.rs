@@ -99,9 +99,9 @@ fn main() {
     if let Some(path) = &opts.corpus_in {
         match std::fs::read_to_string(path) {
             Ok(text) => {
-                let n = engine.import_corpus(&text);
+                let (n, rejects) = engine.import_corpus(&text);
                 if !opts.quiet {
-                    println!("restored {n} corpus seeds from {path}");
+                    println!("restored {n} corpus seeds from {path} ({rejects} rejected)");
                 }
             }
             Err(e) => {

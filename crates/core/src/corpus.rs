@@ -6,6 +6,7 @@ use fuzzlang::prog::Prog;
 use fuzzlang::text::format_prog;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::cmp::Reverse;
 
 /// One seed.
 #[derive(Debug, Clone)]
@@ -17,6 +18,8 @@ pub struct Seed {
     pub new_signals: usize,
     /// Times it has been picked for mutation.
     pub picks: u64,
+    /// Admission sequence number (age tie-breaker for eviction).
+    pub seq: u64,
 }
 
 /// Maximum corpus size; lowest-value seeds are evicted beyond this.
@@ -37,16 +40,23 @@ impl Corpus {
 
     /// Admits a program with the given admission score (the engine weights
     /// kernel-coverage novelty above HAL-ordering novelty).
+    ///
+    /// The just-admitted seed is never the eviction victim, even when it
+    /// ties for fewest `new_signals` — otherwise a full corpus would
+    /// discard every incoming seed at the admission score floor. Among
+    /// the remaining seeds the victim is the one with fewest signals,
+    /// then most picks (already well-explored), then oldest.
     pub fn admit(&mut self, prog: Prog, new_signals: usize) {
         self.admitted += 1;
-        self.seeds.push(Seed { prog, new_signals, picks: 0 });
+        let seq = self.admitted;
+        self.seeds.push(Seed { prog, new_signals, picks: 0, seq });
         if self.seeds.len() > MAX_SEEDS {
-            // Evict the least valuable (fewest signals, most picked).
             let idx = self
                 .seeds
                 .iter()
+                .take(self.seeds.len() - 1) // exclude the seed just pushed
                 .enumerate()
-                .min_by_key(|(_, s)| (s.new_signals, u64::MAX - s.picks))
+                .min_by_key(|(_, s)| (s.new_signals, Reverse(s.picks), s.seq))
                 .map(|(i, _)| i)
                 .expect("non-empty");
             self.seeds.swap_remove(idx);
@@ -94,6 +104,12 @@ impl Corpus {
         self.admitted
     }
 
+    /// The seeds currently held (the fleet hub reads these to publish
+    /// per-seed signal scores).
+    pub fn seeds(&self) -> &[Seed] {
+        &self.seeds
+    }
+
     /// Serializes the corpus in the DSL text format, seeds separated by
     /// `# seed` comment headers — the daemon's persistent representation.
     pub fn export(&self, table: &DescTable) -> String {
@@ -107,18 +123,29 @@ impl Corpus {
     }
 
     /// Restores a corpus from an [`export`](Self::export) dump. Seeds that
-    /// fail to parse or validate against `table` (e.g. after the device's
-    /// vocabulary changed across a firmware update) are skipped; returns
-    /// the number of seeds restored.
-    pub fn import(&mut self, text: &str, table: &DescTable) -> usize {
-        let mut restored = 0;
-        for chunk in text.split("# seed ") {
+    /// fail to parse or validate against `table` (stale vocabulary after a
+    /// firmware update, truncated or corrupted snapshot lines) are skipped
+    /// — never panicking, so a damaged snapshot restores everything it
+    /// can. Returns `(accepted, rejected)`.
+    pub fn import(&mut self, text: &str, table: &DescTable) -> (usize, usize) {
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for (i, chunk) in text.split("# seed ").enumerate() {
+            if chunk.trim().is_empty() {
+                continue;
+            }
             let body: String = chunk
                 .lines()
                 .filter(|l| l.starts_with('r'))
                 .map(|l| format!("{l}\n"))
                 .collect();
             if body.is_empty() {
+                // A header with no program lines is a damaged seed record;
+                // the split's first chunk (text before any header) is
+                // preamble noise, not a seed.
+                if i > 0 {
+                    rejected += 1;
+                }
                 continue;
             }
             let signals = chunk
@@ -127,14 +154,15 @@ impl Corpus {
                 .and_then(|header| header.split("signals=").nth(1))
                 .and_then(|v| v.trim().parse::<usize>().ok())
                 .unwrap_or(1);
-            if let Ok(prog) = fuzzlang::text::parse_prog(&body, table) {
-                if prog.validate(table).is_ok() && !prog.is_empty() {
+            match fuzzlang::text::parse_prog(&body, table) {
+                Ok(prog) if prog.validate(table).is_ok() && !prog.is_empty() => {
                     self.admit(prog, signals);
-                    restored += 1;
+                    accepted += 1;
                 }
+                _ => rejected += 1,
             }
         }
-        restored
+        (accepted, rejected)
     }
 }
 
@@ -185,6 +213,44 @@ mod tests {
     }
 
     #[test]
+    fn just_admitted_seed_survives_tie_eviction() {
+        let t = table();
+        let mut c = Corpus::new();
+        // Fill the corpus entirely with score-0 seeds, then admit one
+        // more score-0 seed: some *other* seed must be evicted.
+        for _ in 0..MAX_SEEDS {
+            c.admit(prog(1, &t), 0);
+        }
+        c.admit(prog(3, &t), 0);
+        assert_eq!(c.len(), MAX_SEEDS);
+        assert!(
+            c.seeds().iter().any(|s| s.prog.len() == 3),
+            "the seed admitted into a full corpus must survive a score tie"
+        );
+    }
+
+    #[test]
+    fn tie_eviction_prefers_old_high_picks_seeds() {
+        let t = table();
+        let mut c = Corpus::new();
+        for _ in 0..MAX_SEEDS {
+            c.admit(prog(1, &t), 0);
+        }
+        // Mark one early seed as heavily explored.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..64 {
+            let _ = c.pick(&mut rng);
+        }
+        let most_picked = c.seeds().iter().map(|s| (s.picks, s.seq)).max().unwrap();
+        assert!(most_picked.0 > 0);
+        c.admit(prog(2, &t), 0);
+        assert!(
+            !c.seeds().iter().any(|s| (s.picks, s.seq) == most_picked),
+            "the most-picked tied seed should be the eviction victim"
+        );
+    }
+
+    #[test]
     fn export_contains_headers_and_calls() {
         let t = table();
         let mut c = Corpus::new();
@@ -202,7 +268,7 @@ mod tests {
         c.admit(prog(3, &t), 4);
         let text = c.export(&t);
         let mut restored = Corpus::new();
-        assert_eq!(restored.import(&text, &t), 2);
+        assert_eq!(restored.import(&text, &t), (2, 0));
         assert_eq!(restored.len(), 2);
         assert_eq!(restored.export(&t), text);
     }
@@ -212,8 +278,35 @@ mod tests {
         let t = table();
         let text = "# seed 0 signals=3\nr0 = openat$/dev/x()\n\n# seed 1 signals=9\nr0 = openat$/dev/removed()\n";
         let mut c = Corpus::new();
-        assert_eq!(c.import(text, &t), 1, "unknown call skipped, valid seed kept");
+        assert_eq!(c.import(text, &t), (1, 1), "unknown call skipped, valid seed kept");
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn import_survives_malformed_and_truncated_lines() {
+        let t = table();
+        let text = concat!(
+            "garbage preamble, not a seed\n",
+            "# seed 0 signals=7\nr0 = openat$/dev/x()\n\n",
+            "# seed 1 signals=notanumber\nr0 = openat$/dev/x()\n\n",
+            "# seed 2 signals=9\nr0 = openat$/dev/x(trunc", // truncated mid-line
+            "\n# seed 3\n\n",                               // header only, no body
+            "# seed 4 signals=2\nr0 = openat$/dev/x()\n",
+        );
+        let mut c = Corpus::new();
+        let (accepted, rejected) = c.import(text, &t);
+        assert_eq!(accepted, 3, "valid seeds restored, incl. defaulted signals");
+        assert_eq!(rejected, 2, "truncated body and empty body both counted");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn import_of_empty_text_is_a_noop() {
+        let t = table();
+        let mut c = Corpus::new();
+        assert_eq!(c.import("", &t), (0, 0));
+        assert_eq!(c.import("\n\n", &t), (0, 0));
+        assert_eq!(c.len(), 0);
     }
 
     #[test]

@@ -78,6 +78,29 @@ impl CrashDb {
         }
     }
 
+    /// Merges an already-deduplicated record from a peer database (fleet
+    /// crash sync): counts add up, the earliest observation wins
+    /// `first_seen_us`, and the first available reproducer sticks.
+    pub fn merge_record(&mut self, record: &CrashRecord) {
+        self.total_reports += record.count;
+        let key = dedup_key(&record.title);
+        match self.records.get_mut(&key) {
+            Some(existing) => {
+                existing.count += record.count;
+                if record.first_seen_us < existing.first_seen_us {
+                    existing.first_seen_us = record.first_seen_us;
+                    existing.title = record.title.clone();
+                }
+                if existing.repro.is_none() {
+                    existing.repro = record.repro.clone();
+                }
+            }
+            None => {
+                self.records.insert(key, record.clone());
+            }
+        }
+    }
+
     /// Attaches a minimized reproducer to a crash.
     pub fn attach_repro(&mut self, title: &str, prog: &Prog, table: &DescTable) {
         let key = dedup_key(title);

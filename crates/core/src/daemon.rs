@@ -5,10 +5,9 @@
 
 use crate::config::FuzzerConfig;
 use crate::crashes::CrashRecord;
-use crate::engine::{FuzzingEngine, HOUR_US};
-use crate::stats::{mean_series, Series};
+use crate::fleet::{Fleet, FleetConfig};
+use crate::stats::Series;
 use simdevice::firmware::FirmwareSpec;
-use std::thread;
 
 /// Result of one repeated campaign on one device.
 #[derive(Debug, Clone)]
@@ -47,6 +46,10 @@ impl Daemon {
     /// Runs `repeats` independent campaigns of `hours` virtual hours of
     /// `make_config(seed)` on (fresh boots of) `spec`, in parallel
     /// threads, and aggregates the results.
+    ///
+    /// This is the unsynced special case of the fleet path: one shard per
+    /// repeat, no corpus/relation exchange, a single slice spanning the
+    /// whole campaign — each engine behaves exactly as a standalone run.
     pub fn run_campaign<F>(
         &self,
         spec: &FirmwareSpec,
@@ -57,50 +60,22 @@ impl Daemon {
     where
         F: Fn(u64) -> FuzzerConfig + Sync,
     {
-        let runs: Vec<(Series, f64, Vec<CrashRecord>, u64)> = thread::scope(|scope| {
-            let handles: Vec<_> = (0..repeats)
-                .map(|rep| {
-                    let spec = spec.clone();
-                    let make_config = &make_config;
-                    scope.spawn(move || {
-                        let mut engine =
-                            FuzzingEngine::new(spec.boot(), make_config(rep + 1));
-                        engine.run_for_virtual_hours(hours);
-                        let crashes: Vec<CrashRecord> =
-                            engine.crash_db().records().into_iter().cloned().collect();
-                        (
-                            engine.coverage_series().clone(),
-                            engine.kernel_coverage() as f64,
-                            crashes,
-                            engine.executions(),
-                        )
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("campaign thread")).collect()
+        let fleet = Fleet::new(FleetConfig {
+            shards: repeats.max(1) as usize,
+            hours,
+            sync_interval_hours: hours,
+            sync: false,
+            kill_after_rounds: None,
+            ..FleetConfig::default()
         });
-
-        let series: Vec<Series> = runs.iter().map(|(s, _, _, _)| s.clone()).collect();
-        let final_coverage: Vec<f64> = runs.iter().map(|(_, c, _, _)| *c).collect();
-        let end_us = (hours * HOUR_US as f64) as u64;
-        let mut crashes: Vec<CrashRecord> = Vec::new();
-        for (_, _, run_crashes, _) in &runs {
-            for crash in run_crashes {
-                match crashes.iter_mut().find(|c| c.title == crash.title) {
-                    Some(existing) => existing.count += crash.count,
-                    None => crashes.push(crash.clone()),
-                }
-            }
-        }
-        crashes.sort_by_key(|c| c.first_seen_us);
-        let fuzzer = make_config(0).variant.to_string();
+        let result = fleet.run(spec, &make_config);
         CampaignResult {
-            device_id: spec.meta.id.clone(),
-            fuzzer,
-            final_coverage,
-            mean_series: mean_series(&series, end_us, 48),
-            crashes,
-            executions: runs.iter().map(|(_, _, _, e)| e).sum(),
+            device_id: result.device_id,
+            fuzzer: result.fuzzer,
+            final_coverage: result.shards.iter().map(|s| s.final_coverage).collect(),
+            mean_series: result.mean_series,
+            crashes: result.crashes,
+            executions: result.executions,
         }
     }
 }

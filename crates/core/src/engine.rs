@@ -224,7 +224,7 @@ impl FuzzingEngine {
             self.clock_us += self.adb.reboot_cost();
         }
 
-        if self.config.relations && self.executions % self.config.decay_interval == 0 {
+        if self.config.relations && self.executions.is_multiple_of(self.config.decay_interval) {
             self.graph.decay(self.config.decay_factor);
         }
         self.sample_if_due();
@@ -345,6 +345,23 @@ impl FuzzingEngine {
         &self.graph
     }
 
+    /// Merges a peer engine's relation graph into this one (fleet
+    /// relation sync; Eq. 1 normalization keeps in-weights a valid
+    /// distribution). No-op for variants that don't learn relations.
+    pub fn merge_relations(&mut self, peer: &RelationGraph) {
+        if self.config.relations {
+            self.graph.merge_from(peer);
+        }
+    }
+
+    /// The kernel blocks observed device-wide, sorted (deterministic
+    /// order for fleet union-coverage accounting and snapshots).
+    pub fn observed_blocks(&self) -> Vec<simkernel::coverage::Block> {
+        let mut blocks: Vec<_> = self.observed_kernel.iter().copied().collect();
+        blocks.sort_unstable();
+        blocks
+    }
+
     /// The seed corpus.
     pub fn corpus(&self) -> &Corpus {
         &self.corpus
@@ -361,11 +378,10 @@ impl FuzzingEngine {
     }
 
     /// Restores seeds from a previous session's [`export_corpus`] dump;
-    /// returns how many seeds were accepted against the current
-    /// vocabulary.
+    /// returns `(accepted, rejected)` against the current vocabulary.
     ///
     /// [`export_corpus`]: Self::export_corpus
-    pub fn import_corpus(&mut self, text: &str) -> usize {
+    pub fn import_corpus(&mut self, text: &str) -> (usize, usize) {
         self.corpus.import(text, &self.table)
     }
 
@@ -481,8 +497,9 @@ mod tests {
         let dump = first.export_corpus();
         assert!(!dump.is_empty());
         let mut second = quick_engine(FuzzerConfig::droidfuzz(32));
-        let restored = second.import_corpus(&dump);
+        let (restored, rejected) = second.import_corpus(&dump);
         assert!(restored > 0, "seeds should survive a restart");
+        assert_eq!(rejected, 0, "a clean dump has no rejects");
         assert_eq!(second.corpus().len(), restored);
     }
 

@@ -1,0 +1,294 @@
+//! The fleet events/metrics bus: shard worker threads push
+//! [`FleetEvent`]s onto an mpsc channel while they run; the orchestrator
+//! (and the `fleet` bench binary) drains them into a [`FleetStats`]
+//! summary after each campaign. Senders are cheap clones, so the bus adds
+//! no shared-lock contention to the fuzzing hot path.
+
+use crate::report::ascii_table;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// One telemetry event on the fleet bus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetEvent {
+    /// A shard booted its engine (and possibly restored hub seeds).
+    ShardStarted {
+        /// Shard index.
+        shard: usize,
+        /// Seeds imported from the hub at start (resume path).
+        restored_seeds: usize,
+    },
+    /// Periodic per-shard progress, emitted at the end of every slice.
+    Heartbeat {
+        /// Shard index.
+        shard: usize,
+        /// Sync round the slice belonged to.
+        round: usize,
+        /// Shard-local virtual clock, µs.
+        clock_us: u64,
+        /// Test cases executed so far.
+        executions: u64,
+        /// Seeds currently in the shard corpus.
+        corpus_len: usize,
+        /// Distinct kernel blocks observed by the shard.
+        coverage: usize,
+        /// Distinct crashes in the shard's database.
+        crashes: usize,
+    },
+    /// The orchestrator finished a corpus/relation sync round.
+    SyncCompleted {
+        /// Round index.
+        round: usize,
+        /// New unique seeds accepted by the hub this round.
+        published: usize,
+        /// Seeds delivered to shards this round.
+        pulled: usize,
+        /// Live hub corpus size after the round.
+        hub_seeds: usize,
+        /// Edges in the hub's merged relation graph.
+        hub_edges: usize,
+        /// Fleet-wide distinct kernel blocks.
+        union_coverage: usize,
+    },
+    /// A shard completed its campaign.
+    ShardFinished {
+        /// Shard index.
+        shard: usize,
+        /// Final shard-local virtual clock, µs.
+        clock_us: u64,
+        /// Total test cases executed.
+        executions: u64,
+        /// Final distinct kernel blocks.
+        coverage: usize,
+        /// Final distinct crashes.
+        crashes: usize,
+    },
+}
+
+/// Cloneable sending half of the bus, handed to each shard thread.
+#[derive(Debug, Clone)]
+pub struct EventBus {
+    tx: Sender<FleetEvent>,
+}
+
+impl EventBus {
+    /// Creates a bus, returning the sender and the draining receiver.
+    pub fn new() -> (Self, Receiver<FleetEvent>) {
+        let (tx, rx) = channel();
+        (Self { tx }, rx)
+    }
+
+    /// Publishes an event. Errors (receiver dropped) are ignored: a
+    /// shard must never fail because nobody is listening to telemetry.
+    pub fn emit(&self, event: FleetEvent) {
+        let _ = self.tx.send(event);
+    }
+}
+
+/// Aggregated per-shard metrics, built by draining the bus.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Heartbeats received.
+    pub heartbeats: usize,
+    /// Latest execution count.
+    pub executions: u64,
+    /// Latest virtual clock, µs.
+    pub clock_us: u64,
+    /// Latest corpus size.
+    pub corpus_len: usize,
+    /// Latest distinct-block coverage.
+    pub coverage: usize,
+    /// Latest distinct crash count.
+    pub crashes: usize,
+    /// Seeds restored from the hub at start.
+    pub restored_seeds: usize,
+}
+
+impl ShardStats {
+    /// Executions per virtual second — the throughput the paper's
+    /// "executions" columns normalize by campaign length.
+    pub fn execs_per_vsec(&self) -> f64 {
+        if self.clock_us == 0 {
+            0.0
+        } else {
+            self.executions as f64 / (self.clock_us as f64 / 1e6)
+        }
+    }
+}
+
+/// Fleet-wide summary drained from the event bus.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Per-shard aggregates, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+    /// Sync rounds completed.
+    pub sync_rounds: usize,
+    /// Unique seeds the hub accepted across all rounds.
+    pub seeds_published: usize,
+    /// Seed deliveries to shards across all rounds.
+    pub seeds_pulled: usize,
+    /// Final live hub corpus size.
+    pub hub_seeds: usize,
+    /// Final merged relation-graph edge count.
+    pub hub_edges: usize,
+    /// Final fleet-wide distinct kernel blocks.
+    pub union_coverage: usize,
+    /// Total events observed on the bus.
+    pub events: u64,
+}
+
+impl FleetStats {
+    /// Drains every event currently buffered on `rx` into a summary for
+    /// `shard_count` shards.
+    pub fn drain(rx: &Receiver<FleetEvent>, shard_count: usize) -> Self {
+        let mut stats = FleetStats {
+            shards: (0..shard_count)
+                .map(|shard| ShardStats { shard, ..ShardStats::default() })
+                .collect(),
+            ..FleetStats::default()
+        };
+        while let Ok(event) = rx.try_recv() {
+            stats.events += 1;
+            match event {
+                FleetEvent::ShardStarted { shard, restored_seeds } => {
+                    if let Some(s) = stats.shards.get_mut(shard) {
+                        s.restored_seeds = restored_seeds;
+                    }
+                }
+                FleetEvent::Heartbeat {
+                    shard,
+                    clock_us,
+                    executions,
+                    corpus_len,
+                    coverage,
+                    crashes,
+                    ..
+                } => {
+                    if let Some(s) = stats.shards.get_mut(shard) {
+                        s.heartbeats += 1;
+                        s.executions = executions;
+                        s.clock_us = clock_us;
+                        s.corpus_len = corpus_len;
+                        s.coverage = coverage;
+                        s.crashes = crashes;
+                    }
+                }
+                FleetEvent::SyncCompleted {
+                    round,
+                    published,
+                    pulled,
+                    hub_seeds,
+                    hub_edges,
+                    union_coverage,
+                } => {
+                    stats.sync_rounds = stats.sync_rounds.max(round + 1);
+                    stats.seeds_published += published;
+                    stats.seeds_pulled += pulled;
+                    stats.hub_seeds = hub_seeds;
+                    stats.hub_edges = hub_edges;
+                    stats.union_coverage = union_coverage;
+                }
+                FleetEvent::ShardFinished { shard, clock_us, executions, coverage, crashes } => {
+                    if let Some(s) = stats.shards.get_mut(shard) {
+                        s.executions = executions;
+                        s.clock_us = clock_us;
+                        s.coverage = coverage;
+                        s.crashes = crashes;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Renders the per-shard metrics as an ASCII table plus a fleet
+    /// summary line — the `fleet` bench binary's main output.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .shards
+            .iter()
+            .map(|s| {
+                vec![
+                    s.shard.to_string(),
+                    s.executions.to_string(),
+                    format!("{:.1}", s.execs_per_vsec()),
+                    s.coverage.to_string(),
+                    s.corpus_len.to_string(),
+                    s.crashes.to_string(),
+                    s.heartbeats.to_string(),
+                ]
+            })
+            .collect();
+        let mut out = ascii_table(
+            &["shard", "execs", "execs/vsec", "coverage", "corpus", "crashes", "heartbeats"],
+            &rows,
+        );
+        out.push_str(&format!(
+            "sync rounds: {}  hub seeds: {} live / {} published  pulls: {}  hub edges: {}  union coverage: {}\n",
+            self.sync_rounds,
+            self.hub_seeds,
+            self.seeds_published,
+            self.seeds_pulled,
+            self.hub_edges,
+            self.union_coverage,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_aggregates_per_shard_and_fleet() {
+        let (bus, rx) = EventBus::new();
+        bus.emit(FleetEvent::ShardStarted { shard: 0, restored_seeds: 3 });
+        bus.emit(FleetEvent::Heartbeat {
+            shard: 0,
+            round: 0,
+            clock_us: 2_000_000,
+            executions: 10,
+            corpus_len: 4,
+            coverage: 100,
+            crashes: 1,
+        });
+        bus.emit(FleetEvent::Heartbeat {
+            shard: 1,
+            round: 0,
+            clock_us: 1_000_000,
+            executions: 5,
+            corpus_len: 2,
+            coverage: 50,
+            crashes: 0,
+        });
+        bus.emit(FleetEvent::SyncCompleted {
+            round: 0,
+            published: 6,
+            pulled: 4,
+            hub_seeds: 6,
+            hub_edges: 9,
+            union_coverage: 120,
+        });
+        let stats = FleetStats::drain(&rx, 2);
+        assert_eq!(stats.events, 4);
+        assert_eq!(stats.shards[0].executions, 10);
+        assert_eq!(stats.shards[0].restored_seeds, 3);
+        assert_eq!(stats.shards[1].coverage, 50);
+        assert_eq!(stats.sync_rounds, 1);
+        assert_eq!(stats.seeds_published, 6);
+        assert_eq!(stats.union_coverage, 120);
+        assert!((stats.shards[0].execs_per_vsec() - 5.0).abs() < 1e-9);
+        let table = stats.render();
+        assert!(table.contains("execs/vsec"));
+        assert!(table.contains("union coverage: 120"));
+    }
+
+    #[test]
+    fn emit_without_receiver_is_silent() {
+        let (bus, rx) = EventBus::new();
+        drop(rx);
+        bus.emit(FleetEvent::ShardStarted { shard: 0, restored_seeds: 0 });
+    }
+}

@@ -1,0 +1,402 @@
+//! Fleet orchestration: sharded multi-engine campaigns with corpus sync,
+//! relation-graph sync, checkpoint/resume, and a metrics bus.
+//!
+//! The paper's daemon (§IV-A) coordinates one fuzzing engine per attached
+//! device and owns their persistent data. This module scales that design
+//! to a *fleet*: `n` shards (engine + device model) fuzz concurrently,
+//! and between virtual-time slices the orchestrator runs a sync round
+//! through the [`CorpusHub`] — shards publish seeds that earned new
+//! signals, pull their peers' seeds, and merge relation graphs under the
+//! Eq. 1 normalization. After every round the hub state is serialized to
+//! a [`FleetSnapshot`], so a killed campaign resumes from its last round.
+//!
+//! Determinism: worker threads only ever touch their own shard, and all
+//! hub traffic happens on the orchestrator thread in shard-index order.
+//! A fixed `(seed, shard count)` therefore produces identical results
+//! run-to-run, threads notwithstanding.
+
+pub mod events;
+pub mod hub;
+pub mod shard;
+pub mod snapshot;
+
+pub use events::{EventBus, FleetEvent, FleetStats, ShardStats};
+pub use hub::{CorpusHub, HubSeed, HUB_ORIGIN};
+pub use shard::Shard;
+pub use snapshot::{FleetSnapshot, SNAPSHOT_HEADER};
+
+use crate::config::FuzzerConfig;
+use crate::crashes::CrashRecord;
+use crate::engine::{FuzzingEngine, HOUR_US};
+use crate::relation::RelationGraph;
+use crate::stats::{mean_series, Series};
+use simdevice::firmware::FirmwareSpec;
+use std::thread;
+
+/// Fleet campaign parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shards (engines fuzzing concurrently).
+    pub shards: usize,
+    /// Campaign length in virtual hours (fleet clock, shared by shards).
+    pub hours: f64,
+    /// Virtual hours between sync rounds (also the checkpoint cadence).
+    pub sync_interval_hours: f64,
+    /// Whether shards pull from the hub. With `false` the shards run as
+    /// independent repeats — the control arm for measuring sync speedup —
+    /// while the hub still aggregates coverage, crashes, and snapshots.
+    pub sync: bool,
+    /// Live-seed bound on the hub corpus.
+    pub hub_capacity: usize,
+    /// Fault injection: stop after this many rounds *of this run*, as if
+    /// the daemon were killed, leaving the snapshot behind for resume.
+    pub kill_after_rounds: Option<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            hours: 1.0,
+            sync_interval_hours: 0.25,
+            sync: true,
+            hub_capacity: 512,
+            kill_after_rounds: None,
+        }
+    }
+}
+
+/// Per-shard outcome of a fleet campaign.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Shard index.
+    pub shard: usize,
+    /// Final distinct kernel blocks this shard observed.
+    pub final_coverage: f64,
+    /// Test cases this shard executed (this run; resumes restart at 0).
+    pub executions: u64,
+    /// Coverage-over-time on the fleet clock.
+    pub series: Series,
+    /// Titles of the crashes this shard found.
+    pub crash_titles: Vec<String>,
+}
+
+/// Aggregate result of a fleet campaign.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Table I device id.
+    pub device_id: String,
+    /// Variant label.
+    pub fuzzer: String,
+    /// Per-shard outcomes, indexed by shard id.
+    pub shards: Vec<ShardOutcome>,
+    /// Fleet-deduplicated crashes (includes any snapshot baseline).
+    pub crashes: Vec<CrashRecord>,
+    /// Distinct kernel blocks observed fleet-wide.
+    pub union_coverage: usize,
+    /// Executions across all shards (this run).
+    pub executions: u64,
+    /// Mean per-shard coverage series on the fleet clock.
+    pub mean_series: Series,
+    /// Hub union-coverage series (the fleet's headline curve).
+    pub union_series: Series,
+    /// Metrics drained from the event bus.
+    pub stats: FleetStats,
+    /// Sync rounds completed over the campaign (including pre-resume).
+    pub rounds_completed: usize,
+    /// Fleet virtual clock reached, µs.
+    pub clock_us: u64,
+    /// Snapshot text as of the last completed round; feed to
+    /// [`Fleet::resume`] to continue a killed campaign.
+    pub snapshot: String,
+    /// Whether the campaign ran to its full length (false after a
+    /// `kill_after_rounds` fault injection).
+    pub finished: bool,
+}
+
+impl FleetResult {
+    /// Mean of the shards' final coverage values.
+    pub fn mean_final_coverage(&self) -> f64 {
+        crate::stats::mean(
+            &self.shards.iter().map(|s| s.final_coverage).collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// The fleet orchestrator.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    config: FleetConfig,
+}
+
+impl Fleet {
+    /// Creates an orchestrator for `config` (shard count is clamped to at
+    /// least 1).
+    pub fn new(mut config: FleetConfig) -> Self {
+        config.shards = config.shards.max(1);
+        Self { config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs a fresh fleet campaign: shard `i` boots `spec` with
+    /// `make_config(i + 1)`.
+    pub fn run<F>(&self, spec: &FirmwareSpec, make_config: F) -> FleetResult
+    where
+        F: Fn(u64) -> FuzzerConfig + Sync,
+    {
+        self.launch(spec, &make_config, None)
+    }
+
+    /// Resumes a killed campaign from [`FleetResult::snapshot`] text:
+    /// restores the hub (corpus, relation graph, coverage, series,
+    /// crashes), primes fresh shards from it, and runs the remaining
+    /// rounds on the fleet clock.
+    pub fn resume<F>(
+        &self,
+        spec: &FirmwareSpec,
+        make_config: F,
+        snapshot_text: &str,
+    ) -> Result<FleetResult, String>
+    where
+        F: Fn(u64) -> FuzzerConfig + Sync,
+    {
+        let snap = FleetSnapshot::parse(snapshot_text)?;
+        Ok(self.launch(spec, &make_config, Some(snap)))
+    }
+
+    fn launch<F>(
+        &self,
+        spec: &FirmwareSpec,
+        make_config: &F,
+        resume: Option<FleetSnapshot>,
+    ) -> FleetResult
+    where
+        F: Fn(u64) -> FuzzerConfig + Sync,
+    {
+        let cfg = &self.config;
+        let total_us = (cfg.hours * HOUR_US as f64) as u64;
+        let interval_us = ((cfg.sync_interval_hours * HOUR_US as f64) as u64).max(1);
+        let total_rounds = (total_us.div_ceil(interval_us) as usize).max(1);
+        let start_round = resume.as_ref().map_or(0, |s| s.round.min(total_rounds));
+        let clock_offset_us = resume.as_ref().map_or(0, |s| s.clock_us.min(total_us));
+
+        let (bus, rx) = EventBus::new();
+
+        // Boot the engines in parallel (probing is the expensive part),
+        // then wrap them into shards on the orchestrator thread.
+        let engines: Vec<FuzzingEngine> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..cfg.shards)
+                .map(|i| {
+                    let spec = spec.clone();
+                    scope.spawn(move || {
+                        FuzzingEngine::new(spec.boot(), make_config(i as u64 + 1))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard boot")).collect()
+        });
+        let mut shards: Vec<Shard> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, engine)| Shard::new(i, engine, bus.clone(), clock_offset_us))
+            .collect();
+
+        let mut hub = CorpusHub::new(cfg.hub_capacity);
+        if let Some(snap) = &resume {
+            snap.restore_into(&mut hub);
+            if !snap.relations_text.is_empty() {
+                let table = shards[0].engine().desc_table();
+                let mut graph = RelationGraph::new(table);
+                graph.import(&snap.relations_text, table);
+                hub.set_relations(graph);
+            }
+        }
+        for shard in &mut shards {
+            if cfg.sync {
+                shard.restore_from_hub(&hub);
+            } else {
+                // Independent repeats keep their corpora private; still
+                // announce the shard on the bus.
+                bus.emit(FleetEvent::ShardStarted { shard: shard.id, restored_seeds: 0 });
+            }
+        }
+
+        let mut rounds_completed = start_round;
+        let mut clock_us = clock_offset_us;
+        let mut snapshot_text =
+            resume.as_ref().map_or_else(String::new, FleetSnapshot::to_text);
+        let mut killed = false;
+
+        for round in start_round..total_rounds {
+            let global_target = (interval_us * (round as u64 + 1)).min(total_us);
+            let local_target = global_target - clock_offset_us;
+
+            // Fuzz the slice: each worker thread owns exactly one shard.
+            thread::scope(|scope| {
+                for shard in &mut shards {
+                    scope.spawn(move || shard.run_slice(local_target, round));
+                }
+            });
+
+            // Sync round, sequential in shard order for determinism.
+            let mut published = 0;
+            for shard in &mut shards {
+                published += shard.publish(&mut hub);
+            }
+            hub.sync_crashes(shards.iter().map(|s| s.engine().crash_db()));
+            let mut pulled = 0;
+            if cfg.sync {
+                for shard in &mut shards {
+                    pulled += shard.pull(&hub);
+                }
+            }
+            hub.record_sample(global_target);
+            bus.emit(FleetEvent::SyncCompleted {
+                round,
+                published,
+                pulled,
+                hub_seeds: hub.len(),
+                hub_edges: hub.relations().map_or(0, RelationGraph::edge_count),
+                union_coverage: hub.union_coverage(),
+            });
+
+            rounds_completed = round + 1;
+            clock_us = global_target;
+            let table = shards[0].engine().desc_table();
+            snapshot_text =
+                FleetSnapshot::capture(&hub, table, rounds_completed, clock_us).to_text();
+
+            if cfg.kill_after_rounds == Some(round + 1 - start_round) {
+                killed = true;
+                break;
+            }
+        }
+
+        for shard in &shards {
+            shard.finish();
+        }
+        let stats = FleetStats::drain(&rx, cfg.shards);
+
+        let outcomes: Vec<ShardOutcome> = shards
+            .iter()
+            .map(|shard| {
+                let mut series = Series::new();
+                for &(t, v) in shard.engine().coverage_series().points() {
+                    series.push(clock_offset_us + t, v);
+                }
+                ShardOutcome {
+                    shard: shard.id,
+                    final_coverage: shard.engine().kernel_coverage() as f64,
+                    executions: shard.engine().executions(),
+                    series,
+                    crash_titles: shard
+                        .engine()
+                        .crash_db()
+                        .records()
+                        .iter()
+                        .map(|r| r.title.clone())
+                        .collect(),
+                }
+            })
+            .collect();
+        let shard_series: Vec<Series> = outcomes.iter().map(|o| o.series.clone()).collect();
+
+        FleetResult {
+            device_id: spec.meta.id.clone(),
+            fuzzer: make_config(0).variant.to_string(),
+            crashes: hub.crashes().records().into_iter().cloned().collect(),
+            union_coverage: hub.union_coverage(),
+            executions: outcomes.iter().map(|o| o.executions).sum(),
+            mean_series: mean_series(&shard_series, total_us, 48),
+            union_series: hub.series().clone(),
+            shards: outcomes,
+            stats,
+            rounds_completed,
+            clock_us,
+            snapshot: snapshot_text,
+            finished: !killed && rounds_completed == total_rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdevice::catalog;
+
+    fn quick_fleet(sync: bool, kill_after_rounds: Option<usize>) -> Fleet {
+        Fleet::new(FleetConfig {
+            shards: 2,
+            hours: 0.2,
+            sync_interval_hours: 0.05,
+            sync,
+            hub_capacity: 256,
+            kill_after_rounds,
+        })
+    }
+
+    #[test]
+    fn fleet_campaign_completes_and_aggregates() {
+        let result = quick_fleet(true, None).run(&catalog::device_a1(), FuzzerConfig::droidfuzz);
+        assert_eq!(result.device_id, "A1");
+        assert_eq!(result.fuzzer, "DroidFuzz");
+        assert_eq!(result.shards.len(), 2);
+        assert!(result.finished);
+        assert_eq!(result.rounds_completed, 4);
+        assert!(result.executions > 0);
+        assert!(result.union_coverage > 0);
+        // The union dominates every single shard.
+        for shard in &result.shards {
+            assert!(result.union_coverage as f64 >= shard.final_coverage);
+        }
+        assert!(!result.mean_series.is_empty());
+        assert_eq!(result.union_series.len(), 4, "one union sample per round");
+        assert!(result.stats.sync_rounds == 4);
+        assert!(result.stats.seeds_published > 0);
+        assert!(result.stats.seeds_pulled > 0, "synced shards exchange seeds");
+        assert!(result.snapshot.starts_with(SNAPSHOT_HEADER));
+    }
+
+    #[test]
+    fn unsynced_fleet_exchanges_no_seeds() {
+        let result = quick_fleet(false, None).run(&catalog::device_a1(), FuzzerConfig::droidfuzz);
+        assert!(result.finished);
+        assert_eq!(result.stats.seeds_pulled, 0);
+        assert!(result.stats.seeds_published > 0, "the hub still aggregates for snapshots");
+        assert!(result.union_coverage > 0);
+    }
+
+    #[test]
+    fn kill_leaves_a_resumable_snapshot() {
+        let fleet = quick_fleet(true, Some(2));
+        let spec = catalog::device_a1();
+        let killed = fleet.run(&spec, FuzzerConfig::droidfuzz);
+        assert!(!killed.finished);
+        assert_eq!(killed.rounds_completed, 2);
+
+        let resumed = quick_fleet(true, None)
+            .resume(&spec, FuzzerConfig::droidfuzz, &killed.snapshot)
+            .expect("snapshot parses");
+        assert!(resumed.finished);
+        assert_eq!(resumed.rounds_completed, 4);
+        assert_eq!(resumed.clock_us, (0.2 * HOUR_US as f64) as u64);
+        // The union coverage can only grow across the kill.
+        assert!(resumed.union_coverage >= killed.union_coverage);
+        // Shards were primed from the snapshot corpus.
+        assert!(resumed.stats.shards.iter().any(|s| s.restored_seeds > 0));
+        // The union series carries the pre-kill samples forward.
+        assert_eq!(resumed.union_series.len(), 4);
+    }
+
+    #[test]
+    fn resume_rejects_garbage() {
+        let fleet = quick_fleet(true, None);
+        assert!(fleet
+            .resume(&catalog::device_a1(), FuzzerConfig::droidfuzz, "not a snapshot")
+            .is_err());
+    }
+}

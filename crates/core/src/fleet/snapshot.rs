@@ -1,0 +1,390 @@
+//! Fleet checkpoint/resume: serializes the hub's persistent data — live
+//! corpus, merged relation graph, union coverage and its time series, and
+//! the deduplicated crash database — into one line-oriented text snapshot
+//! that can be written to disk mid-campaign and restored after a kill.
+//!
+//! Layout (sections in fixed order; the corpus goes last because its body
+//! is free-form program text):
+//!
+//! ```text
+//! # droidfuzz-fleet-snapshot v1 round=<n> clock_us=<t>
+//! # section relations
+//! <RelationGraph::export text>
+//! # section coverage
+//! block <hex>
+//! # section series
+//! sample <time_us> <value>
+//! # section crashes
+//! crash <count>\t<first_seen_us>\t<kind>\t<component>\t<title>\t<repro|->
+//! # section corpus
+//! <Corpus::export text>
+//! ```
+//!
+//! Parsing is tolerant the same way corpus import is: malformed lines are
+//! counted and skipped, never fatal, so a truncated snapshot restores
+//! everything it still carries.
+
+use super::hub::CorpusHub;
+use crate::crashes::CrashRecord;
+use fuzzlang::desc::DescTable;
+use simkernel::coverage::Block;
+use simkernel::report::{BugKind, Component};
+
+/// Snapshot format magic + version, the required first-line prefix.
+pub const SNAPSHOT_HEADER: &str = "# droidfuzz-fleet-snapshot v1";
+
+/// A parsed (or captured) fleet snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct FleetSnapshot {
+    /// Sync rounds completed when the snapshot was taken.
+    pub round: usize,
+    /// Fleet virtual clock at the snapshot, µs.
+    pub clock_us: u64,
+    /// [`RelationGraph::export`] text (empty when no shard learned).
+    ///
+    /// [`RelationGraph::export`]: crate::relation::RelationGraph::export
+    pub relations_text: String,
+    /// Union coverage block ids.
+    pub coverage: Vec<u64>,
+    /// Union-coverage-over-time samples.
+    pub series: Vec<(u64, f64)>,
+    /// Deduplicated fleet crashes.
+    pub crashes: Vec<CrashRecord>,
+    /// [`Corpus::export`]-format text of the hub's live seeds.
+    ///
+    /// [`Corpus::export`]: crate::corpus::Corpus::export
+    pub corpus_text: String,
+    /// Malformed lines skipped during [`parse`](Self::parse) (0 for a
+    /// freshly captured snapshot).
+    pub rejected_lines: usize,
+}
+
+fn kind_tag(kind: BugKind) -> &'static str {
+    match kind {
+        BugKind::Warning => "warning",
+        BugKind::Bug => "bug",
+        BugKind::KasanUseAfterFree => "kasan-uaf",
+        BugKind::KasanInvalidAccess => "kasan-invalid",
+        BugKind::SoftLockup => "soft-lockup",
+        BugKind::Panic => "panic",
+        BugKind::NativeCrash => "native-crash",
+    }
+}
+
+fn parse_kind(tag: &str) -> Option<BugKind> {
+    Some(match tag {
+        "warning" => BugKind::Warning,
+        "bug" => BugKind::Bug,
+        "kasan-uaf" => BugKind::KasanUseAfterFree,
+        "kasan-invalid" => BugKind::KasanInvalidAccess,
+        "soft-lockup" => BugKind::SoftLockup,
+        "panic" => BugKind::Panic,
+        "native-crash" => BugKind::NativeCrash,
+        _ => return None,
+    })
+}
+
+fn component_tag(component: Component) -> &'static str {
+    match component {
+        Component::KernelDriver => "kernel-driver",
+        Component::KernelSubsystem => "kernel-subsystem",
+        Component::Hal => "hal",
+    }
+}
+
+fn parse_component(tag: &str) -> Option<Component> {
+    Some(match tag {
+        "kernel-driver" => Component::KernelDriver,
+        "kernel-subsystem" => Component::KernelSubsystem,
+        "hal" => Component::Hal,
+        _ => return None,
+    })
+}
+
+/// Escapes a field so it fits on one tab-separated line.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+impl FleetSnapshot {
+    /// Captures the hub's state. `table` resolves relation-edge names;
+    /// `round`/`clock_us` stamp the fleet's position for resume.
+    pub fn capture(hub: &CorpusHub, table: &DescTable, round: usize, clock_us: u64) -> Self {
+        Self {
+            round,
+            clock_us,
+            relations_text: hub.relations().map(|g| g.export(table)).unwrap_or_default(),
+            coverage: hub.coverage_blocks().iter().map(|b| b.0).collect(),
+            series: hub.series().points().to_vec(),
+            crashes: hub.crashes().records().into_iter().cloned().collect(),
+            corpus_text: hub.corpus_text(),
+            rejected_lines: 0,
+        }
+    }
+
+    /// Serializes to snapshot text. `parse` → `to_text` is byte-identical
+    /// for a clean snapshot.
+    pub fn to_text(&self) -> String {
+        let mut out =
+            format!("{SNAPSHOT_HEADER} round={} clock_us={}\n", self.round, self.clock_us);
+        out.push_str("# section relations\n");
+        out.push_str(&self.relations_text);
+        out.push_str("# section coverage\n");
+        for block in &self.coverage {
+            out.push_str(&format!("block {block:x}\n"));
+        }
+        out.push_str("# section series\n");
+        for &(t, v) in &self.series {
+            out.push_str(&format!("sample {t} {v}\n"));
+        }
+        out.push_str("# section crashes\n");
+        for crash in &self.crashes {
+            out.push_str(&format!(
+                "crash {}\t{}\t{}\t{}\t{}\t{}\n",
+                crash.count,
+                crash.first_seen_us,
+                kind_tag(crash.kind),
+                component_tag(crash.component),
+                escape(&crash.title),
+                crash.repro.as_deref().map_or_else(|| "-".to_owned(), escape),
+            ));
+        }
+        out.push_str("# section corpus\n");
+        out.push_str(&self.corpus_text);
+        out
+    }
+
+    /// Parses snapshot text. Fails only on a missing/foreign header;
+    /// malformed section lines are skipped and counted in
+    /// `rejected_lines`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        if !header.starts_with(SNAPSHOT_HEADER) {
+            return Err(format!("not a fleet snapshot (expected `{SNAPSHOT_HEADER} ...`)"));
+        }
+        let mut snap = FleetSnapshot::default();
+        for field in header.split_whitespace() {
+            if let Some(v) = field.strip_prefix("round=") {
+                snap.round = v.parse().map_err(|_| "bad round in header".to_owned())?;
+            } else if let Some(v) = field.strip_prefix("clock_us=") {
+                snap.clock_us = v.parse().map_err(|_| "bad clock_us in header".to_owned())?;
+            }
+        }
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Relations,
+            Coverage,
+            Series,
+            Crashes,
+            Corpus,
+        }
+        let mut section = Section::None;
+        for line in lines {
+            if let Some(name) = line.strip_prefix("# section ") {
+                section = match name.trim() {
+                    "relations" => Section::Relations,
+                    "coverage" => Section::Coverage,
+                    "series" => Section::Series,
+                    "crashes" => Section::Crashes,
+                    "corpus" => Section::Corpus,
+                    _ => {
+                        snap.rejected_lines += 1;
+                        Section::None
+                    }
+                };
+                continue;
+            }
+            match section {
+                // Relations and corpus keep their verbatim text; their own
+                // importers do the per-line validation.
+                Section::Relations => {
+                    snap.relations_text.push_str(line);
+                    snap.relations_text.push('\n');
+                }
+                Section::Corpus => {
+                    snap.corpus_text.push_str(line);
+                    snap.corpus_text.push('\n');
+                }
+                Section::Coverage => {
+                    match line.strip_prefix("block ").and_then(|v| u64::from_str_radix(v, 16).ok())
+                    {
+                        Some(block) => snap.coverage.push(block),
+                        None => snap.rejected_lines += 1,
+                    }
+                }
+                Section::Series => {
+                    let parsed = line.strip_prefix("sample ").and_then(|rest| {
+                        let (t, v) = rest.split_once(' ')?;
+                        let v: f64 = v.parse().ok()?;
+                        v.is_finite().then_some((t.parse::<u64>().ok()?, v))
+                    });
+                    match parsed {
+                        Some(point) => snap.series.push(point),
+                        None => snap.rejected_lines += 1,
+                    }
+                }
+                Section::Crashes => match parse_crash_line(line) {
+                    Some(record) => snap.crashes.push(record),
+                    None => snap.rejected_lines += 1,
+                },
+                Section::None => {
+                    if !line.trim().is_empty() {
+                        snap.rejected_lines += 1;
+                    }
+                }
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Installs the snapshot's state into a fresh hub. The relation graph
+    /// needs a vocabulary, so it is rebuilt by the caller (the fleet has
+    /// the engines' [`DescTable`]) — this restores everything else.
+    pub fn restore_into(&self, hub: &mut CorpusHub) {
+        hub.publish_corpus(super::hub::HUB_ORIGIN, &self.corpus_text);
+        hub.set_baseline_crashes(&self.crashes);
+        hub.publish_coverage(self.coverage.iter().map(|&b| Block(b)));
+        hub.restore_series(&self.series);
+    }
+}
+
+fn parse_crash_line(line: &str) -> Option<CrashRecord> {
+    let rest = line.strip_prefix("crash ")?;
+    let fields: Vec<&str> = rest.splitn(6, '\t').collect();
+    if fields.len() != 6 {
+        return None;
+    }
+    let repro = match fields[5] {
+        "-" => None,
+        escaped => Some(unescape(escaped)),
+    };
+    Some(CrashRecord {
+        count: fields[0].parse().ok()?,
+        first_seen_us: fields[1].parse().ok()?,
+        kind: parse_kind(fields[2])?,
+        component: parse_component(fields[3])?,
+        title: unescape(fields[4]),
+        repro,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> FleetSnapshot {
+        FleetSnapshot {
+            round: 2,
+            clock_us: 1_800_000_000,
+            relations_text: "# relation-graph learns=3\nedge a\tb\t0.5\n".to_owned(),
+            coverage: vec![0x10, 0x2f],
+            series: vec![(900_000_000, 1.0), (1_800_000_000, 2.0)],
+            crashes: vec![CrashRecord {
+                title: "WARNING in v4l_querycap".to_owned(),
+                kind: BugKind::Warning,
+                component: Component::KernelDriver,
+                count: 3,
+                first_seen_us: 42,
+                repro: Some("r0 = openat$/dev/video0()\n".to_owned()),
+            }],
+            corpus_text: "# seed 0 signals=7\nr0 = openat$/dev/video0()\n\n".to_owned(),
+            rejected_lines: 0,
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_byte_identical() {
+        let snap = sample_snapshot();
+        let text = snap.to_text();
+        let parsed = FleetSnapshot::parse(&text).expect("clean snapshot parses");
+        assert_eq!(parsed.rejected_lines, 0);
+        assert_eq!(parsed.to_text(), text);
+        assert_eq!(parsed.round, 2);
+        assert_eq!(parsed.clock_us, 1_800_000_000);
+        assert_eq!(parsed.coverage, vec![0x10, 0x2f]);
+        assert_eq!(parsed.series, vec![(900_000_000, 1.0), (1_800_000_000, 2.0)]);
+        assert_eq!(parsed.crashes[0].title, "WARNING in v4l_querycap");
+        assert_eq!(parsed.crashes[0].repro.as_deref(), Some("r0 = openat$/dev/video0()\n"));
+    }
+
+    #[test]
+    fn parse_rejects_foreign_text() {
+        assert!(FleetSnapshot::parse("").is_err());
+        assert!(FleetSnapshot::parse("# seed 0 signals=1\nr0 = x()\n").is_err());
+    }
+
+    #[test]
+    fn parse_survives_malformed_lines() {
+        let mut text = sample_snapshot().to_text();
+        text.push_str("# section coverage\nblock nothex\nblock 3e\n");
+        text.push_str("# section series\nsample garbage\nsample 10 NaN\n");
+        text.push_str("# section crashes\ncrash truncated\n");
+        let parsed = FleetSnapshot::parse(&text).expect("tolerant parse");
+        assert_eq!(parsed.rejected_lines, 4);
+        assert!(parsed.coverage.contains(&0x3e), "good lines after bad ones still land");
+        assert_eq!(parsed.crashes.len(), 1);
+    }
+
+    #[test]
+    fn truncated_snapshot_restores_prefix() {
+        let full = sample_snapshot().to_text();
+        // Cut mid-way through the crashes section.
+        let cut = full.find("# section crashes").unwrap() + "# section crashes\ncrash 3".len();
+        let parsed = FleetSnapshot::parse(&full[..cut]).expect("prefix parses");
+        assert_eq!(parsed.coverage.len(), 2);
+        assert_eq!(parsed.series.len(), 2);
+        assert_eq!(parsed.crashes.len(), 0, "the torn crash line is dropped");
+        assert_eq!(parsed.rejected_lines, 1);
+    }
+
+    #[test]
+    fn escape_roundtrips_control_characters() {
+        let nasty = "title with\ttab and\nnewline and \\backslash";
+        assert_eq!(unescape(&escape(nasty)), nasty);
+        assert!(!escape(nasty).contains('\n'));
+        assert!(!escape(nasty).contains('\t'));
+    }
+
+    #[test]
+    fn restore_into_rebuilds_hub_state() {
+        let snap = sample_snapshot();
+        let mut hub = CorpusHub::new(64);
+        snap.restore_into(&mut hub);
+        assert_eq!(hub.len(), 1);
+        assert_eq!(hub.union_coverage(), 2);
+        assert_eq!(hub.crashes().len(), 1);
+        assert_eq!(hub.series().points().len(), 2);
+        // Restored seeds are visible to every shard.
+        assert_eq!(hub.pull_corpus(0, 0).2, 1);
+    }
+}

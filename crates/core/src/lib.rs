@@ -21,7 +21,9 @@
 //!    initialization.
 //!
 //! The remaining modules implement the fuzzing harness of §IV-A
-//! ([`engine`], [`exec`], [`daemon`]), corpus and crash management
+//! ([`engine`], [`exec`], [`daemon`] — with [`fleet`] scaling the daemon
+//! to sharded multi-engine campaigns with corpus/relation sync,
+//! checkpoint/resume, and a metrics bus), corpus and crash management
 //! ([`corpus`], [`crashes`], [`minimize`]), the evaluation baselines
 //! ([`baselines`]: syzkaller-like and Difuze-like fuzzers plus the
 //! DroidFuzz-D / ablation configurations in [`config`]), and the
@@ -50,6 +52,7 @@ pub mod descs;
 pub mod engine;
 pub mod exec;
 pub mod feedback;
+pub mod fleet;
 pub mod generate;
 pub mod minimize;
 pub mod probe;

@@ -96,7 +96,6 @@ mod tests {
 
     #[test]
     fn minimize_keeps_everything_when_all_essential() {
-        let t = table();
         let prog = noisy_prog();
         let original = prog.clone();
         let (minimized, _) = minimize(&prog, |p| *p == original);

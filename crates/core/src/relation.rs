@@ -149,6 +149,169 @@ impl RelationGraph {
     pub fn in_weight_sum(&self, b: DescId) -> f64 {
         self.out.values().filter_map(|m| m.get(&b.0)).sum()
     }
+
+    /// Serializes the learned edges in a line-oriented text format keyed
+    /// by call-description *names* (stable across engine restarts, unlike
+    /// raw indices), the daemon's persistent representation:
+    ///
+    /// ```text
+    /// # relation-graph learns=N
+    /// edge <from>\t<to>\t<weight>
+    /// ```
+    ///
+    /// Weights print with Rust's shortest-roundtrip float formatting, so
+    /// export → import → export is byte-identical.
+    pub fn export(&self, table: &DescTable) -> String {
+        let mut out = format!("# relation-graph learns={}\n", self.learn_events);
+        for (&a, targets) in &self.out {
+            for (&b, &w) in targets {
+                out.push_str(&format!(
+                    "edge {}\t{}\t{w}\n",
+                    table.get(DescId(a)).name,
+                    table.get(DescId(b)).name,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Restores edges from an [`export`](Self::export) dump, resolving
+    /// names against `table`. Malformed lines and edges naming calls
+    /// absent from the current vocabulary are skipped; returns
+    /// `(accepted, rejected)`. After the raw weights are inserted, every
+    /// target's in-weights are renormalized so they remain a valid
+    /// distribution (Σ ≤ 1, the Eq. 1 invariant).
+    pub fn import(&mut self, text: &str, table: &DescTable) -> (usize, usize) {
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("# relation-graph ") {
+                if let Some(n) = header
+                    .split("learns=")
+                    .nth(1)
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                {
+                    self.learn_events = self.learn_events.max(n);
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let parsed = line.strip_prefix("edge ").and_then(|rest| {
+                let mut fields = rest.split('\t');
+                let a = table.id_of(fields.next()?)?;
+                let b = table.id_of(fields.next()?)?;
+                let w: f64 = fields.next()?.parse().ok()?;
+                (w.is_finite() && w >= 0.0).then_some((a, b, w))
+            });
+            match parsed {
+                Some((a, b, w)) => {
+                    if self.out.entry(a.0).or_default().insert(b.0, w).is_none() {
+                        self.edge_count += 1;
+                    }
+                    accepted += 1;
+                }
+                None => rejected += 1,
+            }
+        }
+        self.normalize_in_weights();
+        (accepted, rejected)
+    }
+
+    /// Merges a peer's learned edges into this graph (fleet relation
+    /// sync). Peer weights are added source-wise per target, then each
+    /// target's in-weights are rescaled so their sum equals the larger of
+    /// the two graphs' original in-weight sums (capped at 1) — keeping
+    /// every in-edge set a valid distribution per Eq. 1 while preserving
+    /// the residual stop probability decay has earned.
+    ///
+    /// Both graphs must be built over the same description table (fleet
+    /// shards share one device model and config).
+    pub fn merge_from(&mut self, peer: &RelationGraph) {
+        assert_eq!(
+            self.vertex_count(),
+            peer.vertex_count(),
+            "relation graphs from different vocabularies cannot merge"
+        );
+        // Collect per-target in-weight sums on both sides first.
+        let mut target_sum_self: BTreeMap<usize, f64> = BTreeMap::new();
+        for targets in self.out.values() {
+            for (&b, &w) in targets {
+                *target_sum_self.entry(b).or_default() += w;
+            }
+        }
+        let mut target_sum_peer: BTreeMap<usize, f64> = BTreeMap::new();
+        for targets in peer.out.values() {
+            for (&b, &w) in targets {
+                *target_sum_peer.entry(b).or_default() += w;
+            }
+        }
+        for (&a, targets) in &peer.out {
+            for (&b, &w) in targets {
+                let entry = self.out.entry(a).or_default();
+                match entry.get_mut(&b) {
+                    Some(existing) => *existing += w,
+                    None => {
+                        entry.insert(b, w);
+                        self.edge_count += 1;
+                    }
+                }
+            }
+        }
+        // Rescale each touched target back to a valid distribution.
+        let targets: std::collections::BTreeSet<usize> = target_sum_self
+            .keys()
+            .chain(target_sum_peer.keys())
+            .copied()
+            .collect();
+        for b in targets {
+            let combined: f64 = self.out.values().filter_map(|m| m.get(&b)).sum();
+            let goal = target_sum_self
+                .get(&b)
+                .copied()
+                .unwrap_or(0.0)
+                .max(target_sum_peer.get(&b).copied().unwrap_or(0.0))
+                .min(1.0);
+            if combined > 0.0 && (combined - goal).abs() > f64::EPSILON {
+                let scale = goal / combined;
+                for targets in self.out.values_mut() {
+                    if let Some(w) = targets.get_mut(&b) {
+                        *w *= scale;
+                    }
+                }
+            }
+        }
+        self.learn_events += peer.learn_events;
+    }
+
+    /// Caps every vertex's in-weight sum at 1 (used after importing raw
+    /// weights from text, which an adversarial snapshot could inflate).
+    fn normalize_in_weights(&mut self) {
+        let mut sums: BTreeMap<usize, f64> = BTreeMap::new();
+        for targets in self.out.values() {
+            for (&b, &w) in targets {
+                *sums.entry(b).or_default() += w;
+            }
+        }
+        for (b, sum) in sums {
+            // Tolerance keeps clean re-imports byte-identical: float
+            // addition of a learn-produced distribution may land a hair
+            // above 1 without being adversarial.
+            if sum > 1.0 + 1e-9 {
+                let scale = 1.0 / sum;
+                for targets in self.out.values_mut() {
+                    if let Some(w) = targets.get_mut(&b) {
+                        *w *= scale;
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +431,88 @@ mod tests {
         }
         assert!(hits > 500 && stops > 300, "hits={hits} stops={stops}");
         assert_eq!(g.sample_next(DescId(2), &mut rng), None);
+    }
+
+    #[test]
+    fn export_import_roundtrip_is_byte_identical() {
+        let t = table(5);
+        let mut g = RelationGraph::new(&t);
+        g.learn(DescId(0), DescId(4));
+        g.learn(DescId(1), DescId(4));
+        g.learn(DescId(2), DescId(3));
+        g.decay(0.7);
+        let text = g.export(&t);
+        let mut restored = RelationGraph::new(&t);
+        let (accepted, rejected) = restored.import(&text, &t);
+        assert_eq!((accepted, rejected), (3, 0));
+        assert_eq!(restored.edge_count(), 3);
+        assert_eq!(restored.export(&t), text);
+        assert_eq!(restored.learn_events(), g.learn_events());
+    }
+
+    #[test]
+    fn import_skips_unknown_calls_and_garbage() {
+        let t = table(3);
+        let mut g = RelationGraph::new(&t);
+        let text = "# relation-graph learns=4\n\
+                    edge call0\tcall1\t0.5\n\
+                    edge call0\tcall_gone\t0.5\n\
+                    edge call2\tcall1\tNaN\n\
+                    edge call2\tcall1\t-1.0\n\
+                    not an edge line\n\
+                    edge truncated\n";
+        let (accepted, rejected) = g.import(text, &t);
+        assert_eq!(accepted, 1);
+        assert_eq!(rejected, 5);
+        assert_eq!(g.edge_weight(DescId(0), DescId(1)), Some(0.5));
+    }
+
+    #[test]
+    fn import_caps_inflated_in_weights() {
+        let t = table(3);
+        let mut g = RelationGraph::new(&t);
+        let text = "edge call0\tcall2\t0.9\nedge call1\tcall2\t0.9\n";
+        g.import(text, &t);
+        let sum = g.in_weight_sum(DescId(2));
+        assert!((sum - 1.0).abs() < 1e-9, "inflated in-weights capped, got {sum}");
+    }
+
+    #[test]
+    fn merge_keeps_in_weights_a_distribution() {
+        let t = table(5);
+        let mut a = RelationGraph::new(&t);
+        a.learn(DescId(0), DescId(4));
+        a.learn(DescId(1), DescId(4));
+        let mut b = RelationGraph::new(&t);
+        b.learn(DescId(2), DescId(4));
+        b.learn(DescId(3), DescId(4));
+        b.learn(DescId(0), DescId(1));
+        a.merge_from(&b);
+        let sum = a.in_weight_sum(DescId(4));
+        assert!((sum - 1.0).abs() < 1e-9, "merged in-weights sum to {sum}");
+        assert_eq!(a.in_weight_sum(DescId(1)), 1.0);
+        // Every source that ever learned into 4 has surviving mass.
+        for src in [0, 1, 2, 3] {
+            assert!(a.edge_weight(DescId(src), DescId(4)).unwrap() > 0.0);
+        }
+        assert_eq!(a.learn_events(), 5);
+    }
+
+    #[test]
+    fn merge_preserves_decay_residual() {
+        let t = table(3);
+        let mut a = RelationGraph::new(&t);
+        a.learn(DescId(0), DescId(2));
+        a.decay(0.5); // in-weight sum of 2 is now 0.5
+        let mut b = RelationGraph::new(&t);
+        b.learn(DescId(1), DescId(2));
+        b.decay(0.4); // in-weight sum of 2 is 0.4
+        a.merge_from(&b);
+        let sum = a.in_weight_sum(DescId(2));
+        assert!(
+            (sum - 0.5).abs() < 1e-9,
+            "merge keeps the larger decayed sum, got {sum}"
+        );
     }
 
     #[test]

@@ -14,10 +14,10 @@ pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let render_row = |cells: &[String]| -> String {
         let mut line = String::from("|");
-        for i in 0..cols {
-            let empty = String::new();
+        let empty = String::new();
+        for (i, &width) in widths.iter().enumerate().take(cols) {
             let cell = cells.get(i).unwrap_or(&empty);
-            line.push_str(&format!(" {cell:<width$} |", width = widths[i]));
+            line.push_str(&format!(" {cell:<width$} |"));
         }
         line
     };
@@ -66,8 +66,7 @@ pub fn ascii_chart(title: &str, series: &[(&str, &Series)], width: usize, height
     let mut grid = vec![vec![' '; width]; height];
     for (si, (_, s)) in series.iter().enumerate() {
         let mark = marks[si % marks.len()];
-        for col in 0..width {
-            let t = max_t * (col as u64 + 1) / width as u64;
+        for (col, t) in (1..=width as u64).map(|c| max_t * c / width as u64).enumerate() {
             let v = s.value_at(t);
             let row = ((v / max_v) * (height as f64 - 1.0)).round() as usize;
             let row = height - 1 - row.min(height - 1);

@@ -193,6 +193,9 @@ pub fn parse_prog(text: &str, table: &DescTable) -> Result<Prog, ParseProgError>
         let open = rest.find('(').ok_or_else(|| err(line, "missing `(`"))?;
         let name = &rest[..open];
         let close = rest.rfind(')').ok_or_else(|| err(line, "missing `)`"))?;
+        if close < open {
+            return Err(err(line, "`)` before `(`"));
+        }
         let args_str = &rest[open + 1..close];
         let desc_id = table
             .id_of(name)
@@ -270,6 +273,15 @@ mod tests {
         let t = table();
         let text = "# corpus entry 1\n\nr0 = openat$/dev/x()\n";
         assert_eq!(parse_prog(text, &t).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error_instead_of_panicking() {
+        let t = table();
+        // `)` before `(` used to hit an out-of-range slice.
+        for bad in ["r0 = )junk(", "r0 = )(", "r0 = x)y(z", "r0 = ="] {
+            assert!(parse_prog(bad, &t).is_err(), "{bad:?} must be a parse error");
+        }
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository cannot reach a crates.io
+//! registry, so the workspace vendors the slice of the criterion 0.5 API
+//! its microbenchmarks use: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], benchmark groups, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros. Instead of
+//! criterion's statistical machinery it runs a fixed warm-up plus timed
+//! batch per benchmark and prints mean wall-clock time per iteration —
+//! enough to compare hot paths locally and to keep `cargo bench` compiling
+//! and running.
+
+use std::time::{Duration, Instant};
+
+/// How measured samples are batched between setup calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many routine calls per setup.
+    SmallInput,
+    /// Large inputs: fewer routine calls per setup.
+    LargeInput,
+    /// One routine call per setup.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_setup(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    sample_iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.sample_iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_setup = size.iters_per_setup();
+        let mut measured = Duration::ZERO;
+        let mut done = 0;
+        while done < self.sample_iters {
+            let batch = per_setup.min(self.sample_iters - done);
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            measured += start.elapsed();
+            done += batch;
+        }
+        self.elapsed = measured;
+    }
+}
+
+fn run_sample(name: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up pass, then the measured pass.
+    let mut warm = Bencher { sample_iters: (sample_size / 4).max(1), elapsed: Duration::ZERO };
+    f(&mut warm);
+    let mut bencher = Bencher { sample_iters: sample_size, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos() as f64 / sample_size as f64;
+    println!("bench {name:<40} {per_iter:>12.1} ns/iter ({sample_size} iters)");
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Criterion {
+    fn effective_sample_size(&self) -> u64 {
+        if self.sample_size == 0 {
+            100
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_sample(name.as_ref(), self.effective_sample_size(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.effective_sample_size(), _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_sample(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finishes the group (reporting is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Opaque-value helper re-exported for criterion compatibility.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Collects benchmark functions into a runnable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut counter = 0u64;
+        let mut c = Criterion::default();
+        c.bench_function("shim/count", |b| b.iter(|| counter += 1));
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn iter_batched_feeds_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        let mut seen = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 7u64, |v| seen += v, BatchSize::PerIteration)
+        });
+        group.finish();
+        assert!(seen >= 70);
+    }
+}

@@ -1,0 +1,262 @@
+//! Value-generation strategies: the engine behind the [`proptest!`]
+//! macro's `arg in strategy` bindings.
+//!
+//! [`proptest!`]: crate::proptest
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Something that can produce a value per test case.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Full-range values, from [`any`](crate::any).
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+/// Types `any::<T>()` can generate.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Length specification for [`vec`](crate::prop::collection::vec).
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self { min: r.start, max_exclusive: r.end.max(r.start + 1) }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max_exclusive: n + 1 }
+    }
+}
+
+/// Vectors of element-strategy draws.
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// `&str` strategies are interpreted as a tiny regex subset: a sequence of
+/// literal characters or `[...]` classes (with `a-z` ranges), each with an
+/// optional `{min,max}` repetition — enough for patterns like
+/// `"[ -~]{0,32}"` and `"[a-z_]{1,24}"`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let elements = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported string strategy {self:?}: {e}"));
+        let mut out = String::new();
+        for el in &elements {
+            let count = rng.gen_range(el.min..=el.max);
+            for _ in 0..count {
+                out.push(el.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+struct Element {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+struct CharClass {
+    ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        let total: u32 = self.ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+        let mut x = rng.gen_range(0..total);
+        for &(lo, hi) in &self.ranges {
+            let span = hi as u32 - lo as u32 + 1;
+            if x < span {
+                return char::from_u32(lo as u32 + x).expect("valid scalar");
+            }
+            x -= span;
+        }
+        unreachable!("sample index within total")
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Result<Vec<Element>, String> {
+    let mut chars = pattern.chars().peekable();
+    let mut out = Vec::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars.next().ok_or("unterminated class")?;
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().ok_or("unterminated range")?;
+                        if hi == ']' {
+                            // Trailing '-' is a literal.
+                            ranges.push((lo, lo));
+                            ranges.push(('-', '-'));
+                            break;
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                if ranges.is_empty() {
+                    return Err("empty character class".into());
+                }
+                CharClass { ranges }
+            }
+            '\\' => {
+                let escaped = chars.next().ok_or("dangling escape")?;
+                CharClass { ranges: vec![(escaped, escaped)] }
+            }
+            literal => CharClass { ranges: vec![(literal, literal)] },
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().map_err(|_| "bad repetition min")?,
+                    b.trim().parse().map_err(|_| "bad repetition max")?,
+                ),
+                None => {
+                    let n = spec.trim().parse().map_err(|_| "bad repetition count")?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push(Element { class, min, max });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn string_pattern_respects_class_and_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z_]{1,24}".generate(&mut rng);
+            assert!((1..=24).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{s:?}");
+        }
+        for _ in 0..200 {
+            let s = "[ -~]{0,32}".generate(&mut rng);
+            assert!(s.len() <= 32);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_obeys_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = crate::prop::collection::vec(0u64..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn tuple_and_any_strategies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (a, b) = (0usize..6, 0usize..6).generate(&mut rng);
+        assert!(a < 6 && b < 6);
+        let _: bool = crate::any::<bool>().generate(&mut rng);
+        let _: i32 = crate::any::<i32>().generate(&mut rng);
+    }
+}

@@ -134,7 +134,7 @@ impl HalService for MediaHal {
                     return Err(TransactionError::InvalidOperation("not running".into()));
                 }
                 let fd = self.fd.expect("running implies fd");
-                let len = (blob.len().max(1)).min(1 << 20) as u32;
+                let len = blob.len().clamp(1, 1 << 20) as u32;
                 let seq = expect_ok(
                     sys.sys(Syscall::Ioctl {
                         fd,

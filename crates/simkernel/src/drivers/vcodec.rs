@@ -182,7 +182,7 @@ impl CharDevice for VcodecDevice {
                 }
                 s.in_queue += 1;
                 // Every second input produces an output frame.
-                if s.in_queue % 2 == 0 {
+                if s.in_queue.is_multiple_of(2) {
                     s.out_ready += 1;
                 }
                 ctx.hit_path(3, &[5, u64::from(s.codec), u64::from(s.in_queue.min(2)), u64::from(len) / (64 << 10)]);

@@ -1,0 +1,51 @@
+//! Fleet orchestration: run a small synced shard fleet on one device,
+//! checkpoint it mid-campaign, and resume from the snapshot.
+//!
+//! ```sh
+//! cargo run --release --example fleet_campaign
+//! ```
+
+use droidfuzz_repro::droidfuzz::fleet::{Fleet, FleetConfig};
+use droidfuzz_repro::droidfuzz::FuzzerConfig;
+use droidfuzz_repro::simdevice::catalog;
+
+fn main() {
+    let spec = catalog::device_a1();
+    let config = FleetConfig {
+        shards: 3,
+        hours: 0.5,
+        sync_interval_hours: 0.1,
+        ..FleetConfig::default()
+    };
+
+    // A synced fleet: shards publish seeds + relation weights to the hub
+    // every sync round and pull what their peers found.
+    let result = Fleet::new(config.clone()).run(&spec, FuzzerConfig::droidfuzz);
+    println!("{}", result.stats.render());
+    println!(
+        "union coverage {} blocks over {} executions, {} distinct crashes",
+        result.union_coverage,
+        result.executions,
+        result.crashes.len()
+    );
+
+    // Kill the same campaign after its first sync round, then resume from
+    // the text snapshot it left behind.
+    let killed = Fleet::new(FleetConfig { kill_after_rounds: Some(1), ..config.clone() })
+        .run(&spec, FuzzerConfig::droidfuzz);
+    println!(
+        "\nkilled after round {} ({} bytes of snapshot); resuming...",
+        killed.rounds_completed,
+        killed.snapshot.len()
+    );
+    let resumed = Fleet::new(config)
+        .resume(&spec, FuzzerConfig::droidfuzz, &killed.snapshot)
+        .expect("snapshot parses");
+    println!(
+        "resumed to round {} (finished: {}), union coverage {} -> {}",
+        resumed.rounds_completed,
+        resumed.finished,
+        killed.union_coverage,
+        resumed.union_coverage
+    );
+}

@@ -1,0 +1,93 @@
+//! Fleet orchestration integration tests: determinism of sharded synced
+//! campaigns, fault-injection kill/resume through the text snapshot, and
+//! the daemon's single-slice special case riding the same path.
+
+use droidfuzz_repro::droidfuzz::config::FuzzerConfig;
+use droidfuzz_repro::droidfuzz::daemon::Daemon;
+use droidfuzz_repro::droidfuzz::fleet::{Fleet, FleetConfig, FleetResult, SNAPSHOT_HEADER};
+use droidfuzz_repro::simdevice::catalog;
+
+fn quick_config(sync: bool, kill_after_rounds: Option<usize>) -> FleetConfig {
+    FleetConfig {
+        shards: 2,
+        hours: 0.15,
+        sync_interval_hours: 0.05,
+        sync,
+        hub_capacity: 256,
+        kill_after_rounds,
+    }
+}
+
+fn fingerprint(result: &FleetResult) -> (usize, Vec<u64>, Vec<Vec<String>>, String) {
+    (
+        result.union_coverage,
+        result.shards.iter().map(|s| s.final_coverage as u64).collect(),
+        result.shards.iter().map(|s| s.crash_titles.clone()).collect(),
+        result.snapshot.clone(),
+    )
+}
+
+/// A fixed `(seed, shard count)` must give identical final coverage,
+/// crash titles, and snapshot text across two runs — worker threads only
+/// touch their own shard and all hub traffic is sequenced in shard order,
+/// so scheduling noise must not leak into results.
+#[test]
+fn synced_fleet_is_deterministic_for_a_fixed_seed() {
+    let spec = catalog::device_a1();
+    let first = Fleet::new(quick_config(true, None)).run(&spec, FuzzerConfig::droidfuzz);
+    let second = Fleet::new(quick_config(true, None)).run(&spec, FuzzerConfig::droidfuzz);
+    assert!(first.finished && second.finished);
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+    assert_eq!(first.executions, second.executions);
+    // Distinct seeds do diverge (the determinism is not degeneracy).
+    let other = Fleet::new(quick_config(true, None))
+        .run(&spec, |lane| FuzzerConfig::droidfuzz(lane + 100));
+    assert_ne!(first.snapshot, other.snapshot);
+}
+
+/// Killing a campaign mid-flight must leave a snapshot that resumes to a
+/// completed campaign with all persistent state carried over.
+#[test]
+fn killed_fleet_resumes_from_its_snapshot() {
+    let spec = catalog::device_e();
+    let killed = Fleet::new(quick_config(true, Some(1))).run(&spec, FuzzerConfig::droidfuzz);
+    assert!(!killed.finished);
+    assert_eq!(killed.rounds_completed, 1);
+    assert!(killed.snapshot.starts_with(SNAPSHOT_HEADER));
+
+    let resumed = Fleet::new(quick_config(true, None))
+        .resume(&spec, FuzzerConfig::droidfuzz, &killed.snapshot)
+        .expect("snapshot must parse");
+    assert!(resumed.finished);
+    assert_eq!(resumed.rounds_completed, 3);
+    assert!(
+        resumed.union_coverage >= killed.union_coverage,
+        "union coverage can only grow over a resume: {} -> {}",
+        killed.union_coverage,
+        resumed.union_coverage
+    );
+    // Crashes found before the kill survive in the fleet database even if
+    // no shard rediscovers them after the resume.
+    for crash in &killed.crashes {
+        assert!(
+            resumed.crashes.iter().any(|c| c.title == crash.title),
+            "crash {:?} lost across the resume",
+            crash.title
+        );
+    }
+    // The hub corpus was handed back to the restarted shards.
+    assert!(resumed.stats.shards.iter().any(|s| s.restored_seeds > 0));
+}
+
+/// The daemon's repeated-campaign entry point is the unsynced single-slice
+/// special case of the fleet path and keeps its aggregate shape.
+#[test]
+fn daemon_campaign_rides_the_fleet_path() {
+    let result =
+        Daemon::new().run_campaign(&catalog::device_e(), FuzzerConfig::droidfuzz, 0.05, 2);
+    assert_eq!(result.device_id, "E");
+    assert_eq!(result.fuzzer, "DroidFuzz");
+    assert_eq!(result.final_coverage.len(), 2);
+    assert!(result.executions > 0);
+    assert!(!result.mean_series.is_empty());
+}

@@ -1,8 +1,10 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants of the reproduction.
 
+use droidfuzz_repro::droidfuzz::corpus::Corpus;
 use droidfuzz_repro::droidfuzz::crashes::dedup_key;
 use droidfuzz_repro::droidfuzz::feedback::{signals_from_execution, SignalSet, SyscallIdTable};
+use droidfuzz_repro::droidfuzz::fleet::FleetSnapshot;
 use droidfuzz_repro::droidfuzz::relation::RelationGraph;
 use droidfuzz_repro::fuzzlang::desc::{ArgDesc, CallDesc, CallKind, DescId, DescTable, SyscallTemplate};
 use droidfuzz_repro::fuzzlang::text::{format_prog, parse_prog};
@@ -222,5 +224,99 @@ proptest! {
         let plain = format!("KASAN: slab-use-after-free in {site}");
         prop_assert_eq!(dedup_key(&read), dedup_key(&plain));
         prop_assert_eq!(dedup_key(&write), dedup_key(&plain));
+    }
+
+    /// Adversarial seed text never panics corpus import, accounting stays
+    /// bounded by the header count, and whatever was accepted re-exports
+    /// byte-identically (the fleet hub relies on both properties).
+    #[test]
+    fn corpus_import_survives_adversarial_seed_text(
+        segments in prop::collection::vec((0usize..6, "[ -~]{0,40}"), 0..10),
+    ) {
+        let table = test_table();
+        let mut text = String::new();
+        for (kind, junk) in &segments {
+            match kind {
+                0 => text.push_str("# seed 0 signals=7\nr0 = openat$/dev/p()\n\n"),
+                1 => text.push_str(&format!("# seed 1 signals={junk}\nr0 = openat$/dev/p()\n")),
+                2 => text.push_str(&format!("# seed 2 signals=3\nr0 = {junk}\n")),
+                3 => text.push_str(&format!("# seed {junk}\n")),
+                4 => text.push_str(junk),
+                _ => text.push_str("r0 = openat$/dev/p()\n"),
+            }
+            text.push('\n');
+        }
+        let mut corpus = Corpus::new();
+        let (accepted, rejected) = corpus.import(&text, &table);
+        prop_assert_eq!(accepted, corpus.len());
+        prop_assert!(
+            accepted + rejected <= text.matches("# seed ").count() + 1,
+            "{accepted}+{rejected} results from {} headers", text.matches("# seed ").count()
+        );
+        // Round-trip: a clean re-export imports with zero rejects and
+        // re-exports byte-identically.
+        let exported = corpus.export(&table);
+        let mut restored = Corpus::new();
+        prop_assert_eq!(restored.import(&exported, &table), (accepted, 0));
+        prop_assert_eq!(restored.export(&table), exported);
+    }
+
+    /// Relation graphs survive a text round-trip byte-identically after
+    /// arbitrary learn/decay histories.
+    #[test]
+    fn relation_export_import_roundtrip_identical(
+        edges in prop::collection::vec((0usize..6, 0usize..6), 0..40),
+        decays in 0usize..4,
+    ) {
+        let mut t = DescTable::new();
+        for i in 0..6 {
+            t.add(CallDesc::new(
+                format!("c{i}"),
+                CallKind::Hal { service: "s".into(), code: i as u32 },
+                vec![],
+                None,
+            ));
+        }
+        let mut g = RelationGraph::new(&t);
+        for (a, b) in edges {
+            g.learn(DescId(a), DescId(b));
+        }
+        for _ in 0..decays {
+            g.decay(0.7);
+        }
+        let text = g.export(&t);
+        let mut restored = RelationGraph::new(&t);
+        let (accepted, rejected) = restored.import(&text, &t);
+        prop_assert_eq!(rejected, 0, "own exports always re-import");
+        prop_assert_eq!(accepted, g.edge_count());
+        prop_assert_eq!(restored.export(&t), text);
+    }
+
+    /// Arbitrary text never panics relation import, and the Eq. 1 bound
+    /// holds afterwards no matter what the text claimed.
+    #[test]
+    fn relation_import_never_breaks_eq1(text in "[ -~\t\n]{0,256}") {
+        let t = test_table();
+        let mut g = RelationGraph::new(&t);
+        let _ = g.import(&text, &t);
+        for i in 0..t.len() {
+            let sum = g.in_weight_sum(DescId(i));
+            prop_assert!(sum <= 1.0 + 1e-9, "in-weights of {i} sum to {sum}");
+        }
+    }
+
+    /// Fleet snapshot parsing never panics on arbitrary section bodies,
+    /// and re-serializing a parse is a fixed point.
+    #[test]
+    fn snapshot_parse_tolerates_adversarial_text(text in "[ -~\t\n]{0,300}") {
+        // Headerless garbage is an error, never a panic.
+        let _ = FleetSnapshot::parse(&text);
+        // With a valid header, any body parses and re-serializes stably.
+        let mut full = String::from("# droidfuzz-fleet-snapshot v1 round=1 clock_us=2\n");
+        full.push_str(&text);
+        let snap = FleetSnapshot::parse(&full).unwrap();
+        let rendered = snap.to_text();
+        let reparsed = FleetSnapshot::parse(&rendered).unwrap();
+        prop_assert_eq!(reparsed.to_text(), rendered);
     }
 }
