@@ -6,14 +6,20 @@
 //! Scale: `DF_HOURS` (default 2 virtual hours), `DF_SHARDS` (falls back
 //! to `DF_REPEATS`, then 4),
 //! `DF_SYNC_MIN` (sync round interval in virtual minutes, default 15),
-//! `DF_DEVICE` (default A1). `DF_SNAPSHOT_OUT` writes the final fleet
-//! snapshot to a file.
+//! `DF_DEVICE` (default A1), `DF_FAULTS` (fault profile every engine
+//! runs under: `reliable`, `flaky`, or `hostile`; default reliable).
+//! `DF_SNAPSHOT_OUT` writes the final fleet snapshot to a file.
+//!
+//! The run ends with a fault-overhead comparison — the same small fleet
+//! under `reliable` vs `flaky` — reported as one machine-readable JSON
+//! line (`"bench":"fleet_fault_overhead"`).
 
 use droidfuzz::config::FuzzerConfig;
 use droidfuzz::fleet::{Fleet, FleetConfig, FleetResult};
 use droidfuzz::report::ascii_chart;
 use droidfuzz_bench::{env_f64, env_u64};
 use simdevice::catalog;
+use simdevice::faults::FaultProfile;
 
 fn fleet_config(shards: usize, hours: f64, sync_min: f64, sync: bool) -> FleetConfig {
     FleetConfig {
@@ -42,18 +48,26 @@ fn main() {
         eprintln!("unknown device {device}; known: A1 A2 B C1 C2 D E");
         std::process::exit(2);
     };
+    let profile: FaultProfile = match std::env::var("DF_FAULTS").unwrap_or_default().parse() {
+        Ok(profile) => profile,
+        Err(e) => {
+            eprintln!("bad DF_FAULTS: {e}");
+            std::process::exit(2);
+        }
+    };
+    let make_config = move |seed| FuzzerConfig::droidfuzz(seed).with_fault_profile(profile);
 
     println!(
-        "fleet campaign: {shards} shards x {hours} h on device {device}, sync every {sync_min} virtual min\n"
+        "fleet campaign: {shards} shards x {hours} h on device {device}, sync every {sync_min} virtual min, fault profile {profile}\n"
     );
 
     let synced =
-        Fleet::new(fleet_config(shards, hours, sync_min, true)).run(&spec, FuzzerConfig::droidfuzz);
+        Fleet::new(fleet_config(shards, hours, sync_min, true)).run(&spec, make_config);
     println!("== synced fleet ==");
     println!("{}", synced.stats.render());
 
-    let independent = Fleet::new(fleet_config(shards, hours, sync_min, false))
-        .run(&spec, FuzzerConfig::droidfuzz);
+    let independent =
+        Fleet::new(fleet_config(shards, hours, sync_min, false)).run(&spec, make_config);
     println!("== independent repeats (no sync) ==");
     println!("{}", independent.stats.render());
 
@@ -96,9 +110,9 @@ fn main() {
         kill_after_rounds: Some(kill_at),
         ..fleet_config(shards, hours, sync_min, true)
     });
-    let killed = fleet.run(&spec, FuzzerConfig::droidfuzz);
+    let killed = fleet.run(&spec, make_config);
     let resumed = Fleet::new(fleet_config(shards, hours, sync_min, true))
-        .resume(&spec, FuzzerConfig::droidfuzz, &killed.snapshot)
+        .resume(&spec, make_config, &killed.snapshot)
         .expect("snapshot restores");
     println!(
         "\nkill/resume: killed after round {}/{} (union coverage {}), resumed to round {} \
@@ -110,6 +124,42 @@ fn main() {
         resumed.union_coverage,
         resumed.crashes.len(),
         resumed.finished,
+    );
+
+    // Fault-overhead comparison: the same small fleet under reliable vs
+    // flaky devices — how many extra executions a covered block costs
+    // when links drop, HALs die, and devices hang. Capped at half a
+    // virtual hour so the comparison stays cheap at any DF_HOURS.
+    let overhead_hours = hours.min(0.5);
+    let arm = |p: FaultProfile| {
+        Fleet::new(fleet_config(shards, overhead_hours, sync_min.min(7.5), true))
+            .run(&spec, move |seed| FuzzerConfig::droidfuzz(seed).with_fault_profile(p))
+    };
+    let reliable = arm(FaultProfile::Reliable);
+    let flaky = arm(FaultProfile::Flaky);
+    let reliable_cost = execs_per_block(&reliable);
+    let flaky_cost = execs_per_block(&flaky);
+    println!(
+        "\nfault overhead ({shards} shards x {overhead_hours} h): reliable {:.1} execs/block, \
+         flaky {:.1} execs/block ({} faults injected, {} retries, {} reprovisions)",
+        reliable_cost,
+        flaky_cost,
+        flaky.fault_totals.injected,
+        flaky.fault_totals.transient_retries,
+        flaky.fault_totals.reprovisions,
+    );
+    println!(
+        "{{\"bench\":\"fleet_fault_overhead\",\"device\":\"{device}\",\"shards\":{shards},\
+         \"hours\":{overhead_hours},\"reliable_executions\":{},\"reliable_coverage\":{},\
+         \"flaky_executions\":{},\"flaky_coverage\":{},\"flaky_faults_injected\":{},\
+         \"reliable_execs_per_block\":{reliable_cost:.3},\"flaky_execs_per_block\":{flaky_cost:.3},\
+         \"overhead_ratio\":{:.3}}}",
+        reliable.executions,
+        reliable.union_coverage,
+        flaky.executions,
+        flaky.union_coverage,
+        flaky.fault_totals.injected,
+        flaky_cost / reliable_cost.max(1e-9),
     );
 
     if let Ok(path) = std::env::var("DF_SNAPSHOT_OUT") {

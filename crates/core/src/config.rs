@@ -2,6 +2,7 @@
 //! `DF-NoHCov`), the restricted `DroidFuzz-D`, and the evaluation
 //! baselines (syzkaller-like, Difuze-like).
 
+use simdevice::faults::{FaultProfile, FaultRates};
 use std::fmt;
 
 /// Which fuzzer variant a configuration describes.
@@ -67,6 +68,12 @@ pub struct FuzzerConfig {
     pub minimize: bool,
     /// Reboot the device upon encountering any bug (paper §V-A).
     pub reboot_on_bug: bool,
+    /// Device-fault profile the supervisor draws from (`Reliable` is
+    /// behavior-identical to a fault-free build).
+    pub fault_profile: FaultProfile,
+    /// Explicit fault rates overriding the profile (tests force specific
+    /// fault mixes; `None` uses the profile's presets).
+    pub fault_rates: Option<FaultRates>,
 }
 
 impl FuzzerConfig {
@@ -86,7 +93,20 @@ impl FuzzerConfig {
             decay_factor: 0.9,
             minimize: true,
             reboot_on_bug: true,
+            fault_profile: FaultProfile::Reliable,
+            fault_rates: None,
         }
+    }
+
+    /// The same configuration under a device-fault profile.
+    pub fn with_fault_profile(self, profile: FaultProfile) -> Self {
+        Self { fault_profile: profile, ..self }
+    }
+
+    /// The same configuration with explicit fault rates (overrides the
+    /// profile's presets; mainly for tests forcing a fault mix).
+    pub fn with_fault_rates(self, rates: FaultRates) -> Self {
+        Self { fault_rates: Some(rates), ..self }
     }
 
     /// Full DroidFuzz.
@@ -160,6 +180,18 @@ mod tests {
 
         let difuze = FuzzerConfig::difuze(1);
         assert!(!difuze.feedback && difuze.ioctl_only && !difuze.hal_enabled);
+    }
+
+    #[test]
+    fn fault_profile_defaults_to_reliable_and_builders_override() {
+        let df = FuzzerConfig::droidfuzz(1);
+        assert_eq!(df.fault_profile, FaultProfile::Reliable);
+        assert!(df.fault_rates.is_none());
+        let flaky = FuzzerConfig::droidfuzz(1).with_fault_profile(FaultProfile::Flaky);
+        assert_eq!(flaky.fault_profile, FaultProfile::Flaky);
+        let forced = FuzzerConfig::droidfuzz(1)
+            .with_fault_rates(FaultRates::for_profile(FaultProfile::Hostile));
+        assert_eq!(forced.fault_rates, Some(FaultRates::for_profile(FaultProfile::Hostile)));
     }
 
     #[test]

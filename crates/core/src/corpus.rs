@@ -89,6 +89,19 @@ impl Corpus {
         self.seeds.choose(rng).map(|s| &s.prog)
     }
 
+    /// Removes the first seed holding exactly `prog` (the supervisor
+    /// evicts programs that hang the device). Returns whether a seed was
+    /// removed.
+    pub fn remove_prog(&mut self, prog: &Prog) -> bool {
+        match self.seeds.iter().position(|s| &s.prog == prog) {
+            Some(idx) => {
+                self.seeds.swap_remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of seeds currently held.
     pub fn len(&self) -> usize {
         self.seeds.len()
@@ -248,6 +261,18 @@ mod tests {
             !c.seeds().iter().any(|s| (s.picks, s.seq) == most_picked),
             "the most-picked tied seed should be the eviction victim"
         );
+    }
+
+    #[test]
+    fn remove_prog_evicts_matching_seed_only() {
+        let t = table();
+        let mut c = Corpus::new();
+        c.admit(prog(2, &t), 7);
+        c.admit(prog(3, &t), 4);
+        assert!(c.remove_prog(&prog(3, &t)));
+        assert_eq!(c.len(), 1);
+        assert!(!c.remove_prog(&prog(3, &t)), "already gone");
+        assert!(c.seeds().iter().all(|s| s.prog.len() == 2));
     }
 
     #[test]

@@ -7,6 +7,8 @@ use crate::config::FuzzerConfig;
 use crate::crashes::CrashRecord;
 use crate::fleet::{Fleet, FleetConfig};
 use crate::stats::Series;
+use crate::supervisor::FaultCounters;
+use simdevice::faults::FaultProfile;
 use simdevice::firmware::FirmwareSpec;
 
 /// Result of one repeated campaign on one device.
@@ -24,6 +26,9 @@ pub struct CampaignResult {
     pub crashes: Vec<CrashRecord>,
     /// Total executions across repetitions.
     pub executions: u64,
+    /// Fault/recovery counters summed across repetitions (all zero under
+    /// the default reliable profile).
+    pub fault_totals: FaultCounters,
 }
 
 impl CampaignResult {
@@ -76,7 +81,31 @@ impl Daemon {
             mean_series: result.mean_series,
             crashes: result.crashes,
             executions: result.executions,
+            fault_totals: result.fault_totals,
         }
+    }
+
+    /// Like [`run_campaign`](Self::run_campaign), but every repetition
+    /// runs under `profile` — the robustness arm of the evaluation: the
+    /// same campaign replayed against flaky or hostile devices, with the
+    /// supervisor's fault/recovery counters reported in the result.
+    pub fn run_campaign_under<F>(
+        &self,
+        profile: FaultProfile,
+        spec: &FirmwareSpec,
+        make_config: F,
+        hours: f64,
+        repeats: u64,
+    ) -> CampaignResult
+    where
+        F: Fn(u64) -> FuzzerConfig + Sync,
+    {
+        self.run_campaign(
+            spec,
+            |seed| make_config(seed).with_fault_profile(profile),
+            hours,
+            repeats,
+        )
     }
 }
 
@@ -100,6 +129,22 @@ mod tests {
         assert!(result.mean_final_coverage() > 0.0);
         assert!(result.executions > 0);
         assert!(!result.mean_series.is_empty());
+        assert_eq!(result.fault_totals.total(), 0, "default profile injects nothing");
+    }
+
+    #[test]
+    fn campaign_under_flaky_profile_reports_faults_and_still_progresses() {
+        let daemon = Daemon::new();
+        let result = daemon.run_campaign_under(
+            FaultProfile::Flaky,
+            &catalog::device_e(),
+            FuzzerConfig::droidfuzz,
+            0.1,
+            2,
+        );
+        assert!(result.fault_totals.injected > 0, "flaky devices see injected faults");
+        assert!(result.mean_final_coverage() > 0.0, "coverage still accrues under faults");
+        assert!(result.executions > 0);
     }
 
     #[test]

@@ -19,11 +19,13 @@ use crate::minimize::minimize;
 use crate::probe::{add_hal_descs, probe_device, ProbeReport};
 use crate::relation::RelationGraph;
 use crate::stats::Series;
+use crate::supervisor::{FailureClass, FaultCounters, Supervisor, SupervisorConfig};
 use fuzzlang::desc::DescTable;
 use fuzzlang::mutate::{crossover, mutate_n};
 use fuzzlang::prog::Prog;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use simdevice::faults::FaultPlan;
 use simdevice::{AdbLink, Device};
 use simkernel::coverage::CoverageMap;
 
@@ -49,6 +51,7 @@ pub struct FuzzingEngine {
     id_table: SyscallIdTable,
     broker: Broker,
     adb: AdbLink,
+    supervisor: Supervisor,
     rng: StdRng,
     clock_us: u64,
     executions: u64,
@@ -94,6 +97,15 @@ impl FuzzingEngine {
             AdbLink::usb()
         };
         let rng = StdRng::seed_from_u64(config.seed ^ 0xD501D); // per-config stream
+        // The fault plan gets its own stream: fault schedules never
+        // perturb generation, so `Reliable` is behavior-identical to a
+        // fault-free build and faulty campaigns stay seed-deterministic.
+        let fault_seed = config.seed ^ 0xFA017;
+        let plan = match config.fault_rates {
+            Some(rates) => FaultPlan::with_rates(rates, fault_seed),
+            None => FaultPlan::for_profile(config.fault_profile, fault_seed),
+        };
+        let supervisor = Supervisor::new(plan, SupervisorConfig::default());
         Self {
             device,
             config,
@@ -105,6 +117,7 @@ impl FuzzingEngine {
             id_table,
             broker: Broker::new(),
             adb,
+            supervisor,
             rng,
             clock_us: 0,
             executions: 0,
@@ -151,14 +164,46 @@ impl FuzzingEngine {
     }
 
     /// Runs exactly one fuzzing iteration, advancing the virtual clock.
+    ///
+    /// Every execution goes through the [`Supervisor`]: faults drawn
+    /// from the configured profile are injected and recovered from
+    /// (retry with backoff, watchdog abort, device re-provisioning), and
+    /// the whole episode's virtual cost lands on the clock. A
+    /// permanently lost device makes this a no-op — the fleet layer
+    /// detects that and restarts the shard from hub state.
     pub fn step(&mut self) {
+        if self.supervisor.device_lost() {
+            return;
+        }
         let prog = self.next_prog();
         if prog.is_empty() {
             return;
         }
-        let outcome = self.broker.execute(&mut self.device, &self.table, &prog);
-        self.charge(&prog, outcome.calls_executed, outcome.reply_bytes);
-        self.executions += 1;
+        let mut run = self.supervisor.supervise(
+            &mut self.broker,
+            &mut self.device,
+            &mut self.adb,
+            &self.table,
+            &prog,
+        );
+        self.clock_us += run.cost_us;
+        self.executions += run.attempts;
+        // Crash state survives every fault: reports from discarded
+        // attempts are salvaged even when the feedback was not.
+        for report in &run.salvaged_bugs {
+            if self.crash_db.record(report, self.clock_us) {
+                self.crash_db.attach_repro(&report.title, &prog, &self.table);
+            }
+        }
+        let Some(outcome) = run.outcome.take() else {
+            if run.failure == Some(FailureClass::Hang) {
+                // A hanging program is worthless mutation material; a
+                // quarantined one is also barred from re-admission.
+                self.corpus.remove_prog(&prog);
+            }
+            self.sample_if_due();
+            return;
+        };
         self.observed_kernel.extend(outcome.observed_new_blocks.iter().copied());
 
         let sigs = signals_from_execution(
@@ -191,7 +236,9 @@ impl FuzzingEngine {
                     if self.config.relations {
                         self.learn_from(&admitted);
                     }
-                    self.corpus.admit(admitted, kernel_new * 8 + (new_count - kernel_new));
+                    if !self.supervisor.is_prog_quarantined(&admitted, &self.table) {
+                        self.corpus.admit(admitted, kernel_new * 8 + (new_count - kernel_new));
+                    }
                 } else if self.config.relations {
                     // New *HAL behaviour* only (directional coverage, §IV-D):
                     // this is how cross-boundary feedback "assist[s] in
@@ -202,7 +249,9 @@ impl FuzzingEngine {
                     // presence as mutation material for climbing HAL state
                     // ladders.
                     self.learn_from_successes(&prog, &outcome.call_results);
-                    if self.rng.gen_bool(0.5) {
+                    if self.rng.gen_bool(0.5)
+                        && !self.supervisor.is_prog_quarantined(&prog, &self.table)
+                    {
                         self.corpus.admit(prog.clone(), new_count.min(8));
                     }
                 }
@@ -290,11 +339,6 @@ impl FuzzingEngine {
         }
     }
 
-    fn charge(&mut self, prog: &Prog, calls: usize, reply_bytes: usize) {
-        let rt = self.adb.round_trip_cost(prog.wire_size(), calls, reply_bytes);
-        self.clock_us += EXEC_SESSION_US + rt + calls as u64 * PER_CALL_US;
-    }
-
     fn sample_if_due(&mut self) {
         if self.clock_us - self.last_sample_us >= SAMPLE_INTERVAL_US {
             self.last_sample_us = self.clock_us;
@@ -302,9 +346,11 @@ impl FuzzingEngine {
         }
     }
 
-    /// Runs until the virtual clock reaches `target_us`.
+    /// Runs until the virtual clock reaches `target_us`, or until the
+    /// device is permanently lost (a lost device can no longer advance
+    /// the clock; the fleet layer restarts such shards from hub state).
     pub fn run_until(&mut self, target_us: u64) {
-        while self.clock_us < target_us {
+        while self.clock_us < target_us && !self.supervisor.device_lost() {
             self.step();
         }
         self.series.push(self.clock_us, self.observed_kernel.len() as f64);
@@ -398,6 +444,22 @@ impl FuzzingEngine {
     /// Test cases executed.
     pub fn executions(&self) -> u64 {
         self.executions
+    }
+
+    /// Cumulative fault-injection and recovery counters.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.supervisor.counters()
+    }
+
+    /// Whether the device has been permanently lost (re-provisioning
+    /// exhausted). A lost engine can no longer make progress.
+    pub fn device_lost(&self) -> bool {
+        self.supervisor.device_lost()
+    }
+
+    /// Programs quarantined for repeatedly hanging the device.
+    pub fn quarantined_programs(&self) -> usize {
+        self.supervisor.quarantined_count()
     }
 
     /// The coverage-over-time series.
@@ -501,6 +563,125 @@ mod tests {
         assert!(restored > 0, "seeds should survive a restart");
         assert_eq!(rejected, 0, "a clean dump has no rejects");
         assert_eq!(second.corpus().len(), restored);
+    }
+
+    #[test]
+    fn reliable_profile_injects_nothing() {
+        let mut engine = quick_engine(FuzzerConfig::droidfuzz(7));
+        engine.run_iterations(200);
+        assert_eq!(engine.fault_counters().total(), 0);
+        assert!(!engine.device_lost());
+        assert_eq!(engine.quarantined_programs(), 0);
+    }
+
+    #[test]
+    fn flaky_campaign_is_deterministic_and_makes_progress() {
+        use simdevice::faults::FaultProfile;
+        let run = |seed| {
+            let mut engine = quick_engine(
+                FuzzerConfig::droidfuzz(seed).with_fault_profile(FaultProfile::Flaky),
+            );
+            engine.run_for_virtual_hours(0.3);
+            (
+                engine.kernel_coverage(),
+                engine.executions(),
+                engine.virtual_time_us(),
+                engine.fault_counters(),
+            )
+        };
+        let a = run(13);
+        let b = run(13);
+        assert_eq!(a, b, "same (seed, profile) must replay identically");
+        assert!(a.0 > 30, "faults degrade but must not stop progress: {}", a.0);
+        assert!(a.3.injected > 0, "a flaky device faults over 0.3 h");
+    }
+
+    #[test]
+    fn hostile_campaign_completes_with_recoveries() {
+        use simdevice::faults::FaultProfile;
+        let mut engine = quick_engine(
+            FuzzerConfig::droidfuzz(5).with_fault_profile(FaultProfile::Hostile),
+        );
+        engine.run_for_virtual_hours(0.5);
+        let c = engine.fault_counters();
+        assert!(c.injected > 0);
+        assert!(engine.executions() > 0);
+        assert!(engine.kernel_coverage() > 0);
+        assert!(
+            engine.virtual_time_us() >= HOUR_US / 2 || engine.device_lost(),
+            "a hostile campaign either finishes its budget or loses the device"
+        );
+    }
+
+    #[test]
+    fn hal_death_mid_campaign_is_recovered() {
+        use simdevice::faults::{FaultProfile, FaultRates};
+        // Degradation seam: HAL services keep dying silently mid-campaign
+        // (hal_alive flips false without any crash report). The supervisor
+        // must detect each loss, re-provision, and keep the campaign going.
+        let rates = FaultRates {
+            hal_death: 0.05,
+            ..FaultRates::for_profile(FaultProfile::Reliable)
+        };
+        let mut engine = quick_engine(FuzzerConfig::droidfuzz(11).with_fault_rates(rates));
+        engine.run_iterations(150);
+        let c = engine.fault_counters();
+        assert!(c.device_lost > 0, "deaths must have been detected");
+        assert!(c.reprovisions >= c.device_lost, "each loss pays a re-provision");
+        assert!(!engine.device_lost());
+        let device = engine.device();
+        assert!(
+            device.hal_descriptors().iter().all(|d| device.hal_alive(d)),
+            "campaign ends with every service revived"
+        );
+        assert!(engine.kernel_coverage() > 0);
+    }
+
+    #[test]
+    fn double_reboot_before_boot_is_harmless() {
+        // Degradation seam: a device that rebooted twice in a row (e.g. a
+        // boot-loop blip) before the engine attached must fuzz normally.
+        let mut device = catalog::device_a1().boot();
+        device.reboot();
+        device.reboot();
+        assert_eq!(device.boot_count(), 3);
+        let mut engine = FuzzingEngine::new(device, FuzzerConfig::droidfuzz(17));
+        engine.run_iterations(100);
+        assert!(engine.kernel_coverage() > 0);
+        assert!(!engine.corpus().is_empty());
+    }
+
+    #[test]
+    fn constant_hangs_never_poison_the_corpus() {
+        use simdevice::faults::{FaultProfile, FaultRates};
+        let rates = FaultRates {
+            hang: 1.0,
+            hang_extra_us: 120_000_000,
+            ..FaultRates::for_profile(FaultProfile::Reliable)
+        };
+        let mut engine = quick_engine(FuzzerConfig::droidfuzz(19).with_fault_rates(rates));
+        engine.run_iterations(5);
+        assert_eq!(engine.fault_counters().hangs, 5);
+        assert!(engine.corpus().is_empty(), "hung feedback is never admitted");
+        // Each hang costs the watchdog budget plus a recovery reboot.
+        assert!(engine.virtual_time_us() >= 5 * 30 * 1_000_000);
+    }
+
+    #[test]
+    fn vanished_device_halts_the_engine_cleanly() {
+        use simdevice::faults::{FaultProfile, FaultRates};
+        let rates = FaultRates {
+            vanish: 1.0,
+            ..FaultRates::for_profile(FaultProfile::Reliable)
+        };
+        let mut engine = quick_engine(FuzzerConfig::droidfuzz(23).with_fault_rates(rates));
+        engine.run_for_virtual_hours(1.0);
+        assert!(engine.device_lost());
+        assert_eq!(engine.executions(), 0, "nothing ever ran");
+        assert!(
+            engine.virtual_time_us() < HOUR_US / 10,
+            "a lost device must not spin the clock to the target"
+        );
     }
 
     #[test]

@@ -298,15 +298,21 @@ mod tests {
     use simdevice::catalog;
 
     fn prog_of(table: &DescTable, lines: &[(&str, Vec<ArgValue>)]) -> Prog {
-        Prog {
-            calls: lines
-                .iter()
-                .map(|(name, args)| Call {
-                    desc: table.id_of(name).unwrap_or_else(|| panic!("{name} missing")),
-                    args: args.clone(),
-                })
-                .collect(),
+        match Prog::from_named(table, lines) {
+            Ok(prog) => prog,
+            Err(e) => panic!("test program: {e}"),
         }
+    }
+
+    #[test]
+    fn unknown_call_name_is_an_error_not_a_panic() {
+        let mut device = catalog::device_a1().boot();
+        let table = build_syscall_table(device.kernel());
+        let err = Prog::from_named(&table, &[("ioctl$NOT_A_REAL_CALL", vec![])])
+            .expect_err("unknown names must be reported");
+        assert_eq!(err.index, 0);
+        assert_eq!(err.name, "ioctl$NOT_A_REAL_CALL");
+        assert!(err.to_string().contains("NOT_A_REAL_CALL"));
     }
 
     #[test]

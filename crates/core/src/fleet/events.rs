@@ -5,6 +5,7 @@
 //! no shared-lock contention to the fuzzing hot path.
 
 use crate::report::ascii_table;
+use crate::supervisor::FaultCounters;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// One telemetry event on the fleet bus.
@@ -49,6 +50,25 @@ pub enum FleetEvent {
         /// Fleet-wide distinct kernel blocks.
         union_coverage: usize,
     },
+    /// The orchestrator replaced a shard's lost device with a fresh
+    /// engine restored from hub state.
+    ShardRestarted {
+        /// Shard index.
+        shard: usize,
+        /// Sync round the loss was detected in.
+        round: usize,
+        /// Lost-device restarts on this shard so far (including this one).
+        restarts: u32,
+    },
+    /// A flapping shard was benched for a window of sync rounds.
+    ShardQuarantined {
+        /// Shard index.
+        shard: usize,
+        /// Sync round the quarantine was imposed in.
+        round: usize,
+        /// First round the shard runs again.
+        until_round: usize,
+    },
     /// A shard completed its campaign.
     ShardFinished {
         /// Shard index.
@@ -61,6 +81,10 @@ pub enum FleetEvent {
         coverage: usize,
         /// Final distinct crashes.
         crashes: usize,
+        /// Fault/recovery counters accumulated across the shard's engines.
+        faults: FaultCounters,
+        /// Lost-device restarts performed on the shard.
+        restarts: u32,
     },
 }
 
@@ -103,6 +127,12 @@ pub struct ShardStats {
     pub crashes: usize,
     /// Seeds restored from the hub at start.
     pub restored_seeds: usize,
+    /// Fault/recovery counters (from the final `ShardFinished`).
+    pub faults: FaultCounters,
+    /// Lost-device restarts performed on the shard.
+    pub restarts: u32,
+    /// Flap quarantines imposed on the shard.
+    pub quarantines: u32,
 }
 
 impl ShardStats {
@@ -134,6 +164,12 @@ pub struct FleetStats {
     pub hub_edges: usize,
     /// Final fleet-wide distinct kernel blocks.
     pub union_coverage: usize,
+    /// Fault/recovery counters summed across shards (this run).
+    pub fault_totals: FaultCounters,
+    /// Lost-device shard restarts across the fleet.
+    pub shard_restarts: u64,
+    /// Flap quarantines imposed across the fleet.
+    pub shard_quarantines: u64,
     /// Total events observed on the bus.
     pub events: u64,
 }
@@ -189,15 +225,40 @@ impl FleetStats {
                     stats.hub_edges = hub_edges;
                     stats.union_coverage = union_coverage;
                 }
-                FleetEvent::ShardFinished { shard, clock_us, executions, coverage, crashes } => {
+                FleetEvent::ShardRestarted { shard, restarts, .. } => {
+                    if let Some(s) = stats.shards.get_mut(shard) {
+                        s.restarts = restarts;
+                    }
+                }
+                FleetEvent::ShardQuarantined { shard, .. } => {
+                    if let Some(s) = stats.shards.get_mut(shard) {
+                        s.quarantines += 1;
+                    }
+                }
+                FleetEvent::ShardFinished {
+                    shard,
+                    clock_us,
+                    executions,
+                    coverage,
+                    crashes,
+                    faults,
+                    restarts,
+                } => {
                     if let Some(s) = stats.shards.get_mut(shard) {
                         s.executions = executions;
                         s.clock_us = clock_us;
                         s.coverage = coverage;
                         s.crashes = crashes;
+                        s.faults = faults;
+                        s.restarts = restarts;
                     }
                 }
             }
+        }
+        for s in &stats.shards {
+            stats.fault_totals.absorb(&s.faults);
+            stats.shard_restarts += u64::from(s.restarts);
+            stats.shard_quarantines += u64::from(s.quarantines);
         }
         stats
     }
@@ -217,11 +278,23 @@ impl FleetStats {
                     s.corpus_len.to_string(),
                     s.crashes.to_string(),
                     s.heartbeats.to_string(),
+                    s.faults.injected.to_string(),
+                    s.restarts.to_string(),
                 ]
             })
             .collect();
         let mut out = ascii_table(
-            &["shard", "execs", "execs/vsec", "coverage", "corpus", "crashes", "heartbeats"],
+            &[
+                "shard",
+                "execs",
+                "execs/vsec",
+                "coverage",
+                "corpus",
+                "crashes",
+                "heartbeats",
+                "faults",
+                "restarts",
+            ],
             &rows,
         );
         out.push_str(&format!(
@@ -232,6 +305,16 @@ impl FleetStats {
             self.seeds_pulled,
             self.hub_edges,
             self.union_coverage,
+        ));
+        out.push_str(&format!(
+            "faults injected: {}  transient retries: {}  hangs: {}  device losses: {}  reprovisions: {}  shard restarts: {}  quarantines: {}\n",
+            self.fault_totals.injected,
+            self.fault_totals.transient_retries,
+            self.fault_totals.hangs,
+            self.fault_totals.device_lost,
+            self.fault_totals.reprovisions,
+            self.shard_restarts,
+            self.shard_quarantines,
         ));
         out
     }
@@ -271,18 +354,39 @@ mod tests {
             hub_edges: 9,
             union_coverage: 120,
         });
+        bus.emit(FleetEvent::ShardRestarted { shard: 1, round: 0, restarts: 1 });
+        bus.emit(FleetEvent::ShardQuarantined { shard: 1, round: 0, until_round: 2 });
+        let finished_faults =
+            FaultCounters { injected: 7, device_lost: 1, reprovisions: 1, ..Default::default() };
+        bus.emit(FleetEvent::ShardFinished {
+            shard: 1,
+            clock_us: 3_000_000,
+            executions: 8,
+            coverage: 60,
+            crashes: 0,
+            faults: finished_faults,
+            restarts: 1,
+        });
         let stats = FleetStats::drain(&rx, 2);
-        assert_eq!(stats.events, 4);
+        assert_eq!(stats.events, 7);
         assert_eq!(stats.shards[0].executions, 10);
         assert_eq!(stats.shards[0].restored_seeds, 3);
-        assert_eq!(stats.shards[1].coverage, 50);
+        assert_eq!(stats.shards[1].coverage, 60);
+        assert_eq!(stats.shards[1].faults.injected, 7);
+        assert_eq!(stats.shards[1].restarts, 1);
+        assert_eq!(stats.shards[1].quarantines, 1);
         assert_eq!(stats.sync_rounds, 1);
         assert_eq!(stats.seeds_published, 6);
         assert_eq!(stats.union_coverage, 120);
+        assert_eq!(stats.fault_totals.injected, 7);
+        assert_eq!(stats.shard_restarts, 1);
+        assert_eq!(stats.shard_quarantines, 1);
         assert!((stats.shards[0].execs_per_vsec() - 5.0).abs() < 1e-9);
         let table = stats.render();
         assert!(table.contains("execs/vsec"));
         assert!(table.contains("union coverage: 120"));
+        assert!(table.contains("faults injected: 7"));
+        assert!(table.contains("shard restarts: 1"));
     }
 
     #[test]

@@ -244,11 +244,17 @@ impl CorpusHub {
         &self.series
     }
 
-    /// Restores series points from a snapshot (resume).
-    pub fn restore_series(&mut self, points: &[(u64, f64)]) {
+    /// Restores series points from a snapshot (resume). Points come from
+    /// external text, so out-of-order timestamps are dropped rather than
+    /// asserted on; returns how many points were rejected.
+    pub fn restore_series(&mut self, points: &[(u64, f64)]) -> usize {
+        let mut rejected = 0;
         for &(t, v) in points {
-            self.series.push(t, v);
+            if !self.series.push_monotonic(t, v) {
+                rejected += 1;
+            }
         }
+        rejected
     }
 }
 
@@ -334,6 +340,13 @@ mod tests {
         hub.sync_crashes([&shard_db]); // republish of the same database
         assert_eq!(hub.crashes().len(), 1);
         assert_eq!(hub.crashes().records()[0].count, 1, "rebuild, not accumulate");
+    }
+
+    #[test]
+    fn restore_series_drops_backwards_points() {
+        let mut hub = CorpusHub::new(4);
+        assert_eq!(hub.restore_series(&[(100, 1.0), (50, 9.0), (200, 2.0)]), 1);
+        assert_eq!(hub.series().points(), &[(100, 1.0), (200, 2.0)]);
     }
 
     #[test]

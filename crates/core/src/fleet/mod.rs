@@ -10,10 +10,22 @@
 //! Eq. 1 normalization. After every round the hub state is serialized to
 //! a [`FleetSnapshot`], so a killed campaign resumes from its last round.
 //!
+//! The fleet is also *self-healing*: every engine runs under the
+//! [`Supervisor`](crate::supervisor::Supervisor), and a shard whose
+//! device is permanently lost (injected `vanish` faults, exhausted
+//! re-provisioning) is restarted at the next sync boundary with a fresh
+//! engine restored from hub state — its corpus, relation graph, and
+//! crashes were published the same round, so nothing is lost. A shard
+//! that keeps losing devices ([`FleetConfig::flap_limit`] consecutive
+//! losses) is quarantined for an exponentially growing window of rounds
+//! before it may rejoin.
+//!
 //! Determinism: worker threads only ever touch their own shard, and all
 //! hub traffic happens on the orchestrator thread in shard-index order.
-//! A fixed `(seed, shard count)` therefore produces identical results
-//! run-to-run, threads notwithstanding.
+//! Restarts and quarantines also run on the orchestrator thread in shard
+//! order, and replacement engines are seeded from `(shard, restarts)`, so
+//! a fixed `(seed, shard count, fault profile)` produces identical
+//! results run-to-run, threads notwithstanding.
 
 pub mod events;
 pub mod hub;
@@ -30,6 +42,7 @@ use crate::crashes::CrashRecord;
 use crate::engine::{FuzzingEngine, HOUR_US};
 use crate::relation::RelationGraph;
 use crate::stats::{mean_series, Series};
+use crate::supervisor::FaultCounters;
 use simdevice::firmware::FirmwareSpec;
 use std::thread;
 
@@ -51,6 +64,10 @@ pub struct FleetConfig {
     /// Fault injection: stop after this many rounds *of this run*, as if
     /// the daemon were killed, leaving the snapshot behind for resume.
     pub kill_after_rounds: Option<usize>,
+    /// Consecutive device losses before a shard is quarantined instead of
+    /// immediately restarted (clamped to at least 1). Each quarantine
+    /// benches the shard for `2^(quarantines-1)` sync rounds.
+    pub flap_limit: u32,
 }
 
 impl Default for FleetConfig {
@@ -62,6 +79,7 @@ impl Default for FleetConfig {
             sync: true,
             hub_capacity: 512,
             kill_after_rounds: None,
+            flap_limit: 2,
         }
     }
 }
@@ -73,8 +91,14 @@ pub struct ShardOutcome {
     pub shard: usize,
     /// Final distinct kernel blocks this shard observed.
     pub final_coverage: f64,
-    /// Test cases this shard executed (this run; resumes restart at 0).
+    /// Test cases this shard executed this run, across every engine it
+    /// owned (lost-device restarts retire their counts into this total;
+    /// resumes restart at 0).
     pub executions: u64,
+    /// Fault/recovery counters across every engine the shard owned.
+    pub faults: FaultCounters,
+    /// Lost-device restarts performed on the shard this run.
+    pub restarts: u32,
     /// Coverage-over-time on the fleet clock.
     pub series: Series,
     /// Titles of the crashes this shard found.
@@ -100,6 +124,9 @@ pub struct FleetResult {
     pub mean_series: Series,
     /// Hub union-coverage series (the fleet's headline curve).
     pub union_series: Series,
+    /// Fault/recovery counters over the whole campaign, including any
+    /// snapshot baseline carried across a kill/resume.
+    pub fault_totals: FaultCounters,
     /// Metrics drained from the event bus.
     pub stats: FleetStats,
     /// Sync rounds completed over the campaign (including pre-resume).
@@ -225,6 +252,16 @@ impl Fleet {
             }
         }
 
+        let baseline_faults =
+            resume.as_ref().map_or_else(FaultCounters::default, |s| s.fault_totals);
+        let fleet_fault_totals = |shards: &[Shard]| {
+            let mut totals = baseline_faults;
+            for shard in shards {
+                totals.absorb(&shard.fault_totals());
+            }
+            totals
+        };
+
         let mut rounds_completed = start_round;
         let mut clock_us = clock_offset_us;
         let mut snapshot_text =
@@ -233,12 +270,19 @@ impl Fleet {
 
         for round in start_round..total_rounds {
             let global_target = (interval_us * (round as u64 + 1)).min(total_us);
-            let local_target = global_target - clock_offset_us;
+            let slice_us = global_target.saturating_sub(clock_us);
 
             // Fuzz the slice: each worker thread owns exactly one shard.
+            // Quarantined shards sit the slice out; their clock offset
+            // absorbs it so they rejoin the fleet clock without a giant
+            // catch-up slice.
             thread::scope(|scope| {
                 for shard in &mut shards {
-                    scope.spawn(move || shard.run_slice(local_target, round));
+                    if shard.is_quarantined(round) {
+                        shard.skip_slice(slice_us);
+                    } else {
+                        scope.spawn(move || shard.run_slice(global_target, round));
+                    }
                 }
             });
 
@@ -264,11 +308,51 @@ impl Fleet {
                 union_coverage: hub.union_coverage(),
             });
 
+            // Self-healing: a shard whose device is permanently lost
+            // (vanished, or re-provisioning exhausted) restarts with a
+            // fresh engine restored from hub state — everything it knew
+            // was published above, so no corpus/relation/crash state is
+            // lost. A flapping shard is benched for an exponentially
+            // growing quarantine window instead of churning restarts.
+            for (i, shard) in shards.iter_mut().enumerate() {
+                if shard.is_quarantined(round) {
+                    continue;
+                }
+                if !shard.engine().device_lost() {
+                    shard.note_healthy();
+                    continue;
+                }
+                let restarts = u64::from(shard.restarts()) + 1;
+                let engine = FuzzingEngine::new(
+                    spec.clone().boot(),
+                    make_config(i as u64 + 1 + restarts * 1009),
+                );
+                shard.replace_engine(engine, global_target);
+                bus.emit(FleetEvent::ShardRestarted {
+                    shard: i,
+                    round,
+                    restarts: shard.restarts(),
+                });
+                shard.restore_all_from_hub(&hub);
+                if shard.consecutive_losses() >= cfg.flap_limit.max(1) {
+                    let window = 1usize << shard.quarantines().min(8);
+                    let until = round + 1 + window;
+                    shard.quarantine_until(until);
+                    bus.emit(FleetEvent::ShardQuarantined { shard: i, round, until_round: until });
+                }
+            }
+
             rounds_completed = round + 1;
             clock_us = global_target;
             let table = shards[0].engine().desc_table();
-            snapshot_text =
-                FleetSnapshot::capture(&hub, table, rounds_completed, clock_us).to_text();
+            snapshot_text = FleetSnapshot::capture(
+                &hub,
+                table,
+                rounds_completed,
+                clock_us,
+                fleet_fault_totals(&shards),
+            )
+            .to_text();
 
             if cfg.kill_after_rounds == Some(round + 1 - start_round) {
                 killed = true;
@@ -284,14 +368,18 @@ impl Fleet {
         let outcomes: Vec<ShardOutcome> = shards
             .iter()
             .map(|shard| {
+                // The shard's own offset, not the fleet resume offset: a
+                // restarted shard's current engine booted mid-campaign.
                 let mut series = Series::new();
                 for &(t, v) in shard.engine().coverage_series().points() {
-                    series.push(clock_offset_us + t, v);
+                    series.push(shard.clock_offset_us() + t, v);
                 }
                 ShardOutcome {
                     shard: shard.id,
                     final_coverage: shard.engine().kernel_coverage() as f64,
-                    executions: shard.engine().executions(),
+                    executions: shard.total_executions(),
+                    faults: shard.fault_totals(),
+                    restarts: shard.restarts(),
                     series,
                     crash_titles: shard
                         .engine()
@@ -313,6 +401,7 @@ impl Fleet {
             executions: outcomes.iter().map(|o| o.executions).sum(),
             mean_series: mean_series(&shard_series, total_us, 48),
             union_series: hub.series().clone(),
+            fault_totals: fleet_fault_totals(&shards),
             shards: outcomes,
             stats,
             rounds_completed,
@@ -327,6 +416,7 @@ impl Fleet {
 mod tests {
     use super::*;
     use simdevice::catalog;
+    use simdevice::faults::{FaultProfile, FaultRates};
 
     fn quick_fleet(sync: bool, kill_after_rounds: Option<usize>) -> Fleet {
         Fleet::new(FleetConfig {
@@ -336,7 +426,20 @@ mod tests {
             sync,
             hub_capacity: 256,
             kill_after_rounds,
+            flap_limit: 2,
         })
+    }
+
+    /// Everything that must be identical between two runs of the same
+    /// `(seed, shard count, fault profile)` campaign.
+    fn fingerprint(r: &FleetResult) -> (usize, u64, u64, usize, String) {
+        (
+            r.union_coverage,
+            r.executions,
+            r.fault_totals.total(),
+            r.crashes.len(),
+            r.snapshot.clone(),
+        )
     }
 
     #[test]
@@ -359,6 +462,77 @@ mod tests {
         assert!(result.stats.seeds_published > 0);
         assert!(result.stats.seeds_pulled > 0, "synced shards exchange seeds");
         assert!(result.snapshot.starts_with(SNAPSHOT_HEADER));
+        // The default (reliable) profile injects nothing and never
+        // restarts a shard.
+        assert_eq!(result.fault_totals.total(), 0);
+        assert_eq!(result.stats.shard_restarts, 0);
+        assert_eq!(result.stats.shard_quarantines, 0);
+    }
+
+    #[test]
+    fn hostile_fleet_is_deterministic_and_completes() {
+        let spec = catalog::device_a1();
+        let mk = |seed| FuzzerConfig::droidfuzz(seed).with_fault_profile(FaultProfile::Hostile);
+        let a = quick_fleet(true, None).run(&spec, mk);
+        let b = quick_fleet(true, None).run(&spec, mk);
+        assert!(a.finished, "a hostile campaign still runs to full length");
+        assert!(a.fault_totals.injected > 0, "the hostile profile injects faults");
+        assert!(a.union_coverage > 0, "progress despite the faults");
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "same (seed, shards, fault profile) must replay identically"
+        );
+        // The final snapshot carries the campaign's exact fault totals.
+        let snap = FleetSnapshot::parse(&a.snapshot).expect("snapshot parses");
+        assert_eq!(snap.fault_totals, a.fault_totals);
+    }
+
+    #[test]
+    fn fault_counters_round_trip_through_kill_and_resume() {
+        let spec = catalog::device_a1();
+        let mk = |seed| FuzzerConfig::droidfuzz(seed).with_fault_profile(FaultProfile::Flaky);
+        let killed = quick_fleet(true, Some(2)).run(&spec, mk);
+        assert!(!killed.finished);
+        assert!(killed.fault_totals.injected > 0, "flaky faults landed before the kill");
+        let resumed = quick_fleet(true, None)
+            .resume(&spec, mk, &killed.snapshot)
+            .expect("snapshot parses");
+        assert!(resumed.finished);
+        // The pre-kill counters are the resume's baseline; the resumed
+        // rounds only add to them.
+        assert!(resumed.fault_totals.injected >= killed.fault_totals.injected);
+        assert!(resumed.fault_totals.total() >= killed.fault_totals.total());
+        let snap = FleetSnapshot::parse(&resumed.snapshot).expect("snapshot parses");
+        assert_eq!(snap.fault_totals, resumed.fault_totals);
+    }
+
+    #[test]
+    fn vanishing_devices_restart_then_quarantine() {
+        // Every execution attempt vanishes the device permanently, so
+        // each shard loses its device every round it is allowed to run.
+        let rates = FaultRates { vanish: 1.0, ..FaultRates::for_profile(FaultProfile::Reliable) };
+        let mk = move |seed| FuzzerConfig::droidfuzz(seed).with_fault_rates(rates);
+        let fleet = Fleet::new(FleetConfig {
+            shards: 2,
+            hours: 0.2,
+            sync_interval_hours: 0.05,
+            sync: true,
+            hub_capacity: 256,
+            kill_after_rounds: None,
+            flap_limit: 1,
+        });
+        let result = fleet.run(&catalog::device_a1(), mk);
+        assert!(result.finished, "a fleet of vanishing devices still completes");
+        assert!(result.stats.shard_restarts >= 2, "every shard restarts at least once");
+        assert!(result.stats.shard_quarantines >= 2, "flapping shards are benched");
+        assert!(result.fault_totals.device_lost >= 2);
+        for shard in &result.shards {
+            assert!(shard.restarts >= 1, "shard {} never restarted", shard.shard);
+            assert!(shard.faults.device_lost >= 1);
+        }
+        // The snapshot still reflects the full fleet clock.
+        assert_eq!(result.clock_us, (0.2 * HOUR_US as f64) as u64);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use super::events::{EventBus, FleetEvent};
 use super::hub::CorpusHub;
 use crate::engine::FuzzingEngine;
+use crate::supervisor::FaultCounters;
 
 /// A fleet shard.
 #[derive(Debug)]
@@ -20,14 +21,40 @@ pub struct Shard {
     /// Hub pull cursor: seeds with `seq >= cursor` are news to us.
     cursor: u64,
     bus: EventBus,
-    /// Fleet virtual time that elapsed before this process (resume).
+    /// Fleet virtual time that elapsed before this engine booted: the
+    /// resume offset, plus any slices this shard skipped (restart after a
+    /// lost device, quarantine rounds).
     clock_offset_us: u64,
+    /// Executions retired with previous engines (lost-device restarts).
+    retired_executions: u64,
+    /// Fault counters retired with previous engines.
+    retired_faults: FaultCounters,
+    /// Lost-device restarts performed on this shard.
+    restarts: u32,
+    /// Device losses since the shard last completed a healthy slice.
+    consecutive_losses: u32,
+    /// Times the shard has been quarantined for flapping.
+    quarantines: u32,
+    /// First round the shard may run again after a quarantine.
+    quarantined_until: usize,
 }
 
 impl Shard {
     /// Wraps a freshly booted engine.
     pub fn new(id: usize, engine: FuzzingEngine, bus: EventBus, clock_offset_us: u64) -> Self {
-        Self { id, engine, cursor: 0, bus, clock_offset_us }
+        Self {
+            id,
+            engine,
+            cursor: 0,
+            bus,
+            clock_offset_us,
+            retired_executions: 0,
+            retired_faults: FaultCounters::default(),
+            restarts: 0,
+            consecutive_losses: 0,
+            quarantines: 0,
+            quarantined_until: 0,
+        }
     }
 
     /// Primes the shard from the hub at campaign start: imports the whole
@@ -45,20 +72,109 @@ impl Shard {
         accepted
     }
 
-    /// Runs the engine until its local clock reaches `local_target_us`,
+    /// Runs the engine until the shard's position on the *fleet* clock
+    /// reaches `global_target_us` (the shard subtracts its own offset),
     /// then emits a heartbeat. Safe to call from a worker thread; the
     /// shard owns everything it touches.
-    pub fn run_slice(&mut self, local_target_us: u64, round: usize) {
+    pub fn run_slice(&mut self, global_target_us: u64, round: usize) {
+        let local_target_us = global_target_us.saturating_sub(self.clock_offset_us);
         self.engine.run_until(local_target_us);
         self.bus.emit(FleetEvent::Heartbeat {
             shard: self.id,
             round,
             clock_us: self.global_clock_us(),
-            executions: self.engine.executions(),
+            executions: self.total_executions(),
             corpus_len: self.engine.corpus().len(),
             coverage: self.engine.kernel_coverage(),
             crashes: self.engine.crash_db().len(),
         });
+    }
+
+    /// Re-primes the shard with the *entire* hub corpus — including the
+    /// seeds this shard itself published before losing its device, which
+    /// an ordinary [`pull`](Self::pull) would skip as own-origin — plus
+    /// the hub relation graph. This is the lost-device restart path: the
+    /// replacement engine inherits everything the fleet knows. Emits
+    /// `ShardStarted`; returns the seeds restored.
+    pub fn restore_all_from_hub(&mut self, hub: &CorpusHub) -> usize {
+        let (accepted, _) = self.engine.import_corpus(&hub.corpus_text());
+        self.cursor = hub.tip();
+        if let Some(graph) = hub.relations() {
+            self.engine.merge_relations(graph);
+        }
+        self.bus.emit(FleetEvent::ShardStarted { shard: self.id, restored_seeds: accepted });
+        accepted
+    }
+
+    /// Skips a quarantined slice: the shard does not run, but its clock
+    /// offset absorbs the slice so it rejoins the fleet clock without a
+    /// giant catch-up slice afterwards.
+    pub fn skip_slice(&mut self, slice_us: u64) {
+        self.clock_offset_us += slice_us;
+    }
+
+    /// Retires the current (lost-device) engine into the shard's
+    /// accumulators and installs a replacement booted at fleet time
+    /// `clock_offset_us`. Follow with
+    /// [`restore_all_from_hub`](Self::restore_all_from_hub) to re-prime
+    /// the fresh engine with the whole hub corpus — nothing the old
+    /// engine published is lost.
+    pub fn replace_engine(&mut self, engine: FuzzingEngine, clock_offset_us: u64) {
+        self.retired_executions += self.engine.executions();
+        self.retired_faults.absorb(&self.engine.fault_counters());
+        self.engine = engine;
+        self.cursor = 0;
+        self.clock_offset_us = clock_offset_us;
+        self.restarts += 1;
+        self.consecutive_losses += 1;
+    }
+
+    /// Records a healthy (device survived) slice, resetting the flap
+    /// streak that drives quarantine.
+    pub fn note_healthy(&mut self) {
+        self.consecutive_losses = 0;
+    }
+
+    /// Device losses since the last healthy slice.
+    pub fn consecutive_losses(&self) -> u32 {
+        self.consecutive_losses
+    }
+
+    /// Benches the shard until `round`: [`is_quarantined`] stays true for
+    /// every earlier round. Bumps the quarantine count (which the fleet
+    /// uses to double successive benchings).
+    ///
+    /// [`is_quarantined`]: Self::is_quarantined
+    pub fn quarantine_until(&mut self, round: usize) {
+        self.quarantined_until = self.quarantined_until.max(round);
+        self.quarantines += 1;
+    }
+
+    /// Whether the shard sits out `round`.
+    pub fn is_quarantined(&self, round: usize) -> bool {
+        round < self.quarantined_until
+    }
+
+    /// Lost-device restarts performed on this shard.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// Times this shard has been quarantined for flapping.
+    pub fn quarantines(&self) -> u32 {
+        self.quarantines
+    }
+
+    /// Executions across every engine this shard has owned (this run).
+    pub fn total_executions(&self) -> u64 {
+        self.retired_executions + self.engine.executions()
+    }
+
+    /// Fault counters across every engine this shard has owned.
+    pub fn fault_totals(&self) -> FaultCounters {
+        let mut totals = self.retired_faults;
+        totals.absorb(&self.engine.fault_counters());
+        totals
     }
 
     /// Publishes this shard's corpus, relation graph, and observed kernel
@@ -92,15 +208,23 @@ impl Shard {
         self.bus.emit(FleetEvent::ShardFinished {
             shard: self.id,
             clock_us: self.global_clock_us(),
-            executions: self.engine.executions(),
+            executions: self.total_executions(),
             coverage: self.engine.kernel_coverage(),
             crashes: self.engine.crash_db().len(),
+            faults: self.fault_totals(),
+            restarts: self.restarts,
         });
     }
 
-    /// The shard's position on the fleet clock (resume offset + local).
+    /// The shard's position on the fleet clock (offset + engine local).
     pub fn global_clock_us(&self) -> u64 {
         self.clock_offset_us + self.engine.virtual_time_us()
+    }
+
+    /// Fleet time at which the current engine booted (resume offset plus
+    /// skipped/restarted slices).
+    pub fn clock_offset_us(&self) -> u64 {
+        self.clock_offset_us
     }
 
     /// The wrapped engine.
@@ -145,6 +269,57 @@ mod tests {
         assert_eq!(b.pull(&hub), 0);
         // The publisher never pulls its own seeds back.
         assert_eq!(a.pull(&hub), 0);
+    }
+
+    #[test]
+    fn replace_engine_retires_counters_and_reprimes_from_hub() {
+        let (bus, _rx) = EventBus::new();
+        let spec = catalog::device_a1();
+        let mut shard = Shard::new(
+            0,
+            FuzzingEngine::new(spec.clone().boot(), FuzzerConfig::droidfuzz(5)),
+            bus.clone(),
+            0,
+        );
+        shard.engine.run_iterations(150);
+        let execs = shard.engine().executions();
+        assert!(execs > 0);
+        let mut hub = CorpusHub::new(512);
+        assert!(shard.publish(&mut hub) > 0);
+        let replacement = FuzzingEngine::new(spec.clone().boot(), FuzzerConfig::droidfuzz(7));
+        shard.replace_engine(replacement, 5_000_000);
+        assert_eq!(shard.restarts(), 1);
+        assert_eq!(shard.consecutive_losses(), 1);
+        assert_eq!(shard.total_executions(), execs, "retired executions survive the swap");
+        assert_eq!(shard.engine().executions(), 0);
+        assert_eq!(shard.global_clock_us(), 5_000_000);
+        // The fresh engine re-primes with everything the old one
+        // published — including its own seeds, which a plain pull skips.
+        assert_eq!(shard.pull(&hub), 0, "a pull cannot recover own-origin seeds");
+        assert!(shard.restore_all_from_hub(&hub) > 0, "hub seeds flow back into the replacement");
+        shard.note_healthy();
+        assert_eq!(shard.consecutive_losses(), 0);
+    }
+
+    #[test]
+    fn quarantine_benches_exact_rounds_and_skip_slices_keep_the_clock() {
+        let (bus, _rx) = EventBus::new();
+        let spec = catalog::device_a1();
+        let mut shard = Shard::new(
+            0,
+            FuzzingEngine::new(spec.boot(), FuzzerConfig::droidfuzz(9)),
+            bus.clone(),
+            0,
+        );
+        assert!(!shard.is_quarantined(0));
+        shard.quarantine_until(3);
+        assert_eq!(shard.quarantines(), 1);
+        assert!(shard.is_quarantined(2));
+        assert!(!shard.is_quarantined(3));
+        shard.skip_slice(1_000);
+        shard.skip_slice(2_000);
+        assert_eq!(shard.clock_offset_us(), 3_000);
+        assert_eq!(shard.global_clock_us(), 3_000, "skipped time counts on the fleet clock");
     }
 
     #[test]

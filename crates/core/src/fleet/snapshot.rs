@@ -16,6 +16,8 @@
 //! sample <time_us> <value>
 //! # section crashes
 //! crash <count>\t<first_seen_us>\t<kind>\t<component>\t<title>\t<repro|->
+//! # section faults
+//! fault <counter> <value>
 //! # section corpus
 //! <Corpus::export text>
 //! ```
@@ -26,6 +28,7 @@
 
 use super::hub::CorpusHub;
 use crate::crashes::CrashRecord;
+use crate::supervisor::FaultCounters;
 use fuzzlang::desc::DescTable;
 use simkernel::coverage::Block;
 use simkernel::report::{BugKind, Component};
@@ -50,6 +53,10 @@ pub struct FleetSnapshot {
     pub series: Vec<(u64, f64)>,
     /// Deduplicated fleet crashes.
     pub crashes: Vec<CrashRecord>,
+    /// Fault/recovery counters accumulated over the whole campaign
+    /// (including pre-kill rounds); a resume treats these as its
+    /// baseline.
+    pub fault_totals: FaultCounters,
     /// [`Corpus::export`]-format text of the hub's live seeds.
     ///
     /// [`Corpus::export`]: crate::corpus::Corpus::export
@@ -136,8 +143,16 @@ fn unescape(text: &str) -> String {
 
 impl FleetSnapshot {
     /// Captures the hub's state. `table` resolves relation-edge names;
-    /// `round`/`clock_us` stamp the fleet's position for resume.
-    pub fn capture(hub: &CorpusHub, table: &DescTable, round: usize, clock_us: u64) -> Self {
+    /// `round`/`clock_us` stamp the fleet's position for resume;
+    /// `fault_totals` carries the campaign's cumulative fault/recovery
+    /// counters across a kill.
+    pub fn capture(
+        hub: &CorpusHub,
+        table: &DescTable,
+        round: usize,
+        clock_us: u64,
+        fault_totals: FaultCounters,
+    ) -> Self {
         Self {
             round,
             clock_us,
@@ -145,6 +160,7 @@ impl FleetSnapshot {
             coverage: hub.coverage_blocks().iter().map(|b| b.0).collect(),
             series: hub.series().points().to_vec(),
             crashes: hub.crashes().records().into_iter().cloned().collect(),
+            fault_totals,
             corpus_text: hub.corpus_text(),
             rejected_lines: 0,
         }
@@ -177,6 +193,10 @@ impl FleetSnapshot {
                 crash.repro.as_deref().map_or_else(|| "-".to_owned(), escape),
             ));
         }
+        out.push_str("# section faults\n");
+        for (key, value) in self.fault_totals.entries() {
+            out.push_str(&format!("fault {key} {value}\n"));
+        }
         out.push_str("# section corpus\n");
         out.push_str(&self.corpus_text);
         out
@@ -206,6 +226,7 @@ impl FleetSnapshot {
             Coverage,
             Series,
             Crashes,
+            Faults,
             Corpus,
         }
         let mut section = Section::None;
@@ -216,6 +237,7 @@ impl FleetSnapshot {
                     "coverage" => Section::Coverage,
                     "series" => Section::Series,
                     "crashes" => Section::Crashes,
+                    "faults" => Section::Faults,
                     "corpus" => Section::Corpus,
                     _ => {
                         snap.rejected_lines += 1;
@@ -248,7 +270,14 @@ impl FleetSnapshot {
                         let v: f64 = v.parse().ok()?;
                         v.is_finite().then_some((t.parse::<u64>().ok()?, v))
                     });
+                    // A timestamp that runs backwards is corrupt input the
+                    // same way a malformed line is: skip it, so the series
+                    // restores monotonic (`Series::push_monotonic` would
+                    // refuse it downstream anyway).
                     match parsed {
+                        Some((t, _)) if snap.series.last().is_some_and(|&(lt, _)| lt > t) => {
+                            snap.rejected_lines += 1;
+                        }
                         Some(point) => snap.series.push(point),
                         None => snap.rejected_lines += 1,
                     }
@@ -257,6 +286,16 @@ impl FleetSnapshot {
                     Some(record) => snap.crashes.push(record),
                     None => snap.rejected_lines += 1,
                 },
+                Section::Faults => {
+                    let applied = line
+                        .strip_prefix("fault ")
+                        .and_then(|rest| rest.split_once(' '))
+                        .and_then(|(key, v)| Some((key, v.trim().parse::<u64>().ok()?)))
+                        .is_some_and(|(key, v)| snap.fault_totals.set(key, v));
+                    if !applied {
+                        snap.rejected_lines += 1;
+                    }
+                }
                 Section::None => {
                     if !line.trim().is_empty() {
                         snap.rejected_lines += 1;
@@ -317,6 +356,15 @@ mod tests {
                 first_seen_us: 42,
                 repro: Some("r0 = openat$/dev/video0()\n".to_owned()),
             }],
+            fault_totals: FaultCounters {
+                injected: 12,
+                link_drops: 5,
+                transient_retries: 4,
+                hangs: 2,
+                device_lost: 1,
+                reprovisions: 1,
+                ..Default::default()
+            },
             corpus_text: "# seed 0 signals=7\nr0 = openat$/dev/video0()\n\n".to_owned(),
             rejected_lines: 0,
         }
@@ -335,6 +383,8 @@ mod tests {
         assert_eq!(parsed.series, vec![(900_000_000, 1.0), (1_800_000_000, 2.0)]);
         assert_eq!(parsed.crashes[0].title, "WARNING in v4l_querycap");
         assert_eq!(parsed.crashes[0].repro.as_deref(), Some("r0 = openat$/dev/video0()\n"));
+        assert_eq!(parsed.fault_totals, snap.fault_totals, "fault counters round-trip");
+        assert_eq!(parsed.fault_totals.injected, 12);
     }
 
     #[test]
@@ -349,10 +399,21 @@ mod tests {
         text.push_str("# section coverage\nblock nothex\nblock 3e\n");
         text.push_str("# section series\nsample garbage\nsample 10 NaN\n");
         text.push_str("# section crashes\ncrash truncated\n");
+        text.push_str("# section faults\nfault no_such_counter 3\nfault hangs notanumber\n");
         let parsed = FleetSnapshot::parse(&text).expect("tolerant parse");
-        assert_eq!(parsed.rejected_lines, 4);
+        assert_eq!(parsed.rejected_lines, 6);
         assert!(parsed.coverage.contains(&0x3e), "good lines after bad ones still land");
         assert_eq!(parsed.crashes.len(), 1);
+        assert_eq!(parsed.fault_totals.hangs, 2, "bad fault lines leave good counters alone");
+    }
+
+    #[test]
+    fn parse_rejects_time_travelling_samples() {
+        let mut snap = sample_snapshot();
+        snap.series = vec![(100, 1.0), (50, 9.0), (200, 2.0)];
+        let parsed = FleetSnapshot::parse(&snap.to_text()).expect("tolerant parse");
+        assert_eq!(parsed.series, vec![(100, 1.0), (200, 2.0)], "backwards sample dropped");
+        assert_eq!(parsed.rejected_lines, 1);
     }
 
     #[test]

@@ -21,9 +21,11 @@
 //!    initialization.
 //!
 //! The remaining modules implement the fuzzing harness of §IV-A
-//! ([`engine`], [`exec`], [`daemon`] — with [`fleet`] scaling the daemon
-//! to sharded multi-engine campaigns with corpus/relation sync,
-//! checkpoint/resume, and a metrics bus), corpus and crash management
+//! ([`engine`], [`exec`], [`daemon`] — with [`supervisor`] wrapping every
+//! execution in a watchdog/retry/recovery layer against injected device
+//! faults, and [`fleet`] scaling the daemon to sharded multi-engine
+//! campaigns with corpus/relation sync, checkpoint/resume, self-healing
+//! shard restarts, and a metrics bus), corpus and crash management
 //! ([`corpus`], [`crashes`], [`minimize`]), the evaluation baselines
 //! ([`baselines`]: syzkaller-like and Difuze-like fuzzers plus the
 //! DroidFuzz-D / ablation configurations in [`config`]), and the
@@ -59,6 +61,8 @@ pub mod probe;
 pub mod relation;
 pub mod report;
 pub mod stats;
+pub mod supervisor;
 
 pub use config::FuzzerConfig;
 pub use engine::FuzzingEngine;
+pub use supervisor::{FailureClass, FaultCounters, SupervisedRun, Supervisor, SupervisorConfig};

@@ -280,6 +280,28 @@ mod tests {
     }
 
     #[test]
+    fn probe_survives_a_wedged_device() {
+        // Degradation seam: the device wedges (spontaneous hang, no bug
+        // report) *before* probing. Every trial syscall fails with EIO,
+        // but the pass must still complete, extract the full method list
+        // from the service manager, and leave the device usable — the
+        // closing reboot clears the wedge.
+        let mut device = catalog::device_a1().boot();
+        let expected: usize = device
+            .service_manager()
+            .list()
+            .iter()
+            .map(|d| device.service_manager().get(d).unwrap().methods.len())
+            .sum();
+        device.force_wedge();
+        assert!(device.is_wedged());
+        let report = probe_device(&mut device);
+        assert_eq!(report.interface_count(), expected);
+        assert!(!device.is_wedged(), "the closing reboot clears the wedge");
+        assert!(device.take_bug_reports().is_empty());
+    }
+
+    #[test]
     fn weights_reflect_kernel_activity() {
         let mut device = catalog::device_a1().boot();
         let report = probe_device(&mut device);

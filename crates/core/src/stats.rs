@@ -21,6 +21,19 @@ impl Series {
         self.points.push((time_us, value));
     }
 
+    /// Appends a sample only if it keeps the series non-decreasing in
+    /// time; returns whether it was accepted. Restore paths feed this
+    /// with samples from external text (fleet snapshots), where an
+    /// out-of-order timestamp is corrupt input to reject, not a
+    /// programming error to assert on.
+    pub fn push_monotonic(&mut self, time_us: u64, value: f64) -> bool {
+        if self.points.last().is_some_and(|&(t, _)| t > time_us) {
+            return false;
+        }
+        self.points.push((time_us, value));
+        true
+    }
+
     /// The samples.
     pub fn points(&self) -> &[(u64, f64)] {
         &self.points
@@ -181,6 +194,17 @@ mod tests {
         assert_eq!(s.value_at(15), 1.0);
         assert_eq!(s.value_at(25), 5.0);
         assert_eq!(s.last_value(), 5.0);
+    }
+
+    #[test]
+    fn push_monotonic_rejects_time_travel() {
+        let mut s = Series::new();
+        assert!(s.push_monotonic(10, 1.0));
+        assert!(s.push_monotonic(10, 2.0), "equal timestamps are fine");
+        assert!(!s.push_monotonic(5, 3.0), "going backwards is rejected");
+        assert!(s.push_monotonic(20, 4.0));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last_value(), 4.0);
     }
 
     #[test]

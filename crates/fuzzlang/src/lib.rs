@@ -35,5 +35,5 @@ pub mod text;
 pub mod types;
 
 pub use desc::{ArgDesc, CallDesc, CallKind, DescTable, SyscallTemplate};
-pub use prog::{ArgValue, Call, Prog};
+pub use prog::{ArgValue, Call, Prog, UnknownCallError};
 pub use types::{ResourceKind, TypeDesc};

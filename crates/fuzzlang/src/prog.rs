@@ -84,10 +84,52 @@ impl fmt::Display for ValidateProgError {
 
 impl std::error::Error for ValidateProgError {}
 
+/// A call name that no description in the table defines (from
+/// [`Prog::from_named`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCallError {
+    /// Position of the offending line.
+    pub index: usize,
+    /// The unknown call name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownCallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "call {}: unknown call name `{}`", self.index, self.name)
+    }
+}
+
+impl std::error::Error for UnknownCallError {}
+
 impl Prog {
     /// Creates an empty program.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds a program from `(name, args)` lines, resolving each name
+    /// through `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownCallError`] for the first name the table does not
+    /// define. Call names routinely come from outside the running binary
+    /// (imported corpora, snapshots, another device's table), so an
+    /// unknown name is an input problem to report, never a panic.
+    pub fn from_named(
+        table: &DescTable,
+        lines: &[(&str, Vec<ArgValue>)],
+    ) -> Result<Self, UnknownCallError> {
+        let mut calls = Vec::with_capacity(lines.len());
+        for (index, (name, args)) in lines.iter().enumerate() {
+            let desc = table.id_of(name).ok_or_else(|| UnknownCallError {
+                index,
+                name: (*name).to_owned(),
+            })?;
+            calls.push(Call { desc, args: args.clone() });
+        }
+        Ok(Self { calls })
     }
 
     /// Number of calls.

@@ -38,6 +38,23 @@ pub enum TransactionError {
     },
 }
 
+impl TransactionError {
+    /// Builds a `DEAD_OBJECT` status — the one binder error that means
+    /// the remote *process* is gone rather than the call being bad.
+    /// Spontaneous HAL service death (fault injection) and mid-call
+    /// crashes both surface through this constructor.
+    pub fn dead_object(reason: impl Into<String>) -> Self {
+        TransactionError::DeadObject { reason: reason.into() }
+    }
+
+    /// Whether this is a `DEAD_OBJECT` status. Callers use this to
+    /// separate "the service died" (re-provision / restart territory)
+    /// from argument-level rejections that only fail the one call.
+    pub fn is_dead_object(&self) -> bool {
+        matches!(self, TransactionError::DeadObject { .. })
+    }
+}
+
 impl fmt::Display for TransactionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -76,5 +93,12 @@ mod tests {
     fn dead_object_carries_reason() {
         let err = TransactionError::DeadObject { reason: "Native crash in Camera HAL".into() };
         assert!(err.to_string().contains("Camera HAL"));
+    }
+
+    #[test]
+    fn dead_object_classification() {
+        assert!(TransactionError::dead_object("service killed").is_dead_object());
+        assert!(!TransactionError::UnknownCode(7).is_dead_object());
+        assert!(!TransactionError::BadParcel("x".into()).is_dead_object());
     }
 }

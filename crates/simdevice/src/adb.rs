@@ -21,9 +21,13 @@ pub struct AdbLink {
     per_call_us: u64,
     /// Cost of a device reboot, µs.
     reboot_us: u64,
+    /// Cost of re-establishing a dropped link (`adb reconnect`), µs.
+    reconnect_us: u64,
     bytes_sent: u64,
     bytes_received: u64,
     round_trips: u64,
+    link_drops: u64,
+    truncated_replies: u64,
 }
 
 impl AdbLink {
@@ -34,9 +38,12 @@ impl AdbLink {
             bytes_per_us: 30,
             per_call_us: 120,
             reboot_us: 20 * US_PER_SEC,
+            reconnect_us: 2 * US_PER_SEC,
             bytes_sent: 0,
             bytes_received: 0,
             round_trips: 0,
+            link_drops: 0,
+            truncated_replies: 0,
         }
     }
 
@@ -47,6 +54,7 @@ impl AdbLink {
             bytes_per_us: 12,
             per_call_us: 120,
             reboot_us: 25 * US_PER_SEC,
+            reconnect_us: 5 * US_PER_SEC,
             ..Self::usb()
         }
     }
@@ -65,6 +73,32 @@ impl AdbLink {
     /// Virtual cost of a reboot cycle, in µs.
     pub fn reboot_cost(&self) -> u64 {
         self.reboot_us
+    }
+
+    /// Charges a dropped link: the request times out after a round trip's
+    /// worth of latency, then the host pays an `adb reconnect` before it
+    /// can retry. The test case never reached the device, so no payload
+    /// bytes are counted. Returns the virtual cost in µs.
+    pub fn link_drop_cost(&mut self) -> u64 {
+        self.link_drops += 1;
+        2 * self.latency_us + self.reconnect_us
+    }
+
+    /// Records a feedback reply that arrived truncated (the link died
+    /// mid-pull): `lost_bytes` of the reply never made it to the host.
+    pub fn note_truncated_reply(&mut self, lost_bytes: usize) {
+        self.truncated_replies += 1;
+        self.bytes_received = self.bytes_received.saturating_sub(lost_bytes as u64);
+    }
+
+    /// Link drops charged so far.
+    pub fn link_drops(&self) -> u64 {
+        self.link_drops
+    }
+
+    /// Truncated feedback replies recorded so far.
+    pub fn truncated_replies(&self) -> u64 {
+        self.truncated_replies
     }
 
     /// Total bytes pushed to the device.
@@ -115,5 +149,30 @@ mod tests {
         let mut link = AdbLink::usb();
         let trip = link.round_trip_cost(100, 3, 100);
         assert!(link.reboot_cost() > 1000 * trip);
+    }
+
+    #[test]
+    fn link_drop_charges_reconnect_and_counts() {
+        let mut link = AdbLink::usb();
+        let cost = link.link_drop_cost();
+        assert_eq!(cost, 2 * 250 + 2 * US_PER_SEC);
+        assert_eq!(link.link_drops(), 1);
+        assert_eq!(link.bytes_sent(), 0, "a dropped request ships no payload");
+        // A drop is much cheaper than a reboot but dwarfs a clean trip.
+        let trip = link.round_trip_cost(100, 3, 100);
+        assert!(cost > trip);
+        assert!(cost < link.reboot_cost());
+    }
+
+    #[test]
+    fn truncated_reply_uncounts_lost_bytes() {
+        let mut link = AdbLink::usb();
+        link.round_trip_cost(100, 2, 600);
+        link.note_truncated_reply(200);
+        assert_eq!(link.truncated_replies(), 1);
+        assert_eq!(link.bytes_received(), 400);
+        // Saturates rather than underflowing on a bogus loss size.
+        link.note_truncated_reply(10_000);
+        assert_eq!(link.bytes_received(), 0);
     }
 }

@@ -149,6 +149,27 @@ impl Device {
         self.hal.is_alive(descriptor)
     }
 
+    /// Fault injection: kills a HAL service *silently* (no crash report,
+    /// unlike a crash observed mid-transaction). Subsequent calls to it
+    /// fail with `DEAD_OBJECT`; a reboot revives it. Returns `false` for
+    /// an unknown or already-dead service.
+    pub fn kill_hal_service(&mut self, descriptor: &str) -> bool {
+        self.hal.kill_service(&mut self.kernel, descriptor)
+    }
+
+    /// Fault injection: wedges the kernel without any bug report — the
+    /// spontaneous device hang. All syscalls fail with `EIO` and every
+    /// undelivered feedback reply is lost until [`reboot`](Self::reboot).
+    pub fn force_wedge(&mut self) {
+        self.kernel.force_wedge();
+    }
+
+    /// Descriptors of all registered HAL services, in sorted order
+    /// (deterministic — fault victims are picked by index into this).
+    pub fn hal_descriptors(&self) -> Vec<String> {
+        self.service_manager().list().iter().map(|s| (*s).to_owned()).collect()
+    }
+
     /// Ends the current Binder client session: every HAL service drops
     /// the state (and kernel resources) it held for that client. Called by
     /// the execution broker after each test case, mirroring executor
@@ -217,6 +238,38 @@ mod tests {
         assert!(dev.hal_alive(d));
         assert_eq!(dev.kernel_ref().global_coverage().len(), 0);
         assert_eq!(dev.boot_count(), 2);
+    }
+
+    #[test]
+    fn kill_hal_service_is_silent_until_reboot() {
+        let mut dev = catalog::device_a1().boot();
+        let victim = dev.hal_descriptors().first().cloned().expect("A1 has services");
+        assert!(dev.hal_alive(&victim));
+        assert!(dev.kill_hal_service(&victim));
+        assert!(!dev.hal_alive(&victim));
+        assert!(
+            dev.take_bug_reports().is_empty(),
+            "spontaneous service death must not look like a fuzzer-found bug"
+        );
+        assert!(!dev.kill_hal_service(&victim), "already dead");
+        dev.reboot();
+        assert!(dev.hal_alive(&victim));
+    }
+
+    #[test]
+    fn force_wedge_fails_syscalls_without_a_report() {
+        let mut dev = catalog::device_a1().boot();
+        assert!(!dev.is_wedged());
+        dev.force_wedge();
+        assert!(dev.is_wedged());
+        assert!(dev.take_bug_reports().is_empty(), "no splat for a spontaneous hang");
+        let pid = dev.kernel().spawn_process(simkernel::trace::Origin::Native);
+        let ret = dev
+            .kernel()
+            .syscall(pid, simkernel::Syscall::Openat { path: "/dev/tcpc0".into() });
+        assert!(matches!(ret, simkernel::SyscallRet::Err(_)));
+        dev.reboot();
+        assert!(!dev.is_wedged());
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Deterministic device-fault injection.
+//!
+//! The paper's evaluation runs against physical embedded devices that
+//! drop ADB, kill HAL services, hang mid-execution, and reboot on their
+//! own (§V); Chizpurfle-style work on Android vendor services shows
+//! service death and device restart are the *dominant* operational
+//! hazards of on-device fuzzing. This module models those hazards as a
+//! seeded [`FaultPlan`]: before each supervised execution the host draws
+//! at most one [`Fault`] from the plan, applies it through the device's
+//! fault hooks ([`crate::Device::kill_hal_service`],
+//! [`crate::Device::force_wedge`], [`crate::AdbLink::link_drop_cost`]),
+//! and must then recover.
+//!
+//! Determinism is the point: the plan owns its *own* RNG stream (never
+//! the engine's), so for a fixed `(seed, profile)` the same executions
+//! see the same faults run-to-run, and the `reliable` profile is
+//! behavior-identical to a fault-free build. That is what lets fleet
+//! campaigns under `hostile` conditions still assert byte-identical
+//! results across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::str::FromStr;
+
+/// How unreliable the simulated device is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultProfile {
+    /// No injected faults — behavior-identical to the pre-fault build.
+    #[default]
+    Reliable,
+    /// Occasional link drops, truncated replies, service deaths, and
+    /// hangs: a healthy dev board on a busy USB hub.
+    Flaky,
+    /// Frequent faults plus spontaneous reboots, wedges, and (rarely) a
+    /// device that vanishes for good: the worst kiosk on the bench LAN.
+    Hostile,
+}
+
+impl fmt::Display for FaultProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultProfile::Reliable => "reliable",
+            FaultProfile::Flaky => "flaky",
+            FaultProfile::Hostile => "hostile",
+        })
+    }
+}
+
+impl FromStr for FaultProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reliable" | "" => Ok(FaultProfile::Reliable),
+            "flaky" => Ok(FaultProfile::Flaky),
+            "hostile" => Ok(FaultProfile::Hostile),
+            other => Err(format!("unknown fault profile `{other}` (reliable|flaky|hostile)")),
+        }
+    }
+}
+
+/// Per-execution fault probabilities (each in `[0, 1]`). At most one
+/// fault fires per draw; kinds are rolled in declaration order and the
+/// first hit wins, so the listed values are effective upper bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// ADB link drops before the request reaches the device.
+    pub link_drop: f64,
+    /// Feedback replies that arrive truncated (partial coverage lost).
+    pub truncated_reply: f64,
+    /// Spontaneous HAL service death (silent `DEAD_OBJECT`, no report).
+    pub hal_death: f64,
+    /// Execution hangs consuming a huge simulated time budget.
+    pub hang: f64,
+    /// Spontaneous kernel wedge: device unusable, feedback undelivered.
+    pub wedge: f64,
+    /// Spontaneous reboot before the execution (all fds lost).
+    pub reboot: f64,
+    /// The device vanishes for good (never re-provisions).
+    pub vanish: f64,
+    /// Probability that one re-provision attempt (reboot + liveness
+    /// probe) of a *lost but recoverable* device still fails.
+    pub reprovision_fail: f64,
+    /// Extra virtual µs a hung execution would consume if not aborted.
+    pub hang_extra_us: u64,
+}
+
+impl FaultRates {
+    /// The rates behind a [`FaultProfile`].
+    pub fn for_profile(profile: FaultProfile) -> Self {
+        match profile {
+            FaultProfile::Reliable => Self {
+                link_drop: 0.0,
+                truncated_reply: 0.0,
+                hal_death: 0.0,
+                hang: 0.0,
+                wedge: 0.0,
+                reboot: 0.0,
+                vanish: 0.0,
+                reprovision_fail: 0.0,
+                hang_extra_us: 0,
+            },
+            FaultProfile::Flaky => Self {
+                link_drop: 0.010,
+                truncated_reply: 0.010,
+                hal_death: 0.003,
+                hang: 0.003,
+                wedge: 0.0015,
+                reboot: 0.0015,
+                vanish: 0.0,
+                reprovision_fail: 0.0,
+                hang_extra_us: 120_000_000,
+            },
+            FaultProfile::Hostile => Self {
+                link_drop: 0.040,
+                truncated_reply: 0.030,
+                hal_death: 0.012,
+                hang: 0.010,
+                wedge: 0.006,
+                reboot: 0.005,
+                vanish: 0.002,
+                reprovision_fail: 0.25,
+                hang_extra_us: 120_000_000,
+            },
+        }
+    }
+}
+
+/// One injected fault, drawn per execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The ADB link dropped; the request never reached the device.
+    LinkDrop,
+    /// The execution ran but the feedback reply arrived truncated.
+    TruncatedReply,
+    /// A HAL service (picked by [`FaultPlan::pick_index`]) dies silently
+    /// before the execution.
+    HalDeath,
+    /// The execution hangs, consuming `extra_us` beyond its normal cost
+    /// unless a watchdog aborts it first.
+    Hang {
+        /// Extra virtual µs the hang would consume.
+        extra_us: u64,
+    },
+    /// The kernel wedges spontaneously before the execution.
+    Wedge,
+    /// The device reboots spontaneously before the execution.
+    Reboot,
+    /// The device disappears permanently (re-provision always fails).
+    Vanish,
+}
+
+/// A seeded, profile-driven fault schedule.
+///
+/// `draw` consumes a fixed number of RNG words per call regardless of
+/// what fires, so the fault sequence for execution *n* depends only on
+/// `(seed, rates)` — never on how earlier faults were handled.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rates: FaultRates,
+    rng: StdRng,
+    vanished: bool,
+    drawn: u64,
+}
+
+impl FaultPlan {
+    /// A plan for `profile`, seeded independently of the fuzzer's RNG.
+    pub fn for_profile(profile: FaultProfile, seed: u64) -> Self {
+        Self::with_rates(FaultRates::for_profile(profile), seed)
+    }
+
+    /// A plan with explicit rates (tests force specific fault mixes).
+    pub fn with_rates(rates: FaultRates, seed: u64) -> Self {
+        Self { rates, rng: StdRng::seed_from_u64(seed), vanished: false, drawn: 0 }
+    }
+
+    /// The rates in effect.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// Draws the fault (if any) for the next execution. At most one kind
+    /// fires; earlier kinds in the roll order shadow later ones.
+    pub fn draw(&mut self) -> Option<Fault> {
+        self.drawn += 1;
+        let rolls = [
+            (self.rates.link_drop, Fault::LinkDrop),
+            (self.rates.truncated_reply, Fault::TruncatedReply),
+            (self.rates.hal_death, Fault::HalDeath),
+            (self.rates.hang, Fault::Hang { extra_us: self.rates.hang_extra_us }),
+            (self.rates.wedge, Fault::Wedge),
+            (self.rates.reboot, Fault::Reboot),
+            (self.rates.vanish, Fault::Vanish),
+        ];
+        let mut hit = None;
+        for (p, fault) in rolls {
+            // Roll every kind even after a hit: constant RNG consumption
+            // keeps the schedule independent of recovery decisions.
+            let fired = p > 0.0 && self.rng.gen_bool(p);
+            if fired && hit.is_none() {
+                hit = Some(fault);
+            }
+        }
+        if hit == Some(Fault::Vanish) {
+            self.vanished = true;
+        }
+        hit
+    }
+
+    /// Whether one re-provision attempt fails. Always `true` once the
+    /// device has vanished.
+    pub fn reprovision_fails(&mut self) -> bool {
+        if self.vanished {
+            return true;
+        }
+        self.rates.reprovision_fail > 0.0 && self.rng.gen_bool(self.rates.reprovision_fail)
+    }
+
+    /// Whether a `Vanish` fault has fired.
+    pub fn vanished(&self) -> bool {
+        self.vanished
+    }
+
+    /// Executions the plan has drawn for.
+    pub fn draws(&self) -> u64 {
+        self.drawn
+    }
+
+    /// Deterministically picks an index in `0..n` (fault victim choice).
+    pub fn pick_index(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            0
+        } else {
+            self.rng.gen_range(0..n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_faults(profile: FaultProfile, seed: u64, draws: usize) -> usize {
+        let mut plan = FaultPlan::for_profile(profile, seed);
+        (0..draws).filter(|_| plan.draw().is_some()).count()
+    }
+
+    #[test]
+    fn reliable_never_faults() {
+        assert_eq!(count_faults(FaultProfile::Reliable, 7, 5_000), 0);
+    }
+
+    #[test]
+    fn hostile_faults_more_than_flaky() {
+        let flaky = count_faults(FaultProfile::Flaky, 11, 20_000);
+        let hostile = count_faults(FaultProfile::Hostile, 11, 20_000);
+        assert!(flaky > 0, "flaky must fault at all");
+        assert!(hostile > 2 * flaky, "hostile {hostile} vs flaky {flaky}");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultPlan::for_profile(FaultProfile::Hostile, 99);
+        let mut b = FaultPlan::for_profile(FaultProfile::Hostile, 99);
+        for _ in 0..5_000 {
+            assert_eq!(a.draw(), b.draw());
+        }
+        assert_eq!(a.vanished(), b.vanished());
+        assert_eq!(a.draws(), 5_000);
+    }
+
+    #[test]
+    fn vanish_makes_reprovision_fail_forever() {
+        let rates = FaultRates { vanish: 1.0, ..FaultRates::for_profile(FaultProfile::Flaky) };
+        let mut plan = FaultPlan::with_rates(rates, 3);
+        assert_eq!(plan.draw(), Some(Fault::Vanish));
+        assert!(plan.vanished());
+        for _ in 0..10 {
+            assert!(plan.reprovision_fails());
+        }
+    }
+
+    #[test]
+    fn roll_order_shadows_later_kinds() {
+        let rates = FaultRates {
+            link_drop: 1.0,
+            wedge: 1.0,
+            ..FaultRates::for_profile(FaultProfile::Flaky)
+        };
+        let mut plan = FaultPlan::with_rates(rates, 5);
+        assert_eq!(plan.draw(), Some(Fault::LinkDrop), "first kind in roll order wins");
+    }
+
+    #[test]
+    fn profile_parsing_roundtrips() {
+        for p in [FaultProfile::Reliable, FaultProfile::Flaky, FaultProfile::Hostile] {
+            assert_eq!(p.to_string().parse::<FaultProfile>(), Ok(p));
+        }
+        assert!("chaos".parse::<FaultProfile>().is_err());
+        assert_eq!("HOSTILE".parse::<FaultProfile>(), Ok(FaultProfile::Hostile));
+    }
+
+    #[test]
+    fn pick_index_stays_in_bounds() {
+        let mut plan = FaultPlan::for_profile(FaultProfile::Hostile, 1);
+        assert_eq!(plan.pick_index(0), 0);
+        assert_eq!(plan.pick_index(1), 0);
+        for _ in 0..100 {
+            assert!(plan.pick_index(7) < 7);
+        }
+    }
+}

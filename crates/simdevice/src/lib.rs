@@ -4,7 +4,9 @@
 //! [`firmware::FirmwareSpec`], and ships the seven-device catalog of the
 //! DroidFuzz paper's Table I ([`catalog`]), each with its Table II bugs
 //! armed ([`bugs`]). The [`adb`] module models the Android Debug Bridge
-//! transport costs the host-side fuzzer pays per test case.
+//! transport costs the host-side fuzzer pays per test case. The
+//! [`faults`] module adds a seeded device-fault model (link drops, HAL
+//! death, hangs, spontaneous reboots) for supervised-execution testing.
 //!
 //! ```
 //! use simdevice::catalog;
@@ -18,9 +20,11 @@ pub mod adb;
 pub mod bugs;
 pub mod catalog;
 pub mod device;
+pub mod faults;
 pub mod firmware;
 
 pub use adb::AdbLink;
 pub use bugs::{BugId, KnownBug, BUG_CATALOG};
 pub use device::Device;
+pub use faults::{Fault, FaultPlan, FaultProfile, FaultRates};
 pub use firmware::{Arch, BugSet, DeviceMeta, DriverKind, FirmwareSpec, ServiceKind};

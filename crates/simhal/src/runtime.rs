@@ -108,6 +108,27 @@ impl HalRuntime {
         result
     }
 
+    /// Kills a service process *without* recording a crash report — the
+    /// spontaneous-death fault: `lmkd` reaping, a vendor watchdog restart,
+    /// or the service silently aborting between transactions. Subsequent
+    /// transactions fail with `DEAD_OBJECT`, but — unlike a crash observed
+    /// mid-call — no bug report ever appears, which is exactly what lets a
+    /// host-side supervisor distinguish "device lost" from "bug found".
+    /// Returns `false` for an unknown or already-dead service.
+    pub fn kill_service(&mut self, kernel: &mut Kernel, descriptor: &str) -> bool {
+        let Some(slot) = self.slots.iter_mut().find(|s| s.descriptor == descriptor) else {
+            return false;
+        };
+        if !slot.alive {
+            return false;
+        }
+        slot.alive = false;
+        // The dying process drops its kernel resources (fds, sessions),
+        // exactly as the binder driver's death cleanup would.
+        let _ = kernel.exit_process(slot.pid);
+        true
+    }
+
     /// Drains recorded HAL crash reports.
     pub fn take_crashes(&mut self) -> Vec<BugReport> {
         std::mem::take(&mut self.crashes)
@@ -223,6 +244,25 @@ mod tests {
         rt.reboot(&mut kernel);
         assert!(rt.is_alive(d));
         assert!(rt.transact(&mut kernel, d, Transaction::new(1, Parcel::new())).is_ok());
+    }
+
+    #[test]
+    fn kill_service_dies_silently_without_a_crash_report() {
+        let mut kernel = Kernel::new();
+        let mut rt = HalRuntime::new();
+        rt.register(&mut kernel, Box::new(Crashy { calls: 0 }));
+        let d = "test.crashy@1.0::ICrashy/default";
+        assert!(rt.kill_service(&mut kernel, d));
+        assert!(!rt.is_alive(d));
+        let err = rt.transact(&mut kernel, d, Transaction::new(1, Parcel::new()));
+        assert!(matches!(err, Err(TransactionError::DeadObject { .. })));
+        assert!(rt.take_crashes().is_empty(), "spontaneous death leaves no report");
+        // Idempotent: a dead or unknown service cannot be killed again.
+        assert!(!rt.kill_service(&mut kernel, d));
+        assert!(!rt.kill_service(&mut kernel, "nope"));
+        // A reboot revives it, as with any other death.
+        rt.reboot(&mut kernel);
+        assert!(rt.is_alive(d));
     }
 
     #[test]

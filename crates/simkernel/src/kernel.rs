@@ -245,6 +245,14 @@ impl Kernel {
         self.bugs.is_wedged()
     }
 
+    /// Wedges the kernel without raising any bug report — the
+    /// fault-injection path for spontaneous device hangs (see
+    /// [`crate::report::BugSink::force_wedge`]). Every subsequent syscall fails with
+    /// `EIO` until the device reboots.
+    pub fn force_wedge(&mut self) {
+        self.bugs.force_wedge();
+    }
+
     /// Coverage accumulated since boot across all tasks.
     pub fn global_coverage(&self) -> &CoverageMap {
         &self.global_cov

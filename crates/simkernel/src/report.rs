@@ -167,6 +167,15 @@ impl BugSink {
         self.wedged
     }
 
+    /// Wedges the kernel *without* a bug report — the spontaneous-hang
+    /// case (hardware glitch, thermal shutdown, vendor firmware lockup)
+    /// where the device stops responding but no splat ever reaches the
+    /// log. Fault injection uses this to model device loss that the host
+    /// cannot attribute to a fuzzer-found bug.
+    pub fn force_wedge(&mut self) {
+        self.wedged = true;
+    }
+
     /// Number of pending (undrained) reports.
     pub fn pending(&self) -> usize {
         self.reports.len()

@@ -1,5 +1,6 @@
 //! Fleet orchestration: run a small synced shard fleet on one device,
-//! checkpoint it mid-campaign, and resume from the snapshot.
+//! checkpoint it mid-campaign, resume from the snapshot, and replay the
+//! same campaign on flaky (fault-injected) devices.
 //!
 //! ```sh
 //! cargo run --release --example fleet_campaign
@@ -8,6 +9,7 @@
 use droidfuzz_repro::droidfuzz::fleet::{Fleet, FleetConfig};
 use droidfuzz_repro::droidfuzz::FuzzerConfig;
 use droidfuzz_repro::simdevice::catalog;
+use droidfuzz_repro::simdevice::faults::FaultProfile;
 
 fn main() {
     let spec = catalog::device_a1();
@@ -38,7 +40,7 @@ fn main() {
         killed.rounds_completed,
         killed.snapshot.len()
     );
-    let resumed = Fleet::new(config)
+    let resumed = Fleet::new(config.clone())
         .resume(&spec, FuzzerConfig::droidfuzz, &killed.snapshot)
         .expect("snapshot parses");
     println!(
@@ -47,5 +49,24 @@ fn main() {
         resumed.finished,
         killed.union_coverage,
         resumed.union_coverage
+    );
+
+    // The same fleet on flaky devices: the supervisor absorbs link
+    // drops, HAL deaths, hangs, and reboots; lost shards restart from
+    // hub state, so the campaign still completes.
+    let flaky = Fleet::new(config).run(&spec, |seed| {
+        FuzzerConfig::droidfuzz(seed).with_fault_profile(FaultProfile::Flaky)
+    });
+    let f = &flaky.fault_totals;
+    println!(
+        "\nflaky devices: union coverage {} (finished: {}) — {} faults injected, \
+         {} retries, {} hangs, {} device losses, {} shard restarts",
+        flaky.union_coverage,
+        flaky.finished,
+        f.injected,
+        f.transient_retries,
+        f.hangs,
+        f.device_lost,
+        flaky.stats.shard_restarts,
     );
 }

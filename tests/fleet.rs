@@ -6,6 +6,7 @@ use droidfuzz_repro::droidfuzz::config::FuzzerConfig;
 use droidfuzz_repro::droidfuzz::daemon::Daemon;
 use droidfuzz_repro::droidfuzz::fleet::{Fleet, FleetConfig, FleetResult, SNAPSHOT_HEADER};
 use droidfuzz_repro::simdevice::catalog;
+use droidfuzz_repro::simdevice::faults::FaultProfile;
 
 fn quick_config(sync: bool, kill_after_rounds: Option<usize>) -> FleetConfig {
     FleetConfig {
@@ -15,12 +16,14 @@ fn quick_config(sync: bool, kill_after_rounds: Option<usize>) -> FleetConfig {
         sync,
         hub_capacity: 256,
         kill_after_rounds,
+        flap_limit: 2,
     }
 }
 
-fn fingerprint(result: &FleetResult) -> (usize, Vec<u64>, Vec<Vec<String>>, String) {
+fn fingerprint(result: &FleetResult) -> (usize, u64, Vec<u64>, Vec<Vec<String>>, String) {
     (
         result.union_coverage,
+        result.fault_totals.total(),
         result.shards.iter().map(|s| s.final_coverage as u64).collect(),
         result.shards.iter().map(|s| s.crash_titles.clone()).collect(),
         result.snapshot.clone(),
@@ -79,6 +82,31 @@ fn killed_fleet_resumes_from_its_snapshot() {
     assert!(resumed.stats.shards.iter().any(|s| s.restored_seeds > 0));
 }
 
+/// A hostile-profile fleet — link drops, truncated replies, HAL deaths,
+/// hangs, wedges, spontaneous reboots, vanishing devices — must run to
+/// full length, replay bit-identically for the same seed, and lose no
+/// crash state to the faults: everything the campaign found is in the
+/// final snapshot.
+#[test]
+fn hostile_fleet_survives_and_replays_identically() {
+    let spec = catalog::device_e();
+    let mk = |seed| FuzzerConfig::droidfuzz(seed).with_fault_profile(FaultProfile::Hostile);
+    let first = Fleet::new(quick_config(true, None)).run(&spec, mk);
+    let second = Fleet::new(quick_config(true, None)).run(&spec, mk);
+    assert!(first.finished, "the supervisor absorbs every injected fault");
+    assert!(first.fault_totals.injected > 0, "hostile profile actually injects");
+    assert!(first.union_coverage > 0, "coverage still accrues under hostility");
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+    // Zero lost crash state: every fleet crash appears in the snapshot.
+    for crash in &first.crashes {
+        assert!(
+            first.snapshot.contains(&crash.title.replace('\n', "\\n")),
+            "crash {:?} missing from the snapshot",
+            crash.title
+        );
+    }
+}
+
 /// The daemon's repeated-campaign entry point is the unsynced single-slice
 /// special case of the fleet path and keeps its aggregate shape.
 #[test]
@@ -90,4 +118,5 @@ fn daemon_campaign_rides_the_fleet_path() {
     assert_eq!(result.final_coverage.len(), 2);
     assert!(result.executions > 0);
     assert!(!result.mean_series.is_empty());
+    assert_eq!(result.fault_totals.total(), 0, "reliable by default");
 }
