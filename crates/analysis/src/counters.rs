@@ -1,0 +1,68 @@
+//! Gate outcome counters, aggregated fleet-wide and serialized through
+//! snapshots the same way fault counters are.
+
+/// Cumulative lint-gate outcomes. Clean programs pass uncounted; only
+/// programs the gate had to rewrite (`repaired`) or discard (`rejected`)
+/// appear here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LintCounters {
+    /// Programs discarded because repair could not clear every error.
+    pub rejected: u64,
+    /// Programs rewritten by auto-repair and allowed through.
+    pub repaired: u64,
+}
+
+impl LintCounters {
+    /// Adds `other` into `self` (fleet-level aggregation).
+    pub fn absorb(&mut self, other: &LintCounters) {
+        self.rejected += other.rejected;
+        self.repaired += other.repaired;
+    }
+
+    /// All counters as `(key, value)` pairs in a fixed order — the
+    /// snapshot wire format.
+    pub fn entries(&self) -> [(&'static str, u64); 2] {
+        [("rejected", self.rejected), ("repaired", self.repaired)]
+    }
+
+    /// Sets a counter by its [`entries`](Self::entries) key; `false` for
+    /// an unknown key (tolerant snapshot parsing counts those as rejected
+    /// lines).
+    pub fn set(&mut self, key: &str, value: u64) -> bool {
+        match key {
+            "rejected" => self.rejected = value,
+            "repaired" => self.repaired = value,
+            _ => return false,
+        }
+        true
+    }
+
+    /// Sum of all counters (quick "did the gate ever fire?" check).
+    pub fn total(&self) -> u64 {
+        self.rejected + self.repaired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds_fieldwise() {
+        let mut a = LintCounters { rejected: 2, repaired: 1 };
+        a.absorb(&LintCounters { rejected: 3, repaired: 4 });
+        assert_eq!(a, LintCounters { rejected: 5, repaired: 5 });
+        assert_eq!(a.total(), 10);
+    }
+
+    #[test]
+    fn entries_and_set_round_trip() {
+        let a = LintCounters { rejected: 7, repaired: 9 };
+        let mut b = LintCounters::default();
+        for (key, value) in a.entries() {
+            assert!(b.set(key, value), "{key} is settable");
+        }
+        assert_eq!(a, b);
+        assert!(!b.set("no_such_counter", 1));
+    }
+}

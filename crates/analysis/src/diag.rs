@@ -1,0 +1,208 @@
+//! Structured diagnostics: severities, findings, and reports.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// The gate rejects (or repairs) on `Error` only: `Warning`s describe
+/// programs that execute fine but exercise semantics outside their
+/// descriptions (mutation produces these routinely — a duplicated `close`
+/// is a double-close by construction), and `Info`s are observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Observation; nothing wrong.
+    Info,
+    /// Executable but semantically off-description.
+    Warning,
+    /// Structurally broken; would misexecute or panic downstream.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case tag used in text and JSON output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `dangling-ref`.
+    pub code: &'static str,
+    /// Call index inside the offending program, when the finding is
+    /// program-scoped (state audits leave this `None`).
+    pub call: Option<usize>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.call {
+            Some(call) => write!(f, "{} [{}] call {}: {}", self.severity, self.code, call, self.message),
+            None => write!(f, "{} [{}] {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+/// A lint/audit result: every finding, in discovery order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// The findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a finding.
+    pub fn push(&mut self, severity: Severity, code: &'static str, call: Option<usize>, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic { severity, code, call, message: message.into() });
+    }
+
+    /// Appends every finding of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Whether any finding is an `Error`.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether the report is empty.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Worst severity present, if any finding exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Serializes the report as one machine-readable JSON object (the
+    /// `droidfuzz-lint` output format). `subject` labels what was linted.
+    pub fn to_json(&self, subject: &str) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"subject\":\"{}\",", json_escape(subject)));
+        out.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},\"infos\":{},",
+            self.error_count(),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"code\":\"{}\",",
+                d.severity.tag(),
+                json_escape(d.code)
+            ));
+            match d.call {
+                Some(call) => out.push_str(&format!("\"call\":{call},")),
+                None => out.push_str("\"call\":null,"),
+            }
+            out.push_str(&format!("\"message\":\"{}\"}}", json_escape(&d.message)));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_counts_and_max_severity() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert_eq!(r.max_severity(), None);
+        r.push(Severity::Info, "dead-call", Some(0), "unused");
+        r.push(Severity::Warning, "int-out-of-range", Some(1), "too big");
+        assert!(!r.has_errors());
+        assert_eq!(r.max_severity(), Some(Severity::Warning));
+        r.push(Severity::Error, "dangling-ref", Some(2), "gone");
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn json_output_is_well_formed_and_escaped() {
+        let mut r = Report::new();
+        r.push(Severity::Error, "dangling-ref", Some(3), "ref \"r9\"\nout of range");
+        let json = r.to_json("tab\there");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"errors\":1"));
+        assert!(json.contains("\\\"r9\\\"\\n"));
+        assert!(json.contains("tab\\there"));
+        assert!(!json.contains('\n'), "one line of JSON");
+        let empty = Report::new().to_json("x");
+        assert!(empty.contains("\"diagnostics\":[]"));
+    }
+
+    #[test]
+    fn merge_appends_in_order() {
+        let mut a = Report::new();
+        a.push(Severity::Info, "dead-call", None, "a");
+        let mut b = Report::new();
+        b.push(Severity::Error, "arg-count", None, "b");
+        a.merge(b);
+        assert_eq!(a.diagnostics.len(), 2);
+        assert_eq!(a.diagnostics[1].code, "arg-count");
+    }
+}

@@ -1,0 +1,45 @@
+//! # droidfuzz-analysis — static analysis for programs and engine state
+//!
+//! DroidFuzz's relational payload generator (§IV-C) only pays off when
+//! every program it executes is semantically well-formed: resource `Ref`s
+//! must point at earlier producers of the right kind, argument values
+//! should stay inside their described ranges, and the relation graph must
+//! keep the Eq. 1 invariant (in-weights of every vertex summing to ≤ 1)
+//! or weighted sampling silently degrades. This crate is the pass that
+//! checks all of that *before* execution:
+//!
+//! * [`lint`] — a typed def-use / resource-lifetime linter over
+//!   [`fuzzlang::prog::Prog`]: structural defects (dangling or forward
+//!   references, wrong producer kinds, argument-class mismatches) are
+//!   [`Severity::Error`]s; semantic drift (out-of-range ints, unknown
+//!   flag bits, use-after-close) is a [`Severity::Warning`]; stylistic
+//!   observations (dead producer calls, specializable raw ioctls per the
+//!   §IV-D lookup table) are [`Severity::Info`].
+//! * [`repair`] — a deterministic auto-repair pass that rewrites fixable
+//!   errors instead of discarding the program: dangling references are
+//!   re-pointed at the nearest earlier producer and missing producers are
+//!   inserted, the same machinery §IV-C uses for unresolved resource
+//!   arguments. Repair consumes no randomness, so gating it into a
+//!   seeded engine preserves determinism.
+//! * [`audit`] — a second analyzer over *engine state* in its persistent
+//!   text forms: relation-graph exports (Eq. 1 in-weight sums, decay
+//!   bounds, orphan vertices), corpus exports, and fleet snapshots.
+//! * [`counters::LintCounters`] — `lint_rejected` / `lint_repaired`
+//!   totals, serialized through fleet snapshots the same way fault
+//!   counters are.
+//!
+//! The crate depends only on `fuzzlang`, so the fuzzer core, the bench
+//! harness, and the `droidfuzz-lint` CLI can all gate on it without
+//! dependency cycles.
+
+pub mod audit;
+pub mod counters;
+pub mod diag;
+pub mod lint;
+pub mod repair;
+
+pub use audit::{audit_corpus, audit_relations, audit_snapshot};
+pub use counters::LintCounters;
+pub use diag::{Diagnostic, Report, Severity};
+pub use lint::lint_prog;
+pub use repair::{gate_prog, repair_prog};

@@ -1,0 +1,131 @@
+//! Lint-gate benchmark: raw linter throughput over generated programs,
+//! gate throughput (lint + repair on deliberately broken inputs), and the
+//! end-to-end overhead the gate adds to a fleet campaign, measured by
+//! running the same campaign with the gate on and off.
+//!
+//! Scale: `DF_PROGS` (programs for the throughput phase, default 20000),
+//! `DF_HOURS` (campaign length for the overhead phase, default 0.5),
+//! `DF_SHARDS` (default 2), `DF_SYNC_MIN` (default 7.5), `DF_DEVICE`
+//! (default A1). The run ends with one machine-readable JSON line
+//! (`"bench":"lint_overhead"`).
+
+use droidfuzz::analysis::{gate_prog, lint_prog, LintCounters};
+use droidfuzz::config::FuzzerConfig;
+use droidfuzz::engine::FuzzingEngine;
+use droidfuzz::fleet::{Fleet, FleetConfig};
+use droidfuzz_bench::{env_f64, env_u64};
+use fuzzlang::gen::generate;
+use fuzzlang::prog::{ArgValue, Prog};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simdevice::catalog;
+use std::time::Instant;
+
+/// Breaks a program the way corruption reaches the gate in practice: the
+/// last ref argument is re-pointed past the end of the program, forcing
+/// the repair path instead of the fast lint-only path.
+fn corrupt(prog: &Prog) -> Prog {
+    let mut broken = prog.clone();
+    let len = broken.calls.len();
+    for call in broken.calls.iter_mut().rev() {
+        if let Some(arg) = call
+            .args
+            .iter_mut()
+            .rev()
+            .find(|a| matches!(a, ArgValue::Ref(_)))
+        {
+            *arg = ArgValue::Ref(len + 7);
+            return broken;
+        }
+    }
+    broken
+}
+
+fn main() {
+    let progs = env_u64("DF_PROGS", 20_000) as usize;
+    let hours = env_f64("DF_HOURS", 0.5);
+    let shards = env_u64("DF_SHARDS", 2).max(1) as usize;
+    let sync_min = env_f64("DF_SYNC_MIN", 7.5);
+    let device = std::env::var("DF_DEVICE").unwrap_or_else(|_| "A1".into());
+    let Some(spec) = catalog::by_id(&device) else {
+        eprintln!("unknown device {device}; known: A1 A2 B C1 C2 D E");
+        std::process::exit(2);
+    };
+
+    // The campaign vocabulary (syscalls + probed HAL interfaces).
+    let engine = FuzzingEngine::new(spec.clone().boot(), FuzzerConfig::droidfuzz(1));
+    let table = engine.desc_table();
+    let mut rng = StdRng::seed_from_u64(0x11A7);
+    let inputs: Vec<Prog> = (0..progs).map(|_| generate(table, 12, &mut rng)).collect();
+
+    // Phase 1: raw lint throughput on healthy generator output.
+    let start = Instant::now();
+    let mut findings = 0usize;
+    for prog in &inputs {
+        findings += lint_prog(prog, table).diagnostics.len();
+    }
+    let lint_secs = start.elapsed().as_secs_f64();
+    let lint_rate = progs as f64 / lint_secs.max(1e-9);
+    println!(
+        "lint throughput: {progs} programs in {lint_secs:.3} s -> {lint_rate:.0} progs/sec \
+         ({findings} findings, none gating)"
+    );
+
+    // Phase 2: gate throughput on broken inputs (lint + repair + re-lint).
+    let mut counters = LintCounters::default();
+    let mut broken: Vec<Prog> = inputs.iter().map(corrupt).collect();
+    let start = Instant::now();
+    let mut passed = 0usize;
+    for prog in &mut broken {
+        if gate_prog(prog, table, &mut counters) {
+            passed += 1;
+        }
+    }
+    let gate_secs = start.elapsed().as_secs_f64();
+    let gate_rate = progs as f64 / gate_secs.max(1e-9);
+    println!(
+        "gate throughput on corrupted inputs: {gate_rate:.0} progs/sec \
+         ({passed} passed, {} repaired, {} rejected)",
+        counters.repaired, counters.rejected
+    );
+
+    // Phase 3: end-to-end overhead — the identical fleet campaign with
+    // the gate on vs off. Same seeds, same fault-free devices; the only
+    // difference is `lint_gate`.
+    let fleet_config = FleetConfig {
+        shards,
+        hours,
+        sync_interval_hours: sync_min / 60.0,
+        ..FleetConfig::default()
+    };
+    let arm = |gated: bool| {
+        let start = Instant::now();
+        let result = Fleet::new(fleet_config.clone()).run(&spec, move |seed| {
+            FuzzerConfig::droidfuzz(seed).with_lint_gate(gated)
+        });
+        (result, start.elapsed().as_secs_f64())
+    };
+    let (gated, gated_secs) = arm(true);
+    let (ungated, ungated_secs) = arm(false);
+    let overhead = gated_secs / ungated_secs.max(1e-9);
+    println!(
+        "end-to-end: gated {gated_secs:.2} s / ungated {ungated_secs:.2} s \
+         ({:.1}% overhead) over {shards} shards x {hours} h; gated campaign \
+         repaired {} and rejected {} programs",
+        (overhead - 1.0) * 100.0,
+        gated.lint_totals.repaired,
+        gated.lint_totals.rejected,
+    );
+
+    println!(
+        "{{\"bench\":\"lint_overhead\",\"device\":\"{device}\",\"progs\":{progs},\
+         \"lint_progs_per_sec\":{lint_rate:.0},\"gate_progs_per_sec\":{gate_rate:.0},\
+         \"repaired\":{},\"rejected\":{},\"shards\":{shards},\"hours\":{hours},\
+         \"gated_wall_secs\":{gated_secs:.3},\"ungated_wall_secs\":{ungated_secs:.3},\
+         \"gated_executions\":{},\"ungated_executions\":{},\"overhead_ratio\":{overhead:.3}}}",
+        counters.repaired,
+        counters.rejected,
+        gated.executions,
+        ungated.executions,
+    );
+}

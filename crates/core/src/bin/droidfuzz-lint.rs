@@ -1,0 +1,117 @@
+//! The `droidfuzz-lint` command-line front end: run the static-analysis
+//! pass over saved fuzzer artifacts — fuzzlang programs, corpus exports,
+//! relation-graph exports, and fleet snapshots — and emit one
+//! machine-readable JSON report line per input.
+//!
+//! ```sh
+//! droidfuzz-lint --device A1 a1.corpus campaign.snapshot prog.txt
+//! ```
+//!
+//! The input format is detected from the file's leading bytes:
+//!
+//! - `# droidfuzz-fleet-snapshot v1 ...` → full snapshot audit (framing,
+//!   nested relation graph, fault/lint counters, corpus seeds);
+//! - `# relation-graph ...` or `edge ...`  → relation-graph audit (Eq. 1
+//!   in-weight invariants, vertex names, duplicate/self/orphan edges);
+//! - `# seed <i> signals=<n>` anywhere  → corpus audit (per-seed parse +
+//!   program lint);
+//! - anything else → a single fuzzlang program, parsed then linted.
+//!
+//! The vocabulary comes from booting (and probing) the selected Table-I
+//! device, so HAL interface names resolve exactly as they would inside a
+//! campaign. Exit status is 1 when any input carries an `Error`-severity
+//! finding, 2 on usage errors, 0 otherwise — warnings never fail the run,
+//! matching the in-engine gate.
+
+use droidfuzz::analysis::{audit_corpus, audit_relations, audit_snapshot, lint_prog};
+use droidfuzz::config::FuzzerConfig;
+use droidfuzz::engine::FuzzingEngine;
+use droidfuzz::fleet::SNAPSHOT_HEADER;
+use fuzzlang::text::parse_prog;
+use simdevice::catalog;
+
+struct Options {
+    device: String,
+    paths: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: droidfuzz-lint [--device <A1|A2|B|C1|C2|D|E>] <file>...\n\
+         \x20      input kinds (auto-detected): fleet snapshot, relation-graph export,\n\
+         \x20      corpus export, single fuzzlang program"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options { device: "A1".into(), paths: Vec::new() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--device" => {
+                opts.device = args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --device");
+                    usage()
+                });
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+            path => opts.paths.push(path.to_owned()),
+        }
+    }
+    if opts.paths.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let Some(spec) = catalog::by_id(&opts.device) else {
+        eprintln!("unknown device {}; known: A1 A2 B C1 C2 D E", opts.device);
+        std::process::exit(2);
+    };
+    // Boot + probe exactly as a campaign would, then borrow the engine's
+    // vocabulary; the lint gate itself stays off since nothing executes.
+    let engine = FuzzingEngine::new(spec.boot(), FuzzerConfig::droidfuzz(1));
+    let table = engine.desc_table();
+
+    let mut failed = false;
+    for path in &opts.paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let report = if text.starts_with(SNAPSHOT_HEADER) {
+            audit_snapshot(&text, table)
+        } else if text.starts_with("# relation-graph") || text.starts_with("edge ") {
+            audit_relations(&text, table)
+        } else if text.contains("# seed ") {
+            audit_corpus(&text, table)
+        } else {
+            match parse_prog(&text, table) {
+                Ok(prog) => lint_prog(&prog, table),
+                Err(e) => {
+                    let mut report = droidfuzz::analysis::Report::new();
+                    report.push(
+                        droidfuzz::analysis::Severity::Error,
+                        "prog-unparseable",
+                        None,
+                        e.to_string(),
+                    );
+                    report
+                }
+            }
+        };
+        failed |= report.has_errors();
+        println!("{}", report.to_json(path));
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -66,6 +66,10 @@ pub struct FuzzerConfig {
     pub decay_factor: f64,
     /// Run minimization on coverage-increasing inputs (costs executions).
     pub minimize: bool,
+    /// Lint-gate every program before execution or admission, repairing
+    /// fixable defects (on for all variants; the bench harness turns it
+    /// off to measure gate overhead).
+    pub lint_gate: bool,
     /// Reboot the device upon encountering any bug (paper §V-A).
     pub reboot_on_bug: bool,
     /// Device-fault profile the supervisor draws from (`Reliable` is
@@ -92,6 +96,7 @@ impl FuzzerConfig {
             decay_interval: 2000,
             decay_factor: 0.9,
             minimize: true,
+            lint_gate: true,
             reboot_on_bug: true,
             fault_profile: FaultProfile::Reliable,
             fault_rates: None,
@@ -107,6 +112,12 @@ impl FuzzerConfig {
     /// profile's presets; mainly for tests forcing a fault mix).
     pub fn with_fault_rates(self, rates: FaultRates) -> Self {
         Self { fault_rates: Some(rates), ..self }
+    }
+
+    /// The same configuration with the lint gate toggled (the bench
+    /// harness compares gated vs ungated campaigns).
+    pub fn with_lint_gate(self, lint_gate: bool) -> Self {
+        Self { lint_gate, ..self }
     }
 
     /// Full DroidFuzz.

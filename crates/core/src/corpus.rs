@@ -1,6 +1,7 @@
 //! The seed corpus: programs that triggered new execution state, kept for
 //! further mutation (the daemon's persistent data of §IV-A).
 
+use droidfuzz_analysis::{gate_prog, LintCounters};
 use fuzzlang::desc::DescTable;
 use fuzzlang::prog::Prog;
 use fuzzlang::text::format_prog;
@@ -61,6 +62,24 @@ impl Corpus {
                 .expect("non-empty");
             self.seeds.swap_remove(idx);
         }
+    }
+
+    /// [`admit`](Self::admit) behind the lint gate: the program is linted
+    /// against `table`, auto-repaired if it has fixable errors, and only
+    /// then admitted. Returns whether a seed entered the corpus; gate
+    /// outcomes land in `counters`.
+    pub fn admit_gated(
+        &mut self,
+        mut prog: Prog,
+        new_signals: usize,
+        table: &DescTable,
+        counters: &mut LintCounters,
+    ) -> bool {
+        if !gate_prog(&mut prog, table, counters) || prog.is_empty() {
+            return false;
+        }
+        self.admit(prog, new_signals);
+        true
     }
 
     /// Picks a seed for mutation, biased toward high-signal, rarely-picked
@@ -141,6 +160,29 @@ impl Corpus {
     /// — never panicking, so a damaged snapshot restores everything it
     /// can. Returns `(accepted, rejected)`.
     pub fn import(&mut self, text: &str, table: &DescTable) -> (usize, usize) {
+        self.import_inner(text, table, None)
+    }
+
+    /// [`import`](Self::import) behind the lint gate: each seed that
+    /// parses is linted and, when it carries fixable errors (a dangling
+    /// ref left by an old engine version, a seed from a shard with a
+    /// slightly different vocabulary), auto-repaired instead of dropped.
+    /// Repaired seeds count as accepted; gate outcomes land in `counters`.
+    pub fn import_gated(
+        &mut self,
+        text: &str,
+        table: &DescTable,
+        counters: &mut LintCounters,
+    ) -> (usize, usize) {
+        self.import_inner(text, table, Some(counters))
+    }
+
+    fn import_inner(
+        &mut self,
+        text: &str,
+        table: &DescTable,
+        mut counters: Option<&mut LintCounters>,
+    ) -> (usize, usize) {
         let mut accepted = 0;
         let mut rejected = 0;
         for (i, chunk) in text.split("# seed ").enumerate() {
@@ -168,9 +210,22 @@ impl Corpus {
                 .and_then(|v| v.trim().parse::<usize>().ok())
                 .unwrap_or(1);
             match fuzzlang::text::parse_prog(&body, table) {
-                Ok(prog) if prog.validate(table).is_ok() && !prog.is_empty() => {
-                    self.admit(prog, signals);
-                    accepted += 1;
+                Ok(prog) if !prog.is_empty() => {
+                    let admitted = match counters.as_deref_mut() {
+                        Some(c) => self.admit_gated(prog, signals, table, c),
+                        None => {
+                            let valid = prog.validate(table).is_ok();
+                            if valid {
+                                self.admit(prog, signals);
+                            }
+                            valid
+                        }
+                    };
+                    if admitted {
+                        accepted += 1;
+                    } else {
+                        rejected += 1;
+                    }
                 }
                 _ => rejected += 1,
             }
@@ -323,6 +378,23 @@ mod tests {
         assert_eq!(accepted, 3, "valid seeds restored, incl. defaulted signals");
         assert_eq!(rejected, 2, "truncated body and empty body both counted");
         assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn import_gated_repairs_dangling_refs() {
+        let mut t = table();
+        t.add(CallDesc::syscall_close());
+        // A close of a resource nothing produced: old plain import would
+        // reject it; the gate inserts the missing producer instead.
+        let text = "# seed 0 signals=5\nr0 = close(r9)\n";
+        let mut c = Corpus::new();
+        let mut counters = LintCounters::default();
+        let (accepted, rejected) = c.import_gated(text, &t, &mut counters);
+        assert_eq!((accepted, rejected), (1, 0));
+        assert_eq!(counters.repaired, 1);
+        assert_eq!(counters.rejected, 0);
+        assert_eq!(c.seeds()[0].prog.len(), 2, "producer inserted before the close");
+        assert!(c.seeds()[0].prog.validate(&t).is_ok());
     }
 
     #[test]

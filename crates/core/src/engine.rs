@@ -20,6 +20,7 @@ use crate::probe::{add_hal_descs, probe_device, ProbeReport};
 use crate::relation::RelationGraph;
 use crate::stats::Series;
 use crate::supervisor::{FailureClass, FaultCounters, Supervisor, SupervisorConfig};
+use droidfuzz_analysis::{gate_prog, LintCounters};
 use fuzzlang::desc::DescTable;
 use fuzzlang::mutate::{crossover, mutate_n};
 use fuzzlang::prog::Prog;
@@ -52,6 +53,7 @@ pub struct FuzzingEngine {
     broker: Broker,
     adb: AdbLink,
     supervisor: Supervisor,
+    lint: LintCounters,
     rng: StdRng,
     clock_us: u64,
     executions: u64,
@@ -118,6 +120,7 @@ impl FuzzingEngine {
             broker: Broker::new(),
             adb,
             supervisor,
+            lint: LintCounters::default(),
             rng,
             clock_us: 0,
             executions: 0,
@@ -146,7 +149,7 @@ impl FuzzingEngine {
             }
             let n = self.rng.gen_range(1..=3);
             mutate_n(&mut prog, &self.table, n, &mut self.rng);
-            if prog.is_empty() {
+            if prog.is_empty() || !self.lint_gate(&mut prog) {
                 return self.generate_fresh();
             }
             prog
@@ -156,11 +159,26 @@ impl FuzzingEngine {
     }
 
     fn generate_fresh(&mut self) -> Prog {
-        if self.config.relations {
+        let mut prog = if self.config.relations {
             relational_generate(&self.table, &self.graph, self.config.max_prog_calls, &mut self.rng)
         } else {
             random_generate(&self.table, self.config.max_prog_calls, &mut self.rng)
+        };
+        if !self.lint_gate(&mut prog) {
+            // Unrepairable fresh program (generator soundness bug): skip
+            // the iteration rather than execute it.
+            return Prog::new();
         }
+        prog
+    }
+
+    /// Runs the static-analysis gate over `prog` in place: `true` lets the
+    /// (possibly repaired) program through, `false` means it carried
+    /// unrepairable errors. Repair is deterministic and consumes no RNG,
+    /// so gated campaigns replay identically. A disabled gate passes
+    /// everything.
+    fn lint_gate(&mut self, prog: &mut Prog) -> bool {
+        !self.config.lint_gate || gate_prog(prog, &self.table, &mut self.lint)
     }
 
     /// Runs exactly one fuzzing iteration, advancing the virtual clock.
@@ -227,17 +245,24 @@ impl FuzzingEngine {
                 if kernel_new > 0 {
                     // New kernel coverage: minimize, learn relations from
                     // the essential sequence, and seed the corpus.
-                    let admitted = if self.config.minimize && prog.len() > 2 && new_count <= 64
+                    let mut admitted = if self.config.minimize && prog.len() > 2 && new_count <= 64
                     {
                         self.minimize_interesting(&prog, &sigs)
                     } else {
                         prog.clone()
                     };
-                    if self.config.relations {
-                        self.learn_from(&admitted);
-                    }
-                    if !self.supervisor.is_prog_quarantined(&admitted, &self.table) {
-                        self.corpus.admit(admitted, kernel_new * 8 + (new_count - kernel_new));
+                    // Gate the (possibly minimized) program before it can
+                    // teach the relation graph or seed the corpus:
+                    // minimization can strip a producer whose consumer
+                    // survived, and repair re-points or re-inserts it.
+                    if self.lint_gate(&mut admitted) {
+                        if self.config.relations {
+                            self.learn_from(&admitted);
+                        }
+                        if !self.supervisor.is_prog_quarantined(&admitted, &self.table) {
+                            self.corpus
+                                .admit(admitted, kernel_new * 8 + (new_count - kernel_new));
+                        }
                     }
                 } else if self.config.relations {
                     // New *HAL behaviour* only (directional coverage, §IV-D):
@@ -425,10 +450,17 @@ impl FuzzingEngine {
 
     /// Restores seeds from a previous session's [`export_corpus`] dump;
     /// returns `(accepted, rejected)` against the current vocabulary.
+    /// With the lint gate enabled, seeds carrying fixable defects are
+    /// auto-repaired instead of dropped (counted in
+    /// [`lint_counters`](Self::lint_counters)).
     ///
     /// [`export_corpus`]: Self::export_corpus
     pub fn import_corpus(&mut self, text: &str) -> (usize, usize) {
-        self.corpus.import(text, &self.table)
+        if self.config.lint_gate {
+            self.corpus.import_gated(text, &self.table, &mut self.lint)
+        } else {
+            self.corpus.import(text, &self.table)
+        }
     }
 
     /// The probing-pass report (None for HAL-less baselines).
@@ -449,6 +481,14 @@ impl FuzzingEngine {
     /// Cumulative fault-injection and recovery counters.
     pub fn fault_counters(&self) -> FaultCounters {
         self.supervisor.counters()
+    }
+
+    /// Cumulative lint-gate outcomes (`rejected` / `repaired`). Zero on a
+    /// healthy campaign: the generator and mutators are sound under the
+    /// linter, so the gate only fires on imported or minimized programs
+    /// that actually carried defects.
+    pub fn lint_counters(&self) -> LintCounters {
+        self.lint
     }
 
     /// Whether the device has been permanently lost (re-provisioning
@@ -563,6 +603,41 @@ mod tests {
         assert!(restored > 0, "seeds should survive a restart");
         assert_eq!(rejected, 0, "a clean dump has no rejects");
         assert_eq!(second.corpus().len(), restored);
+    }
+
+    #[test]
+    fn lint_gate_is_silent_on_a_healthy_campaign() {
+        let mut engine = quick_engine(FuzzerConfig::droidfuzz(7));
+        engine.run_iterations(300);
+        assert_eq!(
+            engine.lint_counters().total(),
+            0,
+            "generator/mutator output should pass the linter untouched: {:?}",
+            engine.lint_counters()
+        );
+    }
+
+    #[test]
+    fn lint_gate_repairs_defective_imported_seeds() {
+        let mut engine = quick_engine(FuzzerConfig::droidfuzz(41));
+        // A close of a resource nothing produced: repair inserts the
+        // missing producer instead of dropping the seed.
+        let (accepted, rejected) = engine.import_corpus("# seed 0 signals=4\nr0 = close(r9)\n");
+        assert_eq!((accepted, rejected), (1, 0));
+        assert_eq!(engine.lint_counters().repaired, 1);
+        assert_eq!(engine.corpus().len(), 1);
+        let seed = &engine.corpus().seeds()[0];
+        assert!(seed.prog.validate(engine.desc_table()).is_ok());
+        assert_eq!(seed.prog.len(), 2, "producer inserted before the close");
+    }
+
+    #[test]
+    fn disabled_lint_gate_rejects_instead_of_repairing() {
+        let config = FuzzerConfig::droidfuzz(41).with_lint_gate(false);
+        let mut engine = quick_engine(config);
+        let (accepted, rejected) = engine.import_corpus("# seed 0 signals=4\nr0 = close(r9)\n");
+        assert_eq!((accepted, rejected), (0, 1), "ungated import drops the defective seed");
+        assert_eq!(engine.lint_counters().total(), 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::report::ascii_table;
 use crate::supervisor::FaultCounters;
+use droidfuzz_analysis::LintCounters;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// One telemetry event on the fleet bus.
@@ -83,6 +84,8 @@ pub enum FleetEvent {
         crashes: usize,
         /// Fault/recovery counters accumulated across the shard's engines.
         faults: FaultCounters,
+        /// Lint-gate counters accumulated across the shard's engines.
+        lint: LintCounters,
         /// Lost-device restarts performed on the shard.
         restarts: u32,
     },
@@ -129,6 +132,8 @@ pub struct ShardStats {
     pub restored_seeds: usize,
     /// Fault/recovery counters (from the final `ShardFinished`).
     pub faults: FaultCounters,
+    /// Lint-gate counters (from the final `ShardFinished`).
+    pub lint: LintCounters,
     /// Lost-device restarts performed on the shard.
     pub restarts: u32,
     /// Flap quarantines imposed on the shard.
@@ -166,6 +171,8 @@ pub struct FleetStats {
     pub union_coverage: usize,
     /// Fault/recovery counters summed across shards (this run).
     pub fault_totals: FaultCounters,
+    /// Lint-gate counters summed across shards (this run).
+    pub lint_totals: LintCounters,
     /// Lost-device shard restarts across the fleet.
     pub shard_restarts: u64,
     /// Flap quarantines imposed across the fleet.
@@ -242,6 +249,7 @@ impl FleetStats {
                     coverage,
                     crashes,
                     faults,
+                    lint,
                     restarts,
                 } => {
                     if let Some(s) = stats.shards.get_mut(shard) {
@@ -250,6 +258,7 @@ impl FleetStats {
                         s.coverage = coverage;
                         s.crashes = crashes;
                         s.faults = faults;
+                        s.lint = lint;
                         s.restarts = restarts;
                     }
                 }
@@ -257,6 +266,7 @@ impl FleetStats {
         }
         for s in &stats.shards {
             stats.fault_totals.absorb(&s.faults);
+            stats.lint_totals.absorb(&s.lint);
             stats.shard_restarts += u64::from(s.restarts);
             stats.shard_quarantines += u64::from(s.quarantines);
         }
@@ -316,6 +326,10 @@ impl FleetStats {
             self.shard_restarts,
             self.shard_quarantines,
         ));
+        out.push_str(&format!(
+            "lint rejected: {}  lint repaired: {}\n",
+            self.lint_totals.rejected, self.lint_totals.repaired,
+        ));
         out
     }
 }
@@ -365,6 +379,7 @@ mod tests {
             coverage: 60,
             crashes: 0,
             faults: finished_faults,
+            lint: LintCounters { rejected: 2, repaired: 3 },
             restarts: 1,
         });
         let stats = FleetStats::drain(&rx, 2);
@@ -379,6 +394,9 @@ mod tests {
         assert_eq!(stats.seeds_published, 6);
         assert_eq!(stats.union_coverage, 120);
         assert_eq!(stats.fault_totals.injected, 7);
+        assert_eq!(stats.shards[1].lint.repaired, 3);
+        assert_eq!(stats.lint_totals.rejected, 2);
+        assert_eq!(stats.lint_totals.repaired, 3);
         assert_eq!(stats.shard_restarts, 1);
         assert_eq!(stats.shard_quarantines, 1);
         assert!((stats.shards[0].execs_per_vsec() - 5.0).abs() < 1e-9);
@@ -387,6 +405,7 @@ mod tests {
         assert!(table.contains("union coverage: 120"));
         assert!(table.contains("faults injected: 7"));
         assert!(table.contains("shard restarts: 1"));
+        assert!(table.contains("lint rejected: 2  lint repaired: 3"));
     }
 
     #[test]

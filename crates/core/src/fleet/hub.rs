@@ -68,7 +68,8 @@ impl CorpusHub {
         }
     }
 
-    /// Publishes a shard's corpus dump (the [`Corpus::export`] text
+    /// Publishes a shard's corpus dump (the
+    /// [`Corpus::export`](crate::corpus::Corpus::export) text
     /// format). Seeds are deduplicated by program body; a body seen
     /// before — even one since evicted — is not re-accepted, and a live
     /// duplicate keeps the larger signal score. Returns newly accepted

@@ -43,6 +43,7 @@ use crate::engine::{FuzzingEngine, HOUR_US};
 use crate::relation::RelationGraph;
 use crate::stats::{mean_series, Series};
 use crate::supervisor::FaultCounters;
+use droidfuzz_analysis::LintCounters;
 use simdevice::firmware::FirmwareSpec;
 use std::thread;
 
@@ -127,6 +128,9 @@ pub struct FleetResult {
     /// Fault/recovery counters over the whole campaign, including any
     /// snapshot baseline carried across a kill/resume.
     pub fault_totals: FaultCounters,
+    /// Lint-gate counters over the whole campaign, including any snapshot
+    /// baseline carried across a kill/resume.
+    pub lint_totals: LintCounters,
     /// Metrics drained from the event bus.
     pub stats: FleetStats,
     /// Sync rounds completed over the campaign (including pre-resume).
@@ -261,6 +265,15 @@ impl Fleet {
             }
             totals
         };
+        let baseline_lint =
+            resume.as_ref().map_or_else(LintCounters::default, |s| s.lint_totals);
+        let fleet_lint_totals = |shards: &[Shard]| {
+            let mut totals = baseline_lint;
+            for shard in shards {
+                totals.absorb(&shard.lint_totals());
+            }
+            totals
+        };
 
         let mut rounds_completed = start_round;
         let mut clock_us = clock_offset_us;
@@ -351,6 +364,7 @@ impl Fleet {
                 rounds_completed,
                 clock_us,
                 fleet_fault_totals(&shards),
+                fleet_lint_totals(&shards),
             )
             .to_text();
 
@@ -402,6 +416,7 @@ impl Fleet {
             mean_series: mean_series(&shard_series, total_us, 48),
             union_series: hub.series().clone(),
             fault_totals: fleet_fault_totals(&shards),
+            lint_totals: fleet_lint_totals(&shards),
             shards: outcomes,
             stats,
             rounds_completed,
@@ -505,6 +520,10 @@ mod tests {
         assert!(resumed.fault_totals.total() >= killed.fault_totals.total());
         let snap = FleetSnapshot::parse(&resumed.snapshot).expect("snapshot parses");
         assert_eq!(snap.fault_totals, resumed.fault_totals);
+        // Lint counters cross the kill the same way (baseline + new
+        // rounds), whether or not the gate ever fired.
+        assert!(resumed.lint_totals.total() >= killed.lint_totals.total());
+        assert_eq!(snap.lint_totals, resumed.lint_totals);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use super::events::{EventBus, FleetEvent};
 use super::hub::CorpusHub;
 use crate::engine::FuzzingEngine;
 use crate::supervisor::FaultCounters;
+use droidfuzz_analysis::LintCounters;
 
 /// A fleet shard.
 #[derive(Debug)]
@@ -29,6 +30,8 @@ pub struct Shard {
     retired_executions: u64,
     /// Fault counters retired with previous engines.
     retired_faults: FaultCounters,
+    /// Lint-gate counters retired with previous engines.
+    retired_lint: LintCounters,
     /// Lost-device restarts performed on this shard.
     restarts: u32,
     /// Device losses since the shard last completed a healthy slice.
@@ -50,6 +53,7 @@ impl Shard {
             clock_offset_us,
             retired_executions: 0,
             retired_faults: FaultCounters::default(),
+            retired_lint: LintCounters::default(),
             restarts: 0,
             consecutive_losses: 0,
             quarantines: 0,
@@ -122,6 +126,7 @@ impl Shard {
     pub fn replace_engine(&mut self, engine: FuzzingEngine, clock_offset_us: u64) {
         self.retired_executions += self.engine.executions();
         self.retired_faults.absorb(&self.engine.fault_counters());
+        self.retired_lint.absorb(&self.engine.lint_counters());
         self.engine = engine;
         self.cursor = 0;
         self.clock_offset_us = clock_offset_us;
@@ -177,6 +182,13 @@ impl Shard {
         totals
     }
 
+    /// Lint-gate counters across every engine this shard has owned.
+    pub fn lint_totals(&self) -> LintCounters {
+        let mut totals = self.retired_lint;
+        totals.absorb(&self.engine.lint_counters());
+        totals
+    }
+
     /// Publishes this shard's corpus, relation graph, and observed kernel
     /// blocks to the hub. Returns seeds newly accepted by the hub.
     /// (Crashes sync separately, fleet-wide, via
@@ -212,6 +224,7 @@ impl Shard {
             coverage: self.engine.kernel_coverage(),
             crashes: self.engine.crash_db().len(),
             faults: self.fault_totals(),
+            lint: self.lint_totals(),
             restarts: self.restarts,
         });
     }

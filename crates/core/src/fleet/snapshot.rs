@@ -18,6 +18,8 @@
 //! crash <count>\t<first_seen_us>\t<kind>\t<component>\t<title>\t<repro|->
 //! # section faults
 //! fault <counter> <value>
+//! # section lint
+//! lint <counter> <value>
 //! # section corpus
 //! <Corpus::export text>
 //! ```
@@ -29,6 +31,7 @@
 use super::hub::CorpusHub;
 use crate::crashes::CrashRecord;
 use crate::supervisor::FaultCounters;
+use droidfuzz_analysis::LintCounters;
 use fuzzlang::desc::DescTable;
 use simkernel::coverage::Block;
 use simkernel::report::{BugKind, Component};
@@ -57,6 +60,9 @@ pub struct FleetSnapshot {
     /// (including pre-kill rounds); a resume treats these as its
     /// baseline.
     pub fault_totals: FaultCounters,
+    /// Lint-gate counters accumulated over the whole campaign; a resume
+    /// treats these as its baseline, like `fault_totals`.
+    pub lint_totals: LintCounters,
     /// [`Corpus::export`]-format text of the hub's live seeds.
     ///
     /// [`Corpus::export`]: crate::corpus::Corpus::export
@@ -152,6 +158,7 @@ impl FleetSnapshot {
         round: usize,
         clock_us: u64,
         fault_totals: FaultCounters,
+        lint_totals: LintCounters,
     ) -> Self {
         Self {
             round,
@@ -161,6 +168,7 @@ impl FleetSnapshot {
             series: hub.series().points().to_vec(),
             crashes: hub.crashes().records().into_iter().cloned().collect(),
             fault_totals,
+            lint_totals,
             corpus_text: hub.corpus_text(),
             rejected_lines: 0,
         }
@@ -197,6 +205,10 @@ impl FleetSnapshot {
         for (key, value) in self.fault_totals.entries() {
             out.push_str(&format!("fault {key} {value}\n"));
         }
+        out.push_str("# section lint\n");
+        for (key, value) in self.lint_totals.entries() {
+            out.push_str(&format!("lint {key} {value}\n"));
+        }
         out.push_str("# section corpus\n");
         out.push_str(&self.corpus_text);
         out
@@ -227,6 +239,7 @@ impl FleetSnapshot {
             Series,
             Crashes,
             Faults,
+            Lint,
             Corpus,
         }
         let mut section = Section::None;
@@ -238,6 +251,7 @@ impl FleetSnapshot {
                     "series" => Section::Series,
                     "crashes" => Section::Crashes,
                     "faults" => Section::Faults,
+                    "lint" => Section::Lint,
                     "corpus" => Section::Corpus,
                     _ => {
                         snap.rejected_lines += 1;
@@ -292,6 +306,16 @@ impl FleetSnapshot {
                         .and_then(|rest| rest.split_once(' '))
                         .and_then(|(key, v)| Some((key, v.trim().parse::<u64>().ok()?)))
                         .is_some_and(|(key, v)| snap.fault_totals.set(key, v));
+                    if !applied {
+                        snap.rejected_lines += 1;
+                    }
+                }
+                Section::Lint => {
+                    let applied = line
+                        .strip_prefix("lint ")
+                        .and_then(|rest| rest.split_once(' '))
+                        .and_then(|(key, v)| Some((key, v.trim().parse::<u64>().ok()?)))
+                        .is_some_and(|(key, v)| snap.lint_totals.set(key, v));
                     if !applied {
                         snap.rejected_lines += 1;
                     }
@@ -365,6 +389,7 @@ mod tests {
                 reprovisions: 1,
                 ..Default::default()
             },
+            lint_totals: LintCounters { rejected: 4, repaired: 9 },
             corpus_text: "# seed 0 signals=7\nr0 = openat$/dev/video0()\n\n".to_owned(),
             rejected_lines: 0,
         }
@@ -385,6 +410,8 @@ mod tests {
         assert_eq!(parsed.crashes[0].repro.as_deref(), Some("r0 = openat$/dev/video0()\n"));
         assert_eq!(parsed.fault_totals, snap.fault_totals, "fault counters round-trip");
         assert_eq!(parsed.fault_totals.injected, 12);
+        assert_eq!(parsed.lint_totals, snap.lint_totals, "lint counters round-trip");
+        assert_eq!(parsed.lint_totals.repaired, 9);
     }
 
     #[test]
@@ -400,11 +427,13 @@ mod tests {
         text.push_str("# section series\nsample garbage\nsample 10 NaN\n");
         text.push_str("# section crashes\ncrash truncated\n");
         text.push_str("# section faults\nfault no_such_counter 3\nfault hangs notanumber\n");
+        text.push_str("# section lint\nlint no_such_counter 3\nlint repaired notanumber\n");
         let parsed = FleetSnapshot::parse(&text).expect("tolerant parse");
-        assert_eq!(parsed.rejected_lines, 6);
+        assert_eq!(parsed.rejected_lines, 8);
         assert!(parsed.coverage.contains(&0x3e), "good lines after bad ones still land");
         assert_eq!(parsed.crashes.len(), 1);
         assert_eq!(parsed.fault_totals.hangs, 2, "bad fault lines leave good counters alone");
+        assert_eq!(parsed.lint_totals.repaired, 9, "bad lint lines leave good counters alone");
     }
 
     #[test]

@@ -30,6 +30,10 @@
 //! ([`baselines`]: syzkaller-like and Difuze-like fuzzers plus the
 //! DroidFuzz-D / ablation configurations in [`config`]), and the
 //! statistics of §V ([`stats`], including the Mann-Whitney U test).
+//! Every program-producing path (generation, mutation, minimization,
+//! corpus import, snapshot restore) runs behind the static-analysis gate
+//! of the re-exported [`analysis`] crate, which lints, auto-repairs, and
+//! counts defective programs before they reach the device.
 //!
 //! ```no_run
 //! use droidfuzz::config::FuzzerConfig;
@@ -64,5 +68,6 @@ pub mod stats;
 pub mod supervisor;
 
 pub use config::FuzzerConfig;
+pub use droidfuzz_analysis as analysis;
 pub use engine::FuzzingEngine;
 pub use supervisor::{FailureClass, FaultCounters, SupervisedRun, Supervisor, SupervisorConfig};

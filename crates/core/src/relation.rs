@@ -178,12 +178,18 @@ impl RelationGraph {
     /// Restores edges from an [`export`](Self::export) dump, resolving
     /// names against `table`. Malformed lines and edges naming calls
     /// absent from the current vocabulary are skipped; returns
-    /// `(accepted, rejected)`. After the raw weights are inserted, every
-    /// target's in-weights are renormalized so they remain a valid
-    /// distribution (Σ ≤ 1, the Eq. 1 invariant).
+    /// `(accepted, rejected)`.
+    ///
+    /// Parsing is staged: nothing touches the graph until the whole text
+    /// has been scanned, so a line that fails mid-import cannot leave a
+    /// partially-applied record behind. Only after staging are the
+    /// accepted edges inserted and every target's in-weights renormalized
+    /// so they remain a valid distribution (Σ ≤ 1, the Eq. 1 invariant).
     pub fn import(&mut self, text: &str, table: &DescTable) -> (usize, usize) {
         let mut accepted = 0;
         let mut rejected = 0;
+        let mut staged: Vec<(DescId, DescId, f64)> = Vec::new();
+        let mut learns = 0u64;
         for line in text.lines() {
             let line = line.trim_end();
             if line.is_empty() {
@@ -195,7 +201,7 @@ impl RelationGraph {
                     .nth(1)
                     .and_then(|v| v.trim().parse::<u64>().ok())
                 {
-                    self.learn_events = self.learn_events.max(n);
+                    learns = learns.max(n);
                 }
                 continue;
             }
@@ -210,13 +216,17 @@ impl RelationGraph {
                 (w.is_finite() && w >= 0.0).then_some((a, b, w))
             });
             match parsed {
-                Some((a, b, w)) => {
-                    if self.out.entry(a.0).or_default().insert(b.0, w).is_none() {
-                        self.edge_count += 1;
-                    }
+                Some(edge) => {
+                    staged.push(edge);
                     accepted += 1;
                 }
                 None => rejected += 1,
+            }
+        }
+        self.learn_events = self.learn_events.max(learns);
+        for (a, b, w) in staged {
+            if self.out.entry(a.0).or_default().insert(b.0, w).is_none() {
+                self.edge_count += 1;
             }
         }
         self.normalize_in_weights();
@@ -465,6 +475,25 @@ mod tests {
         assert_eq!(accepted, 1);
         assert_eq!(rejected, 5);
         assert_eq!(g.edge_weight(DescId(0), DescId(1)), Some(0.5));
+    }
+
+    #[test]
+    fn corrupt_import_preserves_eq1_per_auditor() {
+        let t = table(4);
+        let mut g = RelationGraph::new(&t);
+        g.learn(DescId(0), DescId(3));
+        g.learn(DescId(1), DescId(3));
+        // Inflated weight, NaN, an overwrite of a learned edge, garbage —
+        // after import the export must still audit clean for Eq. 1.
+        let corrupt = "edge call2\tcall3\t250\n\
+                       edge call2\tcall3\tNaN\n\
+                       edge call0\tcall3\t0.9\n\
+                       garbage line\n";
+        let (accepted, rejected) = g.import(corrupt, &t);
+        assert_eq!((accepted, rejected), (2, 2));
+        let report = droidfuzz_analysis::audit_relations(&g.export(&t), &t);
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        assert!(g.in_weight_sum(DescId(3)) <= 1.0 + 1e-9);
     }
 
     #[test]

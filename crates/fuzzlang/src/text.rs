@@ -11,8 +11,12 @@
 //! ```
 //!
 //! Every call is labelled `r<index>`; arguments are hex integers, quoted
-//! strings (with `\"`/`\\` escapes), `hex:` byte blobs, or `r<N>`
-//! references.
+//! strings (with `\"`/`\\`/`\n`/`\r`/`\t` escapes), `hex:` byte blobs, or
+//! `r<N>` references. The serialized form never contains a raw `\r` or
+//! `\t`: the corpus and snapshot formats are line-oriented, and a bare
+//! carriage return or tab inside a string would be silently mangled by
+//! any line-trimming or CRLF-translating consumer — normalization drift
+//! the lint gate would then misattribute to the program itself.
 
 use crate::desc::DescTable;
 use crate::prog::{ArgValue, Call, Prog};
@@ -59,6 +63,8 @@ pub fn format_prog(prog: &Prog, table: &DescTable) -> String {
                             '"' => out.push_str("\\\""),
                             '\\' => out.push_str("\\\\"),
                             '\n' => out.push_str("\\n"),
+                            '\r' => out.push_str("\\r"),
+                            '\t' => out.push_str("\\t"),
                             c => out.push(c),
                         }
                     }
@@ -128,6 +134,8 @@ fn parse_string_literal(line: usize, token: &str) -> Result<String, ParseProgErr
                 Some('"') => out.push('"'),
                 Some('\\') => out.push('\\'),
                 Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
                 other => return Err(err(line, format!("bad escape {other:?}"))),
             }
         } else {
@@ -212,7 +220,7 @@ pub fn parse_prog(text: &str, table: &DescTable) -> Result<Prog, ParseProgError>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::desc::{ArgDesc, CallDesc, CallKind, SyscallTemplate};
+    use crate::desc::{ArgDesc, CallDesc, CallKind, DescId, SyscallTemplate};
     use crate::types::TypeDesc;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -265,6 +273,29 @@ mod tests {
             let text = format_prog(&prog, &t);
             let reparsed = parse_prog(&text, &t).unwrap();
             assert_eq!(prog, reparsed, "seed {seed}\n{text}");
+        }
+    }
+
+    #[test]
+    fn control_characters_in_strings_roundtrip_escaped() {
+        let mut t = DescTable::new();
+        t.add(CallDesc::new(
+            "f",
+            CallKind::Syscall(SyscallTemplate::Write),
+            vec![ArgDesc::new("s", TypeDesc::Str { choices: vec![] })],
+            None,
+        ));
+        // Every ASCII char (plus some multibyte ones) survives, and the
+        // serialized form never carries a raw `\r` or `\t`.
+        for c in (0u32..0x80).filter_map(char::from_u32).chain(['\u{85}', '\u{2028}', '🦀']) {
+            let s = format!("a{c}b{c}");
+            let prog = Prog {
+                calls: vec![Call { desc: DescId(0), args: vec![ArgValue::Str(s.clone())] }],
+            };
+            let text = format_prog(&prog, &t);
+            assert!(!text.contains('\r') && !text.contains('\t'), "raw control char for {c:?}");
+            let reparsed = parse_prog(&text, &t).unwrap_or_else(|e| panic!("{c:?}: {e}"));
+            assert_eq!(prog, reparsed, "char {c:?} via {text:?}");
         }
     }
 

@@ -2,7 +2,7 @@
 //!
 //! Real kcov records the program counters of basic blocks executed by the
 //! current task. Our drivers instead *emit* block identifiers derived from
-//! their internal state (see [`crate::driver::DriverCtx::cov`]): every
+//! their internal state (see [`crate::driver::DriverCtx::hit`]): every
 //! distinct `(driver, operation, state fingerprint)` combination maps to a
 //! stable [`Block`] inside the driver's reserved identifier region. Distinct
 //! deep states therefore reveal distinct blocks, which is what makes coverage

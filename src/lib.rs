@@ -13,6 +13,7 @@
 //! ```
 
 pub use droidfuzz;
+pub use droidfuzz_analysis;
 pub use fuzzlang;
 pub use simbinder;
 pub use simdevice;

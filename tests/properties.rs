@@ -1,8 +1,11 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants of the reproduction.
 
+use droidfuzz_repro::droidfuzz::analysis::{audit_corpus, lint_prog};
+use droidfuzz_repro::droidfuzz::config::FuzzerConfig;
 use droidfuzz_repro::droidfuzz::corpus::Corpus;
 use droidfuzz_repro::droidfuzz::crashes::dedup_key;
+use droidfuzz_repro::droidfuzz::engine::FuzzingEngine;
 use droidfuzz_repro::droidfuzz::feedback::{signals_from_execution, SignalSet, SyscallIdTable};
 use droidfuzz_repro::droidfuzz::fleet::FleetSnapshot;
 use droidfuzz_repro::droidfuzz::relation::RelationGraph;
@@ -34,7 +37,13 @@ fn test_table() -> DescTable {
     t.add(CallDesc::new(
         "hal$I$m",
         CallKind::Hal { service: "svc".into(), code: 1 },
-        vec![ArgDesc::new("s", TypeDesc::Str { choices: vec!["a\"b".into(), "".into()] })],
+        vec![ArgDesc::new(
+            "s",
+            // A choice with raw control characters exercises the text
+            // layer's `\r`/`\t` escaping: the serialized form must never
+            // carry them, or lint results would drift across a round-trip.
+            TypeDesc::Str { choices: vec!["a\"b".into(), "".into(), "c\rd\te".into()] },
+        )],
         None,
     ));
     t
@@ -72,6 +81,48 @@ proptest! {
         let text = format_prog(&prog, &table);
         let reparsed = parse_prog(&text, &table).unwrap();
         prop_assert_eq!(prog, reparsed);
+    }
+
+    /// The linter is invariant under a text round-trip:
+    /// `lint(parse(print(p))) == lint(p)` for every generated program,
+    /// including ones whose string args carry control characters.
+    #[test]
+    fn lint_is_invariant_under_text_roundtrip(seed in any::<u64>(), len in 1usize..12) {
+        let table = test_table();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let prog = droidfuzz_repro::fuzzlang::gen::generate(&table, len, &mut rng);
+        let direct = lint_prog(&prog, &table);
+        let text = format_prog(&prog, &table);
+        let reparsed = parse_prog(&text, &table).unwrap();
+        prop_assert_eq!(lint_prog(&reparsed, &table), direct);
+    }
+
+    /// Generator output never carries an `Error`-severity lint finding —
+    /// the gate must be a no-op on the generator's own programs.
+    #[test]
+    fn generated_progs_are_lint_error_free(seed in any::<u64>(), len in 1usize..16) {
+        let table = test_table();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let prog = droidfuzz_repro::fuzzlang::gen::generate(&table, len, &mut rng);
+        let report = lint_prog(&prog, &table);
+        prop_assert_eq!(report.error_count(), 0, "unexpected errors: {:?}", report.diagnostics);
+    }
+
+    /// Every individual mutation step stays lint-error-free (warnings like
+    /// double-close are expected; structural errors are not).
+    #[test]
+    fn mutation_steps_are_lint_error_free(seed in any::<u64>(), mutations in 1usize..40) {
+        let table = test_table();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut prog = droidfuzz_repro::fuzzlang::gen::generate(&table, 5, &mut rng);
+        for step in 0..mutations {
+            droidfuzz_repro::fuzzlang::mutate::mutate(&mut prog, &table, &mut rng);
+            let report = lint_prog(&prog, &table);
+            prop_assert_eq!(
+                report.error_count(), 0,
+                "errors after mutation step {}: {:?}", step, report.diagnostics
+            );
+        }
     }
 
     /// Mutation chains never produce invalid programs.
@@ -319,4 +370,34 @@ proptest! {
         let reparsed = FleetSnapshot::parse(&rendered).unwrap();
         prop_assert_eq!(reparsed.to_text(), rendered);
     }
+}
+
+/// Regression fixtures: corpus files under `tests/fixtures/lint/` must
+/// stay free of `Error`-severity findings against the device-A1
+/// vocabulary (warnings and infos are allowed — one fixture exists to
+/// pin warning-only behavior). The CI lint-gate job runs `droidfuzz-lint`
+/// over the same files.
+#[test]
+fn lint_fixtures_stay_error_free() {
+    let engine = FuzzingEngine::new(
+        droidfuzz_repro::simdevice::catalog::device_a1().boot(),
+        FuzzerConfig::droidfuzz(1),
+    );
+    let table = engine.desc_table();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/lint");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("fixture dir exists") {
+        let path = entry.expect("readable entry").path();
+        let text = std::fs::read_to_string(&path).expect("readable fixture");
+        let report = audit_corpus(&text, table);
+        assert_eq!(
+            report.error_count(),
+            0,
+            "{}: {:?}",
+            path.display(),
+            report.diagnostics
+        );
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected at least two fixtures, found {checked}");
 }
