@@ -261,7 +261,7 @@ pub fn audit_snapshot(text: &str, table: &DescTable) -> Report {
         if let Some(name) = line.strip_prefix("# section ") {
             section = match name.trim() {
                 known @ ("relations" | "coverage" | "series" | "crashes" | "faults" | "lint"
-                | "corpus") => known,
+                | "store" | "corpus") => known,
                 other => {
                     report.push(
                         Severity::Warning,
@@ -337,10 +337,15 @@ pub fn audit_snapshot(text: &str, table: &DescTable) -> Report {
                     );
                 }
             }
-            "faults" | "lint" => {
+            "faults" | "lint" | "store" => {
                 // The line keyword is singular (`fault injected 0`,
-                // `lint repaired 0`) regardless of the section name.
-                let keyword = if section == "faults" { "fault" } else { "lint" };
+                // `lint repaired 0`, `store recoveries 0`) regardless of
+                // the section name.
+                let keyword = match section {
+                    "faults" => "fault",
+                    "lint" => "lint",
+                    _ => "store",
+                };
                 let well_formed = line
                     .strip_prefix(keyword)
                     .and_then(|rest| rest.strip_prefix(' '))
@@ -475,6 +480,7 @@ mod tests {
                     # section crashes\ncrash torn\n\
                     # section faults\nfault hangs 2\nfault hangs x\n\
                     # section lint\nlint rejected 1\nlint oops\n\
+                    # section store\nstore recoveries 1\nstore oops\n\
                     # section wat\nstray\n\
                     # section corpus\n# seed 0 signals=1\nr0 = openat$/dev/x()\n\n";
         let report = audit_snapshot(text, &t);
@@ -485,11 +491,11 @@ mod tests {
         assert!(codes.contains(&"relation-eq1-violation"), "{codes:?}");
         assert_eq!(report.error_count(), 1, "{:?}", report.diagnostics);
         // Exactly `block nothex`, the torn crash line, `fault hangs x`,
-        // and `lint oops` are malformed — well-formed `fault`/`lint`
-        // counter lines must not be flagged (their keyword is singular;
-        // the section name isn't).
+        // `lint oops`, and `store oops` are malformed — well-formed
+        // `fault`/`lint`/`store` counter lines must not be flagged (their
+        // keyword is singular; the section name isn't).
         let malformed = codes.iter().filter(|&&c| c == "snapshot-malformed-line").count();
-        assert_eq!(malformed, 4, "{:?}", report.diagnostics);
+        assert_eq!(malformed, 5, "{:?}", report.diagnostics);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Durable-store microbenchmarks: write-ahead-journal append throughput,
+//! snapshot write/compaction cost, and cold recovery time from a real
+//! killed campaign's on-disk state.
+//!
+//! Scale: `DF_HOURS` (default 0.5 virtual hours for the campaign arm),
+//! `DF_SHARDS` (falls back to `DF_REPEATS`, then 4), `DF_SYNC_MIN`
+//! (default 7.5), `DF_DEVICE` (default A1), `DF_WAL_RECORDS` (journal
+//! append count, default 20000), `DF_SNAP_WRITES` (snapshot generations
+//! written, default 50).
+//!
+//! Ends with one machine-readable JSON line (`"bench":"store_recovery"`).
+
+use droidfuzz::config::FuzzerConfig;
+use droidfuzz::engine::FuzzingEngine;
+use droidfuzz::fleet::{Fleet, FleetConfig};
+use droidfuzz::store::{
+    FleetDelta, Journal, RecoveryManager, SimMedium, SnapshotStore, StorageMedium,
+    FLEET_SECTION,
+};
+use droidfuzz_bench::{env_f64, env_u64};
+use simdevice::catalog;
+use std::time::Instant;
+
+fn main() {
+    let hours = env_f64("DF_HOURS", 0.5);
+    let shards = env_u64("DF_SHARDS", env_u64("DF_REPEATS", 4)).max(1) as usize;
+    let sync_min = env_f64("DF_SYNC_MIN", 7.5);
+    let wal_records = env_u64("DF_WAL_RECORDS", 20_000);
+    let snap_writes = env_u64("DF_SNAP_WRITES", 50).max(1);
+    let device = std::env::var("DF_DEVICE").unwrap_or_else(|_| "A1".into());
+    let Some(spec) = catalog::by_id(&device) else {
+        eprintln!("unknown device {device}; known: A1 A2 B C1 C2 D E");
+        std::process::exit(2);
+    };
+
+    println!(
+        "durable store bench on device {device}: {wal_records} WAL appends, \
+         {snap_writes} snapshot writes, then cold recovery of a {shards}-shard \
+         x {hours} h campaign killed midway\n"
+    );
+
+    // -- WAL append throughput --------------------------------------
+    // A realistic payload mix: mostly admitted seeds (real programs from
+    // a briefly-fuzzed engine), cut with counter and round records.
+    let mut engine = FuzzingEngine::new(spec.clone().boot(), FuzzerConfig::droidfuzz(1));
+    engine.run_for_virtual_hours(0.02);
+    let corpus = engine.export_corpus();
+    let bodies: Vec<&str> = corpus
+        .split("# seed ")
+        .skip(1)
+        .filter_map(|chunk| chunk.split_once('\n').map(|(_, body)| body.trim_end()))
+        .collect();
+    let payloads: Vec<String> = (0..wal_records)
+        .map(|i| match i % 10 {
+            9 => FleetDelta::Round { round: i as usize, clock_us: i * 1_000 }.encode(),
+            8 => FleetDelta::Sample { t: i * 1_000, v: i as f64 }.encode(),
+            _ => FleetDelta::Seed {
+                signals: (1 + i % 7) as usize,
+                body: bodies[i as usize % bodies.len().max(1)].to_owned(),
+            }
+            .encode(),
+        })
+        .collect();
+    let mut journal = Journal::create(SimMedium::new(), 0).expect("journal create");
+    let start = Instant::now();
+    for payload in &payloads {
+        journal.append(payload).expect("append");
+    }
+    let wal_secs = start.elapsed().as_secs_f64();
+    let wal_bytes: usize = payloads.iter().map(String::len).sum();
+    let wal_rate = wal_records as f64 / wal_secs.max(1e-9);
+    println!(
+        "WAL append: {wal_records} records ({} KiB) in {wal_secs:.3} s -> {wal_rate:.0} \
+         records/s, {:.1} MiB/s",
+        wal_bytes / 1024,
+        wal_bytes as f64 / wal_secs.max(1e-9) / (1024.0 * 1024.0),
+    );
+
+    // -- snapshot write + compaction cost ---------------------------
+    // A real campaign snapshot is the section payload; every write is a
+    // full encode + CRC + tmp-write + rename, exactly the checkpoint
+    // path, with the ring pruning old generations as it advances.
+    let reference = Fleet::new(FleetConfig {
+        shards,
+        hours: hours.min(0.25),
+        sync_interval_hours: sync_min / 60.0,
+        ..FleetConfig::default()
+    })
+    .run(&spec, FuzzerConfig::droidfuzz);
+    let section = reference.snapshot.as_bytes();
+    let mut snapshots = SnapshotStore::new(SimMedium::new(), 3);
+    let start = Instant::now();
+    for gen in 1..=snap_writes {
+        snapshots.write(gen, &[(FLEET_SECTION, section)]).expect("snapshot write");
+        snapshots.prune().expect("prune");
+    }
+    let snap_secs = start.elapsed().as_secs_f64();
+    let snap_each = snap_secs / snap_writes as f64;
+    println!(
+        "snapshot write: {snap_writes} generations of {} KiB in {snap_secs:.3} s -> \
+         {:.2} ms per compaction",
+        section.len() / 1024,
+        snap_each * 1e3,
+    );
+
+    // -- cold recovery of a killed campaign -------------------------
+    let medium = SimMedium::new();
+    let rounds = ((hours * 60.0) / sync_min).ceil() as usize;
+    let kill_at = (rounds / 2).max(1);
+    let killed = Fleet::new(FleetConfig {
+        shards,
+        hours,
+        sync_interval_hours: sync_min / 60.0,
+        kill_after_rounds: Some(kill_at),
+        // A sparse checkpoint cadence leaves a long journal tail to
+        // replay, which is what cold recovery has to pay for.
+        checkpoint_interval_rounds: rounds.max(1),
+        ..FleetConfig::default()
+    })
+    .run_durable(&spec, FuzzerConfig::droidfuzz, medium.clone())
+    .expect("durable campaign");
+    let store_bytes: u64 = medium
+        .list()
+        .expect("list")
+        .iter()
+        .map(|name| medium.read(name).map(|b| b.len() as u64).unwrap_or(0))
+        .sum();
+    // A clean kill checkpoints on its way out, so recovery from the final
+    // state replays nothing. The interesting number is an *abrupt* crash:
+    // probe evenly spaced crash offsets and time recovery at the one
+    // with the longest journal tail to replay.
+    let total_units = medium.total_units();
+    let worst = (1..=16)
+        .map(|i| medium.crash_at(total_units * i / 16))
+        .max_by_key(|crashed| {
+            RecoveryManager::new(crashed.clone())
+                .recover()
+                .map(|r| r.report.replayed_records)
+                .unwrap_or(0)
+        })
+        .expect("candidates");
+    let probe = FuzzingEngine::new(spec.clone().boot(), FuzzerConfig::droidfuzz(0));
+    let start = Instant::now();
+    let recovered = RecoveryManager::new(worst)
+        .recover_verified(probe.desc_table())
+        .expect("recovery");
+    let recovery_secs = start.elapsed().as_secs_f64();
+    println!(
+        "cold recovery: killed after round {kill_at}/{rounds} ({} journal records, \
+         {} KiB on disk); worst probed crash point -> {} ({} replayed) in {recovery_secs:.3} s",
+        killed.store_totals.journal_records,
+        store_bytes / 1024,
+        recovered.report.outcome,
+        recovered.report.replayed_records,
+    );
+
+    println!(
+        "\n{{\"bench\":\"store_recovery\",\"device\":\"{device}\",\"shards\":{shards},\
+         \"hours\":{hours},\"wal_records\":{wal_records},\"wal_records_per_sec\":{wal_rate:.0},\
+         \"wal_bytes\":{wal_bytes},\"snapshot_writes\":{snap_writes},\
+         \"snapshot_bytes\":{},\"snapshot_write_secs_each\":{snap_each:.6},\
+         \"campaign_journal_records\":{},\"store_bytes\":{store_bytes},\
+         \"replayed_records\":{},\"cold_recovery_secs\":{recovery_secs:.6}}}",
+        section.len(),
+        killed.store_totals.journal_records,
+        recovered.report.replayed_records,
+    );
+}

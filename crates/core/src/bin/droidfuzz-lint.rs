@@ -9,6 +9,12 @@
 //!
 //! The input format is detected from the file's leading bytes:
 //!
+//! - `# droidfuzz-store snapshot v1 ...` → durable-store snapshot file:
+//!   CRC framing is verified, then the embedded fleet section is audited
+//!   as a fleet snapshot;
+//! - `# droidfuzz-store journal v1 ...` → durable-store journal file:
+//!   frame checksums and record sequencing are verified, truncated tails
+//!   and undecodable delta payloads are reported;
 //! - `# droidfuzz-fleet-snapshot v1 ...` → full snapshot audit (framing,
 //!   nested relation graph, fault/lint counters, corpus seeds);
 //! - `# relation-graph ...` or `edge ...`  → relation-graph audit (Eq. 1
@@ -21,12 +27,21 @@
 //! device, so HAL interface names resolve exactly as they would inside a
 //! campaign. Exit status is 1 when any input carries an `Error`-severity
 //! finding, 2 on usage errors, 0 otherwise — warnings never fail the run,
-//! matching the in-engine gate.
+//! matching the in-engine gate. A torn journal tail is a warning (the
+//! recovery path replays the valid prefix by design); a snapshot file
+//! that fails its checksums is an error.
 
-use droidfuzz::analysis::{audit_corpus, audit_relations, audit_snapshot, lint_prog};
+use droidfuzz::analysis::{
+    audit_corpus, audit_relations, audit_snapshot, lint_prog, Report, Severity,
+};
 use droidfuzz::config::FuzzerConfig;
 use droidfuzz::engine::FuzzingEngine;
 use droidfuzz::fleet::SNAPSHOT_HEADER;
+use droidfuzz::store::{
+    decode_journal, decode_snapshot, parse_journal_name, FleetDelta, FLEET_SECTION,
+    JOURNAL_HEADER, STORE_SNAPSHOT_HEADER,
+};
+use fuzzlang::desc::DescTable;
 use fuzzlang::text::parse_prog;
 use simdevice::catalog;
 
@@ -69,6 +84,112 @@ fn parse_args() -> Options {
     opts
 }
 
+/// Audits a durable-store snapshot file: CRC framing first, then the
+/// embedded fleet section through the full snapshot audit.
+fn audit_store_snapshot(bytes: &[u8], table: &DescTable) -> Report {
+    let (gen, sections) = match decode_snapshot(bytes) {
+        Ok(decoded) => decoded,
+        Err(e) => {
+            let mut report = Report::new();
+            report.push(Severity::Error, "store-snapshot-corrupt", None, e.to_string());
+            return report;
+        }
+    };
+    let Some((_, payload)) = sections.iter().find(|(name, _)| name == FLEET_SECTION) else {
+        let mut report = Report::new();
+        report.push(
+            Severity::Error,
+            "store-snapshot-missing-fleet-section",
+            None,
+            format!("generation {gen} has no `{FLEET_SECTION}` section"),
+        );
+        return report;
+    };
+    match std::str::from_utf8(payload) {
+        Ok(text) => audit_snapshot(text, table),
+        Err(_) => {
+            let mut report = Report::new();
+            report.push(
+                Severity::Error,
+                "store-snapshot-non-utf8-fleet-section",
+                None,
+                format!("generation {gen} fleet section is not valid UTF-8"),
+            );
+            report
+        }
+    }
+}
+
+/// Audits a durable-store journal file: frame checksums, sequencing,
+/// torn tails, and per-record delta decodability.
+fn audit_store_journal(path: &str, bytes: &[u8]) -> Report {
+    let mut report = Report::new();
+    // The base generation claimed by the file name, when it has the
+    // canonical `journal-<gen>.wal` shape; otherwise trust the header.
+    let named_base = std::path::Path::new(path)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .and_then(parse_journal_name);
+    let header_base = bytes
+        .split(|&b| b == b'\n')
+        .next()
+        .and_then(|line| std::str::from_utf8(line).ok())
+        .and_then(|line| line.strip_prefix(JOURNAL_HEADER))
+        .and_then(|rest| rest.trim().strip_prefix("base="))
+        .and_then(|v| v.parse::<u64>().ok());
+    let base = match (named_base, header_base) {
+        (Some(named), Some(header)) if named != header => {
+            report.push(
+                Severity::Error,
+                "store-journal-base-mismatch",
+                None,
+                format!("file named base {named} but header claims base {header}"),
+            );
+            named
+        }
+        (_, Some(header)) => header,
+        (named, None) => named.unwrap_or(0),
+    };
+    let scan = decode_journal(bytes, base);
+    let undecodable = scan
+        .records
+        .iter()
+        .filter(|r| FleetDelta::decode(&r.payload).is_none())
+        .count();
+    if undecodable > 0 {
+        report.push(
+            Severity::Warning,
+            "store-journal-undecodable-records",
+            None,
+            format!(
+                "{undecodable} of {} record(s) carry payloads this build cannot decode",
+                scan.records.len()
+            ),
+        );
+    }
+    if scan.truncated {
+        report.push(
+            Severity::Warning,
+            "store-journal-truncated",
+            None,
+            format!(
+                "valid prefix is {} record(s); {} trailing byte(s) are torn or corrupt \
+                 and would be dropped on recovery",
+                scan.records.len(),
+                scan.dropped_bytes
+            ),
+        );
+    } else {
+        report.push(
+            Severity::Info,
+            "store-journal-clean",
+            None,
+            format!("{} record(s), every frame checksum valid", scan.records.len()),
+        );
+    }
+    report
+}
+
 fn main() {
     let opts = parse_args();
     let Some(spec) = catalog::by_id(&opts.device) else {
@@ -82,31 +203,53 @@ fn main() {
 
     let mut failed = false;
     for path in &opts.paths {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
+        // Store files carry binary payloads and checksum framing, so
+        // detection runs on raw bytes before any UTF-8 requirement.
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(2);
             }
         };
-        let report = if text.starts_with(SNAPSHOT_HEADER) {
-            audit_snapshot(&text, table)
-        } else if text.starts_with("# relation-graph") || text.starts_with("edge ") {
-            audit_relations(&text, table)
-        } else if text.contains("# seed ") {
-            audit_corpus(&text, table)
+        let report = if bytes.starts_with(STORE_SNAPSHOT_HEADER.as_bytes()) {
+            audit_store_snapshot(&bytes, table)
+        } else if bytes.starts_with(JOURNAL_HEADER.as_bytes()) {
+            audit_store_journal(path, &bytes)
         } else {
-            match parse_prog(&text, table) {
-                Ok(prog) => lint_prog(&prog, table),
-                Err(e) => {
-                    let mut report = droidfuzz::analysis::Report::new();
+            match String::from_utf8(bytes) {
+                Err(_) => {
+                    let mut report = Report::new();
                     report.push(
-                        droidfuzz::analysis::Severity::Error,
-                        "prog-unparseable",
+                        Severity::Error,
+                        "input-not-utf8",
                         None,
-                        e.to_string(),
+                        "not a store file and not valid UTF-8 text".to_owned(),
                     );
                     report
+                }
+                Ok(text) => {
+                    if text.starts_with(SNAPSHOT_HEADER) {
+                        audit_snapshot(&text, table)
+                    } else if text.starts_with("# relation-graph") || text.starts_with("edge ") {
+                        audit_relations(&text, table)
+                    } else if text.contains("# seed ") {
+                        audit_corpus(&text, table)
+                    } else {
+                        match parse_prog(&text, table) {
+                            Ok(prog) => lint_prog(&prog, table),
+                            Err(e) => {
+                                let mut report = Report::new();
+                                report.push(
+                                    Severity::Error,
+                                    "prog-unparseable",
+                                    None,
+                                    e.to_string(),
+                                );
+                                report
+                            }
+                        }
+                    }
                 }
             }
         };

@@ -5,9 +5,21 @@
 //! droidfuzz --device A1 --hours 24 --variant droidfuzz \
 //!           --corpus-out a1.corpus --seed 7
 //! ```
+//!
+//! With `--store-dir` the campaign runs as a *durable fleet*: hub deltas
+//! are journaled to disk and compacted into checksummed snapshot
+//! generations, and re-running with the same directory resumes from the
+//! newest recoverable state instead of starting over:
+//!
+//! ```sh
+//! droidfuzz --device A1 --hours 2 --store-dir ./a1-store --shards 4
+//! droidfuzz --device A1 --hours 2 --store-dir ./a1-store --shards 4  # resumes
+//! ```
 
 use droidfuzz::config::FuzzerConfig;
 use droidfuzz::engine::FuzzingEngine;
+use droidfuzz::fleet::{Fleet, FleetConfig, FleetResult};
+use droidfuzz::store::{FsMedium, StorageMedium};
 use simdevice::catalog;
 
 struct Options {
@@ -18,13 +30,23 @@ struct Options {
     corpus_in: Option<String>,
     corpus_out: Option<String>,
     quiet: bool,
+    store_dir: Option<String>,
+    shards: usize,
+    sync_interval: f64,
+    checkpoint_every: usize,
+    kill_after: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: droidfuzz [--device <A1|A2|B|C1|C2|D|E>] [--hours <virtual-hours>]\n\
          \x20                [--variant <droidfuzz|norel|nohcov|droidfuzz-d|syzkaller|difuze>]\n\
-         \x20                [--seed <n>] [--corpus-in <file>] [--corpus-out <file>] [--quiet]"
+         \x20                [--seed <n>] [--corpus-in <file>] [--corpus-out <file>] [--quiet]\n\
+         \x20                [--store-dir <dir>] [--shards <n>] [--sync-interval <hours>]\n\
+         \x20                [--checkpoint-every <rounds>] [--kill-after <rounds>]\n\
+         \n\
+         \x20 --store-dir runs a durable fleet campaign journaled to <dir>; re-running\n\
+         \x20 with an occupied <dir> resumes from the newest recoverable snapshot."
     );
     std::process::exit(2);
 }
@@ -38,6 +60,11 @@ fn parse_args() -> Options {
         corpus_in: None,
         corpus_out: None,
         quiet: false,
+        store_dir: None,
+        shards: 4,
+        sync_interval: 0.25,
+        checkpoint_every: 1,
+        kill_after: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -56,6 +83,22 @@ fn parse_args() -> Options {
             "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--corpus-in" => opts.corpus_in = Some(value("--corpus-in")),
             "--corpus-out" => opts.corpus_out = Some(value("--corpus-out")),
+            "--store-dir" => opts.store_dir = Some(value("--store-dir")),
+            "--shards" => {
+                opts.shards = value("--shards").parse().unwrap_or_else(|_| usage());
+            }
+            "--sync-interval" => {
+                opts.sync_interval =
+                    value("--sync-interval").parse().unwrap_or_else(|_| usage());
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every =
+                    value("--checkpoint-every").parse().unwrap_or_else(|_| usage());
+            }
+            "--kill-after" => {
+                opts.kill_after =
+                    Some(value("--kill-after").parse().unwrap_or_else(|_| usage()));
+            }
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => usage(),
             other => {
@@ -82,6 +125,80 @@ fn config_for(variant: &str, seed: u64) -> FuzzerConfig {
     }
 }
 
+fn report_fleet(result: &FleetResult, quiet: bool) {
+    if !quiet {
+        println!(
+            "fleet: {} shard(s), {} round(s), cov={} execs={} crashes={}",
+            result.shards.len(),
+            result.rounds_completed,
+            result.union_coverage,
+            result.executions,
+            result.crashes.len(),
+        );
+        println!(
+            "store: {} journal record(s), {} snapshot(s) written, {} skipped, {} io error(s)",
+            result.store_totals.journal_records,
+            result.store_totals.snapshots_written,
+            result.store_totals.snapshots_skipped,
+            result.store_totals.io_errors,
+        );
+    }
+    println!("\n== crash summary ==");
+    if result.crashes.is_empty() {
+        println!("(no crashes)");
+    }
+    for crash in &result.crashes {
+        println!(
+            "{} [{}] first seen at {:.1} h, {} occurrence(s)",
+            crash.title,
+            crash.component,
+            crash.first_seen_us as f64 / 3.6e9,
+            crash.count
+        );
+    }
+}
+
+fn run_durable_fleet(opts: &Options, spec: simdevice::firmware::FirmwareSpec, dir: &str) -> ! {
+    let medium = FsMedium::new(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open store dir {dir}: {e}");
+        std::process::exit(1);
+    });
+    let occupied = !medium.list().unwrap_or_default().is_empty();
+    let fleet = Fleet::new(FleetConfig {
+        shards: opts.shards.max(1),
+        hours: opts.hours,
+        sync_interval_hours: opts.sync_interval,
+        kill_after_rounds: opts.kill_after,
+        checkpoint_interval_rounds: opts.checkpoint_every.max(1),
+        ..FleetConfig::default()
+    });
+    let make_config = |s: u64| config_for(&opts.variant, opts.seed.wrapping_add(s));
+    let result = if occupied {
+        match fleet.resume_durable(&spec, make_config, medium) {
+            Ok((result, report)) => {
+                if !opts.quiet {
+                    println!("{}", report.describe());
+                }
+                result
+            }
+            Err(e) => {
+                eprintln!("cannot resume from {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match fleet.run_durable(&spec, make_config, medium) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("cannot start durable campaign in {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    report_fleet(&result, opts.quiet);
+    std::process::exit(0);
+}
+
 fn main() {
     let opts = parse_args();
     let Some(spec) = catalog::by_id(&opts.device) else {
@@ -89,6 +206,15 @@ fn main() {
         std::process::exit(2);
     };
     let config = config_for(&opts.variant, opts.seed);
+    if let Some(dir) = opts.store_dir.clone() {
+        if !opts.quiet {
+            println!(
+                "durable fleet on {} {} — store dir {dir}",
+                spec.meta.vendor, spec.meta.name
+            );
+        }
+        run_durable_fleet(&opts, spec, &dir);
+    }
     if !opts.quiet {
         println!(
             "booting {} {} ({}, AOSP {}, kernel {})",

@@ -9,7 +9,7 @@ use simkernel::report::{BugKind, BugReport, Component};
 use std::collections::BTreeMap;
 
 /// One deduplicated crash.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrashRecord {
     /// Stable headline.
     pub title: String,

@@ -5,8 +5,9 @@
 
 use crate::config::FuzzerConfig;
 use crate::crashes::CrashRecord;
-use crate::fleet::{Fleet, FleetConfig};
+use crate::fleet::{Fleet, FleetConfig, FleetResult};
 use crate::stats::Series;
+use crate::store::{RecoveryReport, StorageMedium, StoreCounters, StoreError};
 use crate::supervisor::FaultCounters;
 use simdevice::faults::FaultProfile;
 use simdevice::firmware::FirmwareSpec;
@@ -29,6 +30,8 @@ pub struct CampaignResult {
     /// Fault/recovery counters summed across repetitions (all zero under
     /// the default reliable profile).
     pub fault_totals: FaultCounters,
+    /// Durable-store counters (all zero for in-memory campaigns).
+    pub store_totals: StoreCounters,
 }
 
 impl CampaignResult {
@@ -65,15 +68,50 @@ impl Daemon {
     where
         F: Fn(u64) -> FuzzerConfig + Sync,
     {
-        let fleet = Fleet::new(FleetConfig {
+        let fleet = Self::campaign_fleet(hours, repeats);
+        Self::aggregate(fleet.run(spec, &make_config))
+    }
+
+    /// Like [`run_campaign`](Self::run_campaign), but durable: hub deltas
+    /// are journaled to `medium` and compacted into checksummed snapshot
+    /// generations. If `medium` is empty a fresh campaign starts; if it
+    /// already holds campaign state, the campaign *resumes* from the
+    /// newest recoverable snapshot + journal prefix and the recovery
+    /// report is returned alongside the result.
+    pub fn run_campaign_durable<F, M>(
+        &self,
+        spec: &FirmwareSpec,
+        make_config: F,
+        hours: f64,
+        repeats: u64,
+        medium: M,
+    ) -> Result<(CampaignResult, Option<RecoveryReport>), StoreError>
+    where
+        F: Fn(u64) -> FuzzerConfig + Sync,
+        M: StorageMedium + Clone,
+    {
+        let fleet = Self::campaign_fleet(hours, repeats);
+        if medium.list()?.is_empty() {
+            let result = fleet.run_durable(spec, &make_config, medium)?;
+            Ok((Self::aggregate(result), None))
+        } else {
+            let (result, report) = fleet.resume_durable(spec, &make_config, medium)?;
+            Ok((Self::aggregate(result), Some(report)))
+        }
+    }
+
+    fn campaign_fleet(hours: f64, repeats: u64) -> Fleet {
+        Fleet::new(FleetConfig {
             shards: repeats.max(1) as usize,
             hours,
             sync_interval_hours: hours,
             sync: false,
             kill_after_rounds: None,
             ..FleetConfig::default()
-        });
-        let result = fleet.run(spec, &make_config);
+        })
+    }
+
+    fn aggregate(result: FleetResult) -> CampaignResult {
         CampaignResult {
             device_id: result.device_id,
             fuzzer: result.fuzzer,
@@ -82,6 +120,7 @@ impl Daemon {
             crashes: result.crashes,
             executions: result.executions,
             fault_totals: result.fault_totals,
+            store_totals: result.store_totals,
         }
     }
 
@@ -145,6 +184,39 @@ mod tests {
         assert!(result.fault_totals.injected > 0, "flaky devices see injected faults");
         assert!(result.mean_final_coverage() > 0.0, "coverage still accrues under faults");
         assert!(result.executions > 0);
+    }
+
+    #[test]
+    fn durable_campaign_runs_fresh_then_resumes_from_the_same_medium() {
+        use crate::store::{RecoveryOutcome, SimMedium};
+        let daemon = Daemon::new();
+        let medium = SimMedium::new();
+        let (first, report) = daemon
+            .run_campaign_durable(
+                &catalog::device_e(),
+                FuzzerConfig::droidfuzz,
+                0.05,
+                2,
+                medium.clone(),
+            )
+            .unwrap();
+        assert!(report.is_none(), "fresh medium must not report a recovery");
+        assert!(first.store_totals.snapshots_written > 0);
+        assert!(first.mean_final_coverage() > 0.0);
+        // A second durable call on the now-occupied medium resumes
+        // rather than refusing or restarting from scratch.
+        let (second, report) = daemon
+            .run_campaign_durable(
+                &catalog::device_e(),
+                FuzzerConfig::droidfuzz,
+                0.05,
+                2,
+                medium,
+            )
+            .unwrap();
+        let report = report.expect("occupied medium must resume, not restart");
+        assert_eq!(report.outcome, RecoveryOutcome::Clean);
+        assert!(second.store_totals.recoveries >= 1);
     }
 
     #[test]

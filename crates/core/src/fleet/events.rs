@@ -177,6 +177,9 @@ pub struct FleetStats {
     pub shard_restarts: u64,
     /// Flap quarantines imposed across the fleet.
     pub shard_quarantines: u64,
+    /// Sync rounds that skipped the full snapshot re-serialization
+    /// (checkpoint cadence; set by the orchestrator, not the bus).
+    pub snapshots_skipped: u64,
     /// Total events observed on the bus.
     pub events: u64,
 }
@@ -327,8 +330,8 @@ impl FleetStats {
             self.shard_quarantines,
         ));
         out.push_str(&format!(
-            "lint rejected: {}  lint repaired: {}\n",
-            self.lint_totals.rejected, self.lint_totals.repaired,
+            "lint rejected: {}  lint repaired: {}  snapshots skipped: {}\n",
+            self.lint_totals.rejected, self.lint_totals.repaired, self.snapshots_skipped,
         ));
         out
     }

@@ -168,6 +168,13 @@ impl CorpusHub {
         self.next_seq
     }
 
+    /// Live seeds published at or after `cursor`, ascending `seq` — the
+    /// journal writer mirrors these to disk and advances its cursor to
+    /// [`tip`](Self::tip).
+    pub fn seeds_since(&self, cursor: u64) -> impl Iterator<Item = &HubSeed> {
+        self.live.iter().filter(move |s| s.seq >= cursor)
+    }
+
     /// Merges a shard's relation graph into the fleet graph (Eq. 1
     /// normalization preserved by [`RelationGraph::merge_from`]).
     pub fn publish_relations(&mut self, peer: &RelationGraph) {

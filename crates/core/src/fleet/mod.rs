@@ -7,8 +7,14 @@
 //! and between virtual-time slices the orchestrator runs a sync round
 //! through the [`CorpusHub`] — shards publish seeds that earned new
 //! signals, pull their peers' seeds, and merge relation graphs under the
-//! Eq. 1 normalization. After every round the hub state is serialized to
-//! a [`FleetSnapshot`], so a killed campaign resumes from its last round.
+//! Eq. 1 normalization. At every checkpoint
+//! ([`FleetConfig::checkpoint_interval_rounds`], plus the final round and
+//! any kill) the hub state is serialized to a [`FleetSnapshot`], so a
+//! killed campaign resumes from its last checkpoint — and with
+//! [`Fleet::run_durable`] the rounds in between are covered too: a
+//! [`FleetStore`] journals every round's hub deltas to a
+//! [`StorageMedium`] and [`Fleet::resume_durable`] recovers snapshot +
+//! journal prefix from disk after a `kill -9`.
 //!
 //! The fleet is also *self-healing*: every engine runs under the
 //! [`Supervisor`](crate::supervisor::Supervisor), and a shard whose
@@ -29,11 +35,13 @@
 
 pub mod events;
 pub mod hub;
+pub mod persist;
 pub mod shard;
 pub mod snapshot;
 
 pub use events::{EventBus, FleetEvent, FleetStats, ShardStats};
 pub use hub::{CorpusHub, HubSeed, HUB_ORIGIN};
+pub use persist::{FleetPersist, FleetStore, DEFAULT_KEEP};
 pub use shard::Shard;
 pub use snapshot::{FleetSnapshot, SNAPSHOT_HEADER};
 
@@ -42,6 +50,7 @@ use crate::crashes::CrashRecord;
 use crate::engine::{FuzzingEngine, HOUR_US};
 use crate::relation::RelationGraph;
 use crate::stats::{mean_series, Series};
+use crate::store::{RecoveryManager, RecoveryReport, StorageMedium, StoreCounters, StoreError};
 use crate::supervisor::FaultCounters;
 use droidfuzz_analysis::LintCounters;
 use simdevice::firmware::FirmwareSpec;
@@ -69,6 +78,12 @@ pub struct FleetConfig {
     /// immediately restarted (clamped to at least 1). Each quarantine
     /// benches the shard for `2^(quarantines-1)` sync rounds.
     pub flap_limit: u32,
+    /// Sync rounds between full snapshot serializations (clamped to at
+    /// least 1). Rounds in between skip the re-serialization entirely —
+    /// the journal already carries their deltas — and are counted in
+    /// [`FleetStats::snapshots_skipped`]. The final round and a
+    /// `kill_after_rounds` kill always checkpoint.
+    pub checkpoint_interval_rounds: usize,
 }
 
 impl Default for FleetConfig {
@@ -81,6 +96,7 @@ impl Default for FleetConfig {
             hub_capacity: 512,
             kill_after_rounds: None,
             flap_limit: 2,
+            checkpoint_interval_rounds: 1,
         }
     }
 }
@@ -131,6 +147,10 @@ pub struct FleetResult {
     /// Lint-gate counters over the whole campaign, including any snapshot
     /// baseline carried across a kill/resume.
     pub lint_totals: LintCounters,
+    /// Durability counters over the whole campaign, including any
+    /// snapshot baseline carried across a kill/resume (all zero for an
+    /// in-memory campaign except `snapshots_skipped`).
+    pub store_totals: StoreCounters,
     /// Metrics drained from the event bus.
     pub stats: FleetStats,
     /// Sync rounds completed over the campaign (including pre-resume).
@@ -179,7 +199,54 @@ impl Fleet {
     where
         F: Fn(u64) -> FuzzerConfig + Sync,
     {
-        self.launch(spec, &make_config, None)
+        self.launch(spec, &make_config, None, None)
+    }
+
+    /// Runs a fresh *durable* campaign: every sync round's hub deltas are
+    /// journaled to `medium` and every checkpoint compacts them into a
+    /// checksummed snapshot generation, so a `kill -9` at any point
+    /// resumes via [`resume_durable`](Self::resume_durable) with zero
+    /// lost corpus/relation/crash records up to the last durable journal
+    /// entry. Fails only if `medium` is unusable or already holds
+    /// campaign state.
+    pub fn run_durable<F, M>(
+        &self,
+        spec: &FirmwareSpec,
+        make_config: F,
+        medium: M,
+    ) -> Result<FleetResult, StoreError>
+    where
+        F: Fn(u64) -> FuzzerConfig + Sync,
+        M: StorageMedium + Clone,
+    {
+        let mut store = FleetStore::create(medium, DEFAULT_KEEP)?;
+        Ok(self.launch(spec, &make_config, None, Some(&mut store)))
+    }
+
+    /// Resumes a durable campaign from `medium`: recovers the newest
+    /// valid snapshot plus journal prefix ([`RecoveryManager`]),
+    /// re-verifies it through the analysis auditors, seals it into a
+    /// fresh generation, and runs the remaining rounds durably. Returns
+    /// the result along with the recovery report.
+    pub fn resume_durable<F, M>(
+        &self,
+        spec: &FirmwareSpec,
+        make_config: F,
+        medium: M,
+    ) -> Result<(FleetResult, RecoveryReport), StoreError>
+    where
+        F: Fn(u64) -> FuzzerConfig + Sync,
+        M: StorageMedium + Clone,
+    {
+        // A probe engine supplies the description table the auditors
+        // verify Eq. 1 against.
+        let probe = FuzzingEngine::new(spec.clone().boot(), make_config(0));
+        let recovered =
+            RecoveryManager::new(medium.clone()).recover_verified(probe.desc_table())?;
+        let mut store = FleetStore::resume(medium, DEFAULT_KEEP, &recovered)?;
+        let result =
+            self.launch(spec, &make_config, Some(recovered.snapshot), Some(&mut store));
+        Ok((result, recovered.report))
     }
 
     /// Resumes a killed campaign from [`FleetResult::snapshot`] text:
@@ -196,7 +263,7 @@ impl Fleet {
         F: Fn(u64) -> FuzzerConfig + Sync,
     {
         let snap = FleetSnapshot::parse(snapshot_text)?;
-        Ok(self.launch(spec, &make_config, Some(snap)))
+        Ok(self.launch(spec, &make_config, Some(snap), None))
     }
 
     fn launch<F>(
@@ -204,6 +271,7 @@ impl Fleet {
         spec: &FirmwareSpec,
         make_config: &F,
         resume: Option<FleetSnapshot>,
+        mut persist: Option<&mut dyn FleetPersist>,
     ) -> FleetResult
     where
         F: Fn(u64) -> FuzzerConfig + Sync,
@@ -274,12 +342,20 @@ impl Fleet {
             }
             totals
         };
+        let baseline_store =
+            resume.as_ref().map_or_else(StoreCounters::default, |s| s.store_totals);
+
+        if let Some(sink) = persist.as_deref_mut() {
+            sink.on_start(&hub, shards[0].engine().desc_table());
+        }
 
         let mut rounds_completed = start_round;
         let mut clock_us = clock_offset_us;
         let mut snapshot_text =
             resume.as_ref().map_or_else(String::new, FleetSnapshot::to_text);
         let mut killed = false;
+        let mut snapshots_skipped = 0u64;
+        let checkpoint_interval = self.config.checkpoint_interval_rounds.max(1);
 
         for round in start_round..total_rounds {
             let global_target = (interval_us * (round as u64 + 1)).min(total_us);
@@ -357,18 +433,44 @@ impl Fleet {
 
             rounds_completed = round + 1;
             clock_us = global_target;
+            let rounds_this_run = rounds_completed - start_round;
             let table = shards[0].engine().desc_table();
-            snapshot_text = FleetSnapshot::capture(
-                &hub,
-                table,
-                rounds_completed,
-                clock_us,
-                fleet_fault_totals(&shards),
-                fleet_lint_totals(&shards),
-            )
-            .to_text();
+            let fault_totals = fleet_fault_totals(&shards);
+            let lint_totals = fleet_lint_totals(&shards);
+            if let Some(sink) = persist.as_deref_mut() {
+                sink.on_round(&hub, table, rounds_completed, clock_us, &fault_totals, &lint_totals);
+            }
 
-            if cfg.kill_after_rounds == Some(round + 1 - start_round) {
+            // Re-serializing the full snapshot every round is the single
+            // biggest fixed cost of a sync round; with a journal (or a
+            // coarser cadence) the in-between rounds skip it — the final
+            // round and a kill always checkpoint.
+            let is_kill = cfg.kill_after_rounds == Some(rounds_this_run);
+            let is_last = rounds_completed == total_rounds;
+            if is_kill || is_last || rounds_this_run.is_multiple_of(checkpoint_interval) {
+                let mut store_totals = baseline_store;
+                if let Some(sink) = persist.as_deref() {
+                    store_totals.absorb(&sink.counters());
+                }
+                store_totals.snapshots_skipped += snapshots_skipped;
+                let snap = FleetSnapshot::capture(
+                    &hub,
+                    table,
+                    rounds_completed,
+                    clock_us,
+                    fault_totals,
+                    lint_totals,
+                    store_totals,
+                );
+                snapshot_text = snap.to_text();
+                if let Some(sink) = persist.as_deref_mut() {
+                    sink.on_checkpoint(&snap);
+                }
+            } else {
+                snapshots_skipped += 1;
+            }
+
+            if is_kill {
                 killed = true;
                 break;
             }
@@ -377,7 +479,13 @@ impl Fleet {
         for shard in &shards {
             shard.finish();
         }
-        let stats = FleetStats::drain(&rx, cfg.shards);
+        let mut stats = FleetStats::drain(&rx, cfg.shards);
+        stats.snapshots_skipped = snapshots_skipped;
+        let mut store_totals = baseline_store;
+        if let Some(sink) = persist.as_deref() {
+            store_totals.absorb(&sink.counters());
+        }
+        store_totals.snapshots_skipped += snapshots_skipped;
 
         let outcomes: Vec<ShardOutcome> = shards
             .iter()
@@ -417,6 +525,7 @@ impl Fleet {
             union_series: hub.series().clone(),
             fault_totals: fleet_fault_totals(&shards),
             lint_totals: fleet_lint_totals(&shards),
+            store_totals,
             shards: outcomes,
             stats,
             rounds_completed,
@@ -442,6 +551,7 @@ mod tests {
             hub_capacity: 256,
             kill_after_rounds,
             flap_limit: 2,
+            checkpoint_interval_rounds: 1,
         })
     }
 
@@ -540,6 +650,7 @@ mod tests {
             hub_capacity: 256,
             kill_after_rounds: None,
             flap_limit: 1,
+            checkpoint_interval_rounds: 1,
         });
         let result = fleet.run(&catalog::device_a1(), mk);
         assert!(result.finished, "a fleet of vanishing devices still completes");
@@ -583,6 +694,76 @@ mod tests {
         assert!(resumed.stats.shards.iter().any(|s| s.restored_seeds > 0));
         // The union series carries the pre-kill samples forward.
         assert_eq!(resumed.union_series.len(), 4);
+    }
+
+    #[test]
+    fn checkpoint_cadence_skips_intermediate_serializations() {
+        let spec = catalog::device_a1();
+        let mut cfg = quick_fleet(true, None).config().clone();
+        cfg.checkpoint_interval_rounds = 3;
+        let result = Fleet::new(cfg).run(&spec, FuzzerConfig::droidfuzz);
+        assert!(result.finished);
+        // 4 rounds, cadence 3: rounds 1 and 2 skip, round 3 checkpoints,
+        // round 4 checkpoints because it is the last.
+        assert_eq!(result.stats.snapshots_skipped, 2);
+        assert_eq!(result.store_totals.snapshots_skipped, 2);
+        // The final snapshot is still current (last round checkpoints).
+        let snap = FleetSnapshot::parse(&result.snapshot).expect("snapshot parses");
+        assert_eq!(snap.round, 4);
+        // Semantic state matches an every-round-checkpoint run.
+        let every = quick_fleet(true, None).run(&spec, FuzzerConfig::droidfuzz);
+        assert_eq!(result.union_coverage, every.union_coverage);
+        assert_eq!(result.executions, every.executions);
+        assert_eq!(result.crashes.len(), every.crashes.len());
+    }
+
+    #[test]
+    fn durable_campaign_killed_midway_resumes_from_disk() {
+        use crate::store::SimMedium;
+        let spec = catalog::device_a1();
+        let medium = SimMedium::new();
+        let killed = quick_fleet(true, Some(2))
+            .run_durable(&spec, FuzzerConfig::droidfuzz, medium.clone())
+            .expect("fresh durable campaign starts");
+        assert!(!killed.finished);
+        assert!(killed.store_totals.journal_records > 0);
+        assert!(killed.store_totals.snapshots_written > 0);
+
+        let (resumed, report) = quick_fleet(true, None)
+            .resume_durable(&spec, FuzzerConfig::droidfuzz, medium.clone())
+            .expect("disk state recovers");
+        assert!(resumed.finished);
+        assert_eq!(resumed.rounds_completed, 4);
+        assert!(resumed.union_coverage >= killed.union_coverage);
+        assert!(resumed.fault_totals.total() >= killed.fault_totals.total());
+        assert!(report.replayed_records > 0 || report.base_generation.is_some());
+        assert!(resumed.store_totals.recoveries >= 1, "recovery counted in totals");
+
+        // The resumed campaign's disk state recovers clean in turn.
+        let end = crate::store::RecoveryManager::new(medium).recover().expect("final state");
+        assert_eq!(end.snapshot.round, 4);
+
+        // Zero loss: everything the killed run reported is in the
+        // resumed run's final state.
+        for crash in &killed.crashes {
+            assert!(resumed.crashes.iter().any(|c| c.title == crash.title));
+        }
+    }
+
+    #[test]
+    fn durable_run_refuses_an_occupied_store() {
+        use crate::store::SimMedium;
+        let spec = catalog::device_a1();
+        let medium = SimMedium::new();
+        quick_fleet(true, Some(1))
+            .run_durable(&spec, FuzzerConfig::droidfuzz, medium.clone())
+            .expect("first campaign starts");
+        assert!(
+            quick_fleet(true, None)
+                .run_durable(&spec, FuzzerConfig::droidfuzz, medium)
+                .is_err(),
+            "a fresh run must not clobber resumable state"
+        );
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! fault <counter> <value>
 //! # section lint
 //! lint <counter> <value>
+//! # section store
+//! store <counter> <value>
 //! # section corpus
 //! <Corpus::export text>
 //! ```
@@ -30,6 +32,7 @@
 
 use super::hub::CorpusHub;
 use crate::crashes::CrashRecord;
+use crate::store::StoreCounters;
 use crate::supervisor::FaultCounters;
 use droidfuzz_analysis::LintCounters;
 use fuzzlang::desc::DescTable;
@@ -63,13 +66,17 @@ pub struct FleetSnapshot {
     /// Lint-gate counters accumulated over the whole campaign; a resume
     /// treats these as its baseline, like `fault_totals`.
     pub lint_totals: LintCounters,
+    /// Durability counters accumulated over the whole campaign; a resume
+    /// treats these as its baseline, like `fault_totals`.
+    pub store_totals: StoreCounters,
     /// [`Corpus::export`]-format text of the hub's live seeds.
     ///
     /// [`Corpus::export`]: crate::corpus::Corpus::export
     pub corpus_text: String,
     /// Malformed lines skipped during [`parse`](Self::parse) (0 for a
-    /// freshly captured snapshot).
-    pub rejected_lines: usize,
+    /// freshly captured snapshot). Store recovery propagates this count
+    /// into its [`RecoveryReport`](crate::store::RecoveryReport).
+    pub malformed_lines: usize,
 }
 
 fn kind_tag(kind: BugKind) -> &'static str {
@@ -115,7 +122,7 @@ fn parse_component(tag: &str) -> Option<Component> {
 }
 
 /// Escapes a field so it fits on one tab-separated line.
-fn escape(text: &str) -> String {
+pub(crate) fn escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for c in text.chars() {
         match c {
@@ -128,7 +135,7 @@ fn escape(text: &str) -> String {
     out
 }
 
-fn unescape(text: &str) -> String {
+pub(crate) fn unescape(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     let mut chars = text.chars();
     while let Some(c) = chars.next() {
@@ -159,6 +166,7 @@ impl FleetSnapshot {
         clock_us: u64,
         fault_totals: FaultCounters,
         lint_totals: LintCounters,
+        store_totals: StoreCounters,
     ) -> Self {
         Self {
             round,
@@ -169,8 +177,9 @@ impl FleetSnapshot {
             crashes: hub.crashes().records().into_iter().cloned().collect(),
             fault_totals,
             lint_totals,
+            store_totals,
             corpus_text: hub.corpus_text(),
-            rejected_lines: 0,
+            malformed_lines: 0,
         }
     }
 
@@ -191,15 +200,7 @@ impl FleetSnapshot {
         }
         out.push_str("# section crashes\n");
         for crash in &self.crashes {
-            out.push_str(&format!(
-                "crash {}\t{}\t{}\t{}\t{}\t{}\n",
-                crash.count,
-                crash.first_seen_us,
-                kind_tag(crash.kind),
-                component_tag(crash.component),
-                escape(&crash.title),
-                crash.repro.as_deref().map_or_else(|| "-".to_owned(), escape),
-            ));
+            out.push_str(&format!("crash {}\n", crash_fields(crash)));
         }
         out.push_str("# section faults\n");
         for (key, value) in self.fault_totals.entries() {
@@ -209,6 +210,10 @@ impl FleetSnapshot {
         for (key, value) in self.lint_totals.entries() {
             out.push_str(&format!("lint {key} {value}\n"));
         }
+        out.push_str("# section store\n");
+        for (key, value) in self.store_totals.entries() {
+            out.push_str(&format!("store {key} {value}\n"));
+        }
         out.push_str("# section corpus\n");
         out.push_str(&self.corpus_text);
         out
@@ -216,7 +221,7 @@ impl FleetSnapshot {
 
     /// Parses snapshot text. Fails only on a missing/foreign header;
     /// malformed section lines are skipped and counted in
-    /// `rejected_lines`.
+    /// `malformed_lines`.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut lines = text.lines();
         let header = lines.next().unwrap_or_default();
@@ -240,6 +245,7 @@ impl FleetSnapshot {
             Crashes,
             Faults,
             Lint,
+            Store,
             Corpus,
         }
         let mut section = Section::None;
@@ -252,9 +258,10 @@ impl FleetSnapshot {
                     "crashes" => Section::Crashes,
                     "faults" => Section::Faults,
                     "lint" => Section::Lint,
+                    "store" => Section::Store,
                     "corpus" => Section::Corpus,
                     _ => {
-                        snap.rejected_lines += 1;
+                        snap.malformed_lines += 1;
                         Section::None
                     }
                 };
@@ -275,7 +282,7 @@ impl FleetSnapshot {
                     match line.strip_prefix("block ").and_then(|v| u64::from_str_radix(v, 16).ok())
                     {
                         Some(block) => snap.coverage.push(block),
-                        None => snap.rejected_lines += 1,
+                        None => snap.malformed_lines += 1,
                     }
                 }
                 Section::Series => {
@@ -290,15 +297,15 @@ impl FleetSnapshot {
                     // refuse it downstream anyway).
                     match parsed {
                         Some((t, _)) if snap.series.last().is_some_and(|&(lt, _)| lt > t) => {
-                            snap.rejected_lines += 1;
+                            snap.malformed_lines += 1;
                         }
                         Some(point) => snap.series.push(point),
-                        None => snap.rejected_lines += 1,
+                        None => snap.malformed_lines += 1,
                     }
                 }
                 Section::Crashes => match parse_crash_line(line) {
                     Some(record) => snap.crashes.push(record),
-                    None => snap.rejected_lines += 1,
+                    None => snap.malformed_lines += 1,
                 },
                 Section::Faults => {
                     let applied = line
@@ -307,7 +314,7 @@ impl FleetSnapshot {
                         .and_then(|(key, v)| Some((key, v.trim().parse::<u64>().ok()?)))
                         .is_some_and(|(key, v)| snap.fault_totals.set(key, v));
                     if !applied {
-                        snap.rejected_lines += 1;
+                        snap.malformed_lines += 1;
                     }
                 }
                 Section::Lint => {
@@ -317,12 +324,22 @@ impl FleetSnapshot {
                         .and_then(|(key, v)| Some((key, v.trim().parse::<u64>().ok()?)))
                         .is_some_and(|(key, v)| snap.lint_totals.set(key, v));
                     if !applied {
-                        snap.rejected_lines += 1;
+                        snap.malformed_lines += 1;
+                    }
+                }
+                Section::Store => {
+                    let applied = line
+                        .strip_prefix("store ")
+                        .and_then(|rest| rest.split_once(' '))
+                        .and_then(|(key, v)| Some((key, v.trim().parse::<u64>().ok()?)))
+                        .is_some_and(|(key, v)| snap.store_totals.set(key, v));
+                    if !applied {
+                        snap.malformed_lines += 1;
                     }
                 }
                 Section::None => {
                     if !line.trim().is_empty() {
-                        snap.rejected_lines += 1;
+                        snap.malformed_lines += 1;
                     }
                 }
             }
@@ -341,7 +358,23 @@ impl FleetSnapshot {
     }
 }
 
-fn parse_crash_line(line: &str) -> Option<CrashRecord> {
+/// The six tab-separated fields of a crash line (everything after the
+/// `crash ` keyword) — shared between the snapshot's crashes section and
+/// the journal's `crash` delta so both round-trip through
+/// [`parse_crash_line`].
+pub(crate) fn crash_fields(crash: &CrashRecord) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}",
+        crash.count,
+        crash.first_seen_us,
+        kind_tag(crash.kind),
+        component_tag(crash.component),
+        escape(&crash.title),
+        crash.repro.as_deref().map_or_else(|| "-".to_owned(), escape),
+    )
+}
+
+pub(crate) fn parse_crash_line(line: &str) -> Option<CrashRecord> {
     let rest = line.strip_prefix("crash ")?;
     let fields: Vec<&str> = rest.splitn(6, '\t').collect();
     if fields.len() != 6 {
@@ -390,8 +423,14 @@ mod tests {
                 ..Default::default()
             },
             lint_totals: LintCounters { rejected: 4, repaired: 9 },
+            store_totals: StoreCounters {
+                journal_records: 31,
+                snapshots_written: 2,
+                snapshots_skipped: 5,
+                ..Default::default()
+            },
             corpus_text: "# seed 0 signals=7\nr0 = openat$/dev/video0()\n\n".to_owned(),
-            rejected_lines: 0,
+            malformed_lines: 0,
         }
     }
 
@@ -400,7 +439,7 @@ mod tests {
         let snap = sample_snapshot();
         let text = snap.to_text();
         let parsed = FleetSnapshot::parse(&text).expect("clean snapshot parses");
-        assert_eq!(parsed.rejected_lines, 0);
+        assert_eq!(parsed.malformed_lines, 0);
         assert_eq!(parsed.to_text(), text);
         assert_eq!(parsed.round, 2);
         assert_eq!(parsed.clock_us, 1_800_000_000);
@@ -412,6 +451,8 @@ mod tests {
         assert_eq!(parsed.fault_totals.injected, 12);
         assert_eq!(parsed.lint_totals, snap.lint_totals, "lint counters round-trip");
         assert_eq!(parsed.lint_totals.repaired, 9);
+        assert_eq!(parsed.store_totals, snap.store_totals, "store counters round-trip");
+        assert_eq!(parsed.store_totals.journal_records, 31);
     }
 
     #[test]
@@ -428,12 +469,14 @@ mod tests {
         text.push_str("# section crashes\ncrash truncated\n");
         text.push_str("# section faults\nfault no_such_counter 3\nfault hangs notanumber\n");
         text.push_str("# section lint\nlint no_such_counter 3\nlint repaired notanumber\n");
+        text.push_str("# section store\nstore no_such_counter 3\nstore recoveries notanumber\n");
         let parsed = FleetSnapshot::parse(&text).expect("tolerant parse");
-        assert_eq!(parsed.rejected_lines, 8);
+        assert_eq!(parsed.malformed_lines, 10);
         assert!(parsed.coverage.contains(&0x3e), "good lines after bad ones still land");
         assert_eq!(parsed.crashes.len(), 1);
         assert_eq!(parsed.fault_totals.hangs, 2, "bad fault lines leave good counters alone");
         assert_eq!(parsed.lint_totals.repaired, 9, "bad lint lines leave good counters alone");
+        assert_eq!(parsed.store_totals.journal_records, 31, "bad store lines too");
     }
 
     #[test]
@@ -442,7 +485,7 @@ mod tests {
         snap.series = vec![(100, 1.0), (50, 9.0), (200, 2.0)];
         let parsed = FleetSnapshot::parse(&snap.to_text()).expect("tolerant parse");
         assert_eq!(parsed.series, vec![(100, 1.0), (200, 2.0)], "backwards sample dropped");
-        assert_eq!(parsed.rejected_lines, 1);
+        assert_eq!(parsed.malformed_lines, 1);
     }
 
     #[test]
@@ -454,7 +497,7 @@ mod tests {
         assert_eq!(parsed.coverage.len(), 2);
         assert_eq!(parsed.series.len(), 2);
         assert_eq!(parsed.crashes.len(), 0, "the torn crash line is dropped");
-        assert_eq!(parsed.rejected_lines, 1);
+        assert_eq!(parsed.malformed_lines, 1);
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //! execution in a watchdog/retry/recovery layer against injected device
 //! faults, and [`fleet`] scaling the daemon to sharded multi-engine
 //! campaigns with corpus/relation sync, checkpoint/resume, self-healing
-//! shard restarts, and a metrics bus), corpus and crash management
+//! shard restarts, and a metrics bus — checkpoints made crash-safe on
+//! disk by the [`store`] layer's checksummed snapshots, write-ahead
+//! journal, and torn-write recovery), corpus and crash management
 //! ([`corpus`], [`crashes`], [`minimize`]), the evaluation baselines
 //! ([`baselines`]: syzkaller-like and Difuze-like fuzzers plus the
 //! DroidFuzz-D / ablation configurations in [`config`]), and the
@@ -65,6 +67,7 @@ pub mod probe;
 pub mod relation;
 pub mod report;
 pub mod stats;
+pub mod store;
 pub mod supervisor;
 
 pub use config::FuzzerConfig;

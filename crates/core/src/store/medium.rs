@@ -1,0 +1,590 @@
+//! Storage media: the file primitives the store builds on.
+//!
+//! [`StorageMedium`] is deliberately tiny — flat names, whole-file reads,
+//! truncating writes, appends, fsync, rename, remove, list — because
+//! everything above it (framing, atomicity, generations) is composed from
+//! these primitives, and every primitive is a place the fault-injectable
+//! [`SimMedium`] can misbehave deterministically.
+//!
+//! `SimMedium` keeps, besides the current durable contents, a linear
+//! *effect log* of every durable mutation. Each effect has a cost in
+//! sweep units (data bytes for writes/appends, 1 for metadata ops), so a
+//! test can reconstruct the exact durable state "as of" a crash at any
+//! unit offset with [`SimMedium::crash_at`] — including a torn final
+//! write — and assert that recovery from that state holds its invariants.
+
+use super::StoreError;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// The primitive file operations the store layers compose.
+///
+/// Names are flat (no directories); the medium owns its root. All writes
+/// are durable only after [`sync`](Self::sync) on a real filesystem; the
+/// sim medium tracks durability through its effect log instead.
+pub trait StorageMedium {
+    /// Reads a whole file.
+    fn read(&self, name: &str) -> Result<Vec<u8>, StoreError>;
+    /// Creates or truncates `name` with `data`.
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<(), StoreError>;
+    /// Appends `data` to `name`, creating it if absent.
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), StoreError>;
+    /// Flushes `name` to durable storage.
+    fn sync(&mut self, name: &str) -> Result<(), StoreError>;
+    /// Atomically renames `from` to `to` (the commit point of an atomic
+    /// snapshot write).
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError>;
+    /// Removes `name`; removing a missing file is not an error.
+    fn remove(&mut self, name: &str) -> Result<(), StoreError>;
+    /// All file names on the medium, sorted.
+    fn list(&self) -> Result<Vec<String>, StoreError>;
+    /// Whether `name` exists.
+    fn exists(&self, name: &str) -> bool;
+}
+
+/// Real-filesystem backend rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct FsMedium {
+    root: PathBuf,
+}
+
+impl FsMedium {
+    /// Opens (creating if needed) a medium rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(io_err)?;
+        Ok(Self { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+fn io_err(e: std::io::Error) -> StoreError {
+    if e.raw_os_error() == Some(28) {
+        // ENOSPC maps onto the same error the sim medium injects.
+        StoreError::NoSpace
+    } else {
+        StoreError::Io(e.to_string())
+    }
+}
+
+impl StorageMedium for FsMedium {
+    fn read(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        match std::fs::read(self.path(name)) {
+            Ok(data) => Ok(data),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NotFound(name.to_owned()))
+            }
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        std::fs::write(self.path(name), data).map_err(io_err)
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))
+            .map_err(io_err)?;
+        file.write_all(data).map_err(io_err)
+    }
+
+    fn sync(&mut self, name: &str) -> Result<(), StoreError> {
+        let file = std::fs::File::open(self.path(name)).map_err(io_err)?;
+        file.sync_all().map_err(io_err)
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
+        std::fs::rename(self.path(from), self.path(to)).map_err(io_err)?;
+        // Durability of the rename itself: sync the directory when the
+        // platform allows opening it (best effort elsewhere).
+        if let Ok(dir) = std::fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root).map_err(io_err)? {
+            let entry = entry.map_err(io_err)?;
+            if entry.file_type().map_err(io_err)?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+}
+
+/// One scripted misbehavior of the [`SimMedium`]. Faults trigger on the
+/// medium's mutating-operation counter (every `write`/`append`/`sync`/
+/// `rename`/`remove` call increments it, starting from 0), so a fixed
+/// plan replays identically against a deterministic campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MediumFault {
+    /// The write or append at operation `op` durably stores only its
+    /// first `keep` bytes and still reports success — a torn write,
+    /// detected only by checksum on the next read.
+    TornWrite {
+        /// Mutating-operation index the tear lands on.
+        op: u64,
+        /// Bytes of the operation's payload that become durable.
+        keep: usize,
+    },
+    /// The sync at operation `op` leaves the file truncated to `keep`
+    /// bytes — the tail pages never reached the platter.
+    PartialSync {
+        /// Mutating-operation index of the failing sync.
+        op: u64,
+        /// File length after the lost tail.
+        keep: usize,
+    },
+    /// After the operation at `op`, the touched file's byte at `offset`
+    /// is XOR-ed with `mask` — silent at-rest corruption.
+    BitFlip {
+        /// Mutating-operation index to corrupt after.
+        op: u64,
+        /// Byte offset within the touched file (out of range: no-op).
+        offset: usize,
+        /// XOR mask applied to the byte (0 flips nothing).
+        mask: u8,
+    },
+    /// Writes and appends fail with [`StoreError::NoSpace`] once the
+    /// medium's cumulative payload bytes exceed this budget.
+    NoSpace {
+        /// Total payload bytes accepted before the device is full.
+        after_bytes: u64,
+    },
+    /// The rename at operation `op` silently never happens — the process
+    /// crashed between writing the temp file and committing it.
+    CrashBeforeRename {
+        /// Mutating-operation index of the swallowed rename.
+        op: u64,
+    },
+}
+
+/// One durable mutation in the sim medium's effect log.
+#[derive(Debug, Clone)]
+enum Effect {
+    /// Truncate-then-write of a whole file.
+    Write { name: String, data: Vec<u8> },
+    /// Append to a file.
+    Append { name: String, data: Vec<u8> },
+    /// Atomic rename.
+    Rename { from: String, to: String },
+    /// File removal.
+    Remove { name: String },
+    /// Truncation to a length (partial-sync fault).
+    Truncate { name: String, len: usize },
+    /// In-place byte corruption (bit-flip fault).
+    Corrupt { name: String, offset: usize, mask: u8 },
+}
+
+impl Effect {
+    /// Sweep-unit cost: payload bytes for data ops, 1 for metadata ops,
+    /// 0 for corruption (it lands atomically with the op it follows).
+    fn units(&self) -> u64 {
+        match self {
+            Effect::Write { data, .. } | Effect::Append { data, .. } => data.len() as u64,
+            Effect::Rename { .. } | Effect::Remove { .. } | Effect::Truncate { .. } => 1,
+            Effect::Corrupt { .. } => 0,
+        }
+    }
+
+    /// Applies the first `keep` units of this effect to `files`.
+    fn apply_prefix(&self, files: &mut BTreeMap<String, Vec<u8>>, keep: u64) {
+        match self {
+            Effect::Write { name, data } => {
+                let k = (keep as usize).min(data.len());
+                files.insert(name.clone(), data[..k].to_vec());
+            }
+            Effect::Append { name, data } => {
+                let k = (keep as usize).min(data.len());
+                files.entry(name.clone()).or_default().extend_from_slice(&data[..k]);
+            }
+            Effect::Rename { from, to } => {
+                if keep >= 1 {
+                    if let Some(data) = files.remove(from) {
+                        files.insert(to.clone(), data);
+                    }
+                }
+            }
+            Effect::Remove { name } => {
+                if keep >= 1 {
+                    files.remove(name);
+                }
+            }
+            Effect::Truncate { name, len } => {
+                if keep >= 1 {
+                    if let Some(data) = files.get_mut(name) {
+                        data.truncate(*len);
+                    }
+                }
+            }
+            Effect::Corrupt { name, offset, mask } => {
+                if let Some(data) = files.get_mut(name) {
+                    if let Some(byte) = data.get_mut(*offset) {
+                        *byte ^= mask;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SimState {
+    files: BTreeMap<String, Vec<u8>>,
+    log: Vec<Effect>,
+    ops: u64,
+    bytes_written: u64,
+    plan: Vec<MediumFault>,
+    fired: Vec<String>,
+}
+
+impl SimState {
+    /// Applies `effect` to the live file map and logs it.
+    fn commit(&mut self, effect: Effect) {
+        effect.apply_prefix(&mut self.files, effect.units());
+        self.log.push(effect);
+    }
+
+    fn take_fault(&mut self, matches: impl Fn(&MediumFault) -> bool) -> Option<MediumFault> {
+        let i = self.plan.iter().position(matches)?;
+        let fault = self.plan.remove(i);
+        self.fired.push(format!("{fault:?} at op {}", self.ops));
+        Some(fault)
+    }
+
+    fn no_space(&self, incoming: usize) -> bool {
+        self.plan.iter().any(|f| match f {
+            MediumFault::NoSpace { after_bytes } => {
+                self.bytes_written + incoming as u64 > *after_bytes
+            }
+            _ => false,
+        })
+    }
+
+    /// Bit-flip faults scheduled on the op that just ran.
+    fn apply_bit_flips(&mut self, name: &str) {
+        let op = self.ops;
+        while let Some(MediumFault::BitFlip { offset, mask, .. }) = self.take_fault(|f| {
+            matches!(f, MediumFault::BitFlip { op: o, .. } if *o == op)
+        }) {
+            self.commit(Effect::Corrupt { name: name.to_owned(), offset, mask });
+        }
+    }
+}
+
+/// Deterministic in-memory medium with scripted fault injection and a
+/// crash-sweep effect log. Cloning yields another handle onto the same
+/// storage (the store's snapshot and journal layers share one medium).
+#[derive(Debug, Clone, Default)]
+pub struct SimMedium {
+    inner: Arc<Mutex<SimState>>,
+}
+
+impl SimMedium {
+    /// An empty, fault-free medium.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty medium that will inject `plan` (consumed as faults fire).
+    pub fn with_plan(plan: Vec<MediumFault>) -> Self {
+        let medium = Self::new();
+        medium.inner.lock().expect("sim medium lock").plan = plan;
+        medium
+    }
+
+    /// Adds a fault to the plan of a live medium.
+    pub fn push_fault(&self, fault: MediumFault) {
+        self.inner.lock().expect("sim medium lock").plan.push(fault);
+    }
+
+    /// Mutating operations performed so far (fault plans index on this).
+    pub fn ops(&self) -> u64 {
+        self.inner.lock().expect("sim medium lock").ops
+    }
+
+    /// Total sweep units in the effect log — the exclusive upper bound
+    /// for [`crash_at`](Self::crash_at).
+    pub fn total_units(&self) -> u64 {
+        self.inner.lock().expect("sim medium lock").log.iter().map(Effect::units).sum()
+    }
+
+    /// Human-readable record of every fault that fired.
+    pub fn faults_fired(&self) -> Vec<String> {
+        self.inner.lock().expect("sim medium lock").fired.clone()
+    }
+
+    /// Reconstructs the durable state as of a host crash after exactly
+    /// `units` sweep units of the effect log — the effect straddling the
+    /// boundary is applied as a torn prefix — and returns it as a fresh
+    /// medium (empty log, no fault plan).
+    pub fn crash_at(&self, units: u64) -> SimMedium {
+        let state = self.inner.lock().expect("sim medium lock");
+        let mut files = BTreeMap::new();
+        let mut remaining = units;
+        for effect in &state.log {
+            let cost = effect.units();
+            if remaining >= cost {
+                effect.apply_prefix(&mut files, cost);
+                remaining -= cost;
+            } else {
+                // A crash before the first unit of an effect leaves it
+                // entirely unapplied (no empty file from a 0-byte tear).
+                if remaining > 0 {
+                    effect.apply_prefix(&mut files, remaining);
+                }
+                break;
+            }
+        }
+        let crashed = SimMedium::new();
+        crashed.inner.lock().expect("sim medium lock").files = files;
+        crashed
+    }
+
+    /// Flips `mask` into byte `offset` of `name` right now (direct
+    /// at-rest corruption for tests). Returns `false` if the file or
+    /// offset does not exist.
+    pub fn corrupt(&self, name: &str, offset: usize, mask: u8) -> bool {
+        let mut state = self.inner.lock().expect("sim medium lock");
+        let hit = state
+            .files
+            .get(name)
+            .is_some_and(|data| offset < data.len());
+        if hit {
+            state.commit(Effect::Corrupt { name: name.to_owned(), offset, mask });
+        }
+        hit
+    }
+}
+
+impl StorageMedium for SimMedium {
+    fn read(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        self.inner
+            .lock()
+            .expect("sim medium lock")
+            .files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(name.to_owned()))
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        let mut state = self.inner.lock().expect("sim medium lock");
+        if state.no_space(data.len()) {
+            state.ops += 1;
+            return Err(StoreError::NoSpace);
+        }
+        let op = state.ops;
+        let keep = match state
+            .take_fault(|f| matches!(f, MediumFault::TornWrite { op: o, .. } if *o == op))
+        {
+            Some(MediumFault::TornWrite { keep, .. }) => keep.min(data.len()),
+            _ => data.len(),
+        };
+        state.commit(Effect::Write { name: name.to_owned(), data: data[..keep].to_vec() });
+        state.bytes_written += data.len() as u64;
+        state.apply_bit_flips(name);
+        state.ops += 1;
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        let mut state = self.inner.lock().expect("sim medium lock");
+        if state.no_space(data.len()) {
+            state.ops += 1;
+            return Err(StoreError::NoSpace);
+        }
+        let op = state.ops;
+        let keep = match state
+            .take_fault(|f| matches!(f, MediumFault::TornWrite { op: o, .. } if *o == op))
+        {
+            Some(MediumFault::TornWrite { keep, .. }) => keep.min(data.len()),
+            _ => data.len(),
+        };
+        state.commit(Effect::Append { name: name.to_owned(), data: data[..keep].to_vec() });
+        state.bytes_written += data.len() as u64;
+        state.apply_bit_flips(name);
+        state.ops += 1;
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> Result<(), StoreError> {
+        let mut state = self.inner.lock().expect("sim medium lock");
+        let op = state.ops;
+        if let Some(MediumFault::PartialSync { keep, .. }) = state
+            .take_fault(|f| matches!(f, MediumFault::PartialSync { op: o, .. } if *o == op))
+        {
+            state.commit(Effect::Truncate { name: name.to_owned(), len: keep });
+        }
+        state.apply_bit_flips(name);
+        state.ops += 1;
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
+        let mut state = self.inner.lock().expect("sim medium lock");
+        let op = state.ops;
+        let swallowed = state
+            .take_fault(|f| matches!(f, MediumFault::CrashBeforeRename { op: o } if *o == op))
+            .is_some();
+        if !swallowed {
+            if !state.files.contains_key(from) {
+                state.ops += 1;
+                return Err(StoreError::NotFound(from.to_owned()));
+            }
+            state.commit(Effect::Rename { from: from.to_owned(), to: to.to_owned() });
+        }
+        state.ops += 1;
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        let mut state = self.inner.lock().expect("sim medium lock");
+        if state.files.contains_key(name) {
+            state.commit(Effect::Remove { name: name.to_owned() });
+        }
+        state.ops += 1;
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        Ok(self.inner.lock().expect("sim medium lock").files.keys().cloned().collect())
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.lock().expect("sim medium lock").files.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_basic_file_operations() {
+        let mut m = SimMedium::new();
+        m.write("a", b"hello").unwrap();
+        m.append("a", b" world").unwrap();
+        assert_eq!(m.read("a").unwrap(), b"hello world");
+        m.rename("a", "b").unwrap();
+        assert!(!m.exists("a"));
+        assert_eq!(m.read("b").unwrap(), b"hello world");
+        assert_eq!(m.list().unwrap(), vec!["b".to_owned()]);
+        m.remove("b").unwrap();
+        assert_eq!(m.read("b"), Err(StoreError::NotFound("b".into())));
+        m.remove("b").unwrap(); // removing a missing file is fine
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let mut a = SimMedium::new();
+        let b = a.clone();
+        a.write("x", b"1").unwrap();
+        assert_eq!(b.read("x").unwrap(), b"1");
+    }
+
+    #[test]
+    fn torn_write_keeps_a_prefix_and_reports_success() {
+        let mut m = SimMedium::with_plan(vec![MediumFault::TornWrite { op: 0, keep: 3 }]);
+        m.write("a", b"hello").unwrap();
+        assert_eq!(m.read("a").unwrap(), b"hel");
+        assert_eq!(m.faults_fired().len(), 1);
+    }
+
+    #[test]
+    fn partial_sync_truncates() {
+        let mut m = SimMedium::with_plan(vec![MediumFault::PartialSync { op: 1, keep: 2 }]);
+        m.write("a", b"hello").unwrap();
+        m.sync("a").unwrap();
+        assert_eq!(m.read("a").unwrap(), b"he");
+    }
+
+    #[test]
+    fn bit_flip_corrupts_in_place() {
+        let mut m = SimMedium::with_plan(vec![MediumFault::BitFlip { op: 0, offset: 1, mask: 0x20 }]);
+        m.write("a", b"AB").unwrap();
+        assert_eq!(m.read("a").unwrap(), b"Ab");
+    }
+
+    #[test]
+    fn no_space_fails_writes_beyond_budget() {
+        let mut m = SimMedium::with_plan(vec![MediumFault::NoSpace { after_bytes: 6 }]);
+        m.write("a", b"1234").unwrap();
+        assert_eq!(m.append("a", b"56789"), Err(StoreError::NoSpace));
+        m.append("a", b"56").unwrap();
+        assert_eq!(m.read("a").unwrap(), b"123456");
+    }
+
+    #[test]
+    fn crash_before_rename_leaves_the_temp_file() {
+        let mut m = SimMedium::with_plan(vec![MediumFault::CrashBeforeRename { op: 1 }]);
+        m.write("a.tmp", b"data").unwrap();
+        m.rename("a.tmp", "a").unwrap(); // swallowed
+        assert!(m.exists("a.tmp"));
+        assert!(!m.exists("a"));
+    }
+
+    #[test]
+    fn crash_at_replays_the_effect_log_prefix() {
+        let mut m = SimMedium::new();
+        m.write("a", b"12345").unwrap(); // units 0..5
+        m.append("a", b"678").unwrap(); // units 5..8
+        m.rename("a", "b").unwrap(); // unit 8
+        assert_eq!(m.total_units(), 9);
+        assert_eq!(m.crash_at(0).read("a"), Err(StoreError::NotFound("a".into())));
+        assert_eq!(m.crash_at(3).read("a").unwrap(), b"123");
+        assert_eq!(m.crash_at(5).read("a").unwrap(), b"12345");
+        assert_eq!(m.crash_at(7).read("a").unwrap(), b"1234567");
+        // Crash before the rename committed: still the old name.
+        assert_eq!(m.crash_at(8).read("a").unwrap(), b"12345678");
+        assert!(!m.crash_at(8).exists("b"));
+        assert_eq!(m.crash_at(9).read("b").unwrap(), b"12345678");
+        // Past the end of the log is just the final state.
+        assert_eq!(m.crash_at(1000).read("b").unwrap(), b"12345678");
+    }
+
+    #[test]
+    fn fs_medium_round_trips() {
+        let dir = std::env::temp_dir().join(format!("droidfuzz-store-test-{}", std::process::id()));
+        let mut m = FsMedium::new(&dir).unwrap();
+        m.write("snap", b"abc").unwrap();
+        m.append("snap", b"def").unwrap();
+        m.sync("snap").unwrap();
+        assert_eq!(m.read("snap").unwrap(), b"abcdef");
+        m.rename("snap", "snap2").unwrap();
+        assert!(m.list().unwrap().contains(&"snap2".to_owned()));
+        assert!(m.exists("snap2") && !m.exists("snap"));
+        m.remove("snap2").unwrap();
+        assert_eq!(m.read("snap2"), Err(StoreError::NotFound("snap2".into())));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

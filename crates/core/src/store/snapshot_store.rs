@@ -1,0 +1,333 @@
+//! Atomic, CRC-framed, generational snapshot files.
+//!
+//! A snapshot file packs named sections with length-prefixed, per-section
+//! checksummed frames plus a whole-file checksum, so that a torn write,
+//! bit flip, or truncation anywhere in the file is detected on read (and
+//! reported as [`StoreError::Corrupt`], never as silently-wrong state):
+//!
+//! ```text
+//! # droidfuzz-store snapshot v1 gen=<g> sections=<n>
+//! section <name> <len> <crc32 hex>
+//! <len payload bytes>
+//! ... more sections ...
+//! file-crc <crc32 hex>
+//! ```
+//!
+//! `file-crc` covers every byte before its own line. Writes are atomic:
+//! the file is assembled under a `.tmp` name, synced, then renamed onto
+//! `snapshot-<gen>.dfs` — a crash at any point leaves either the previous
+//! generation intact or a `.tmp` that recovery ignores. A generation ring
+//! keeps the last K snapshots so a corrupt newest generation can fall
+//! back to an older one.
+
+use super::medium::StorageMedium;
+use super::{crc32, StoreError};
+
+/// First line of every snapshot file (before the `gen=`/`sections=`
+/// fields).
+pub const STORE_SNAPSHOT_HEADER: &str = "# droidfuzz-store snapshot v1";
+
+const SNAPSHOT_SUFFIX: &str = ".dfs";
+const SNAPSHOT_PREFIX: &str = "snapshot-";
+
+/// File name of generation `gen` (`snapshot-<gen>.dfs`).
+pub fn snapshot_name(gen: u64) -> String {
+    format!("{SNAPSHOT_PREFIX}{gen}{SNAPSHOT_SUFFIX}")
+}
+
+/// Inverse of [`snapshot_name`]; `None` for other files (including
+/// `.tmp` leftovers).
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix(SNAPSHOT_PREFIX)?
+        .strip_suffix(SNAPSHOT_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// Serializes `sections` into the framed snapshot byte format.
+pub fn encode_snapshot(gen: u64, sections: &[(&str, &[u8])]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(
+        format!("{STORE_SNAPSHOT_HEADER} gen={gen} sections={}\n", sections.len()).as_bytes(),
+    );
+    for (name, payload) in sections {
+        out.extend_from_slice(
+            format!("section {name} {} {:08x}\n", payload.len(), crc32(payload)).as_bytes(),
+        );
+        out.extend_from_slice(payload);
+        out.push(b'\n');
+    }
+    let file_crc = crc32(&out);
+    out.extend_from_slice(format!("file-crc {file_crc:08x}\n").as_bytes());
+    out
+}
+
+/// A decoded section: `(name, payload)`.
+pub type Section = (String, Vec<u8>);
+
+/// Validates the framing of `bytes` and returns `(gen, sections)`. Any
+/// length, checksum, or structure mismatch is [`StoreError::Corrupt`].
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(u64, Vec<Section>), StoreError> {
+    let corrupt = |what: &str| StoreError::Corrupt(format!("snapshot: {what}"));
+    // Peel the trailing `file-crc` line first: it covers everything else.
+    let body_end = match bytes.len() {
+        // "file-crc " + 8 hex + "\n" == 18 bytes.
+        n if n >= 18 => n - 18,
+        _ => return Err(corrupt("shorter than its file-crc trailer")),
+    };
+    let trailer = std::str::from_utf8(&bytes[body_end..])
+        .map_err(|_| corrupt("non-utf8 file-crc trailer"))?;
+    let claimed = trailer
+        .strip_prefix("file-crc ")
+        .and_then(|rest| rest.strip_suffix('\n'))
+        .and_then(|hex| u32::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| corrupt("malformed file-crc trailer"))?;
+    let body = &bytes[..body_end];
+    if crc32(body) != claimed {
+        return Err(corrupt("whole-file checksum mismatch"));
+    }
+
+    fn next_line(body: &[u8], pos: &mut usize, label: &str) -> Result<String, StoreError> {
+        let rest = &body[*pos..];
+        let end = rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| StoreError::Corrupt(format!("snapshot: unterminated {label} line")))?;
+        let line = std::str::from_utf8(&rest[..end])
+            .map_err(|_| StoreError::Corrupt(format!("snapshot: non-utf8 {label} line")))?
+            .to_owned();
+        *pos += end + 1;
+        Ok(line)
+    }
+
+    let mut pos = 0usize;
+    let header = next_line(body, &mut pos, "header")?;
+    let rest = header
+        .strip_prefix(STORE_SNAPSHOT_HEADER)
+        .ok_or_else(|| corrupt("bad header magic"))?;
+    let mut gen = None;
+    let mut count = None;
+    for field in rest.split_whitespace() {
+        if let Some(v) = field.strip_prefix("gen=") {
+            gen = v.parse::<u64>().ok();
+        } else if let Some(v) = field.strip_prefix("sections=") {
+            count = v.parse::<usize>().ok();
+        }
+    }
+    let gen = gen.ok_or_else(|| corrupt("header missing gen"))?;
+    let count = count.ok_or_else(|| corrupt("header missing sections"))?;
+
+    let mut sections = Vec::with_capacity(count);
+    for _ in 0..count {
+        let frame = next_line(body, &mut pos, "section frame")?;
+        let mut parts = frame.split(' ');
+        let (tag, name, len, crc) =
+            (parts.next(), parts.next(), parts.next(), parts.next());
+        if tag != Some("section") || parts.next().is_some() {
+            return Err(corrupt("malformed section frame"));
+        }
+        let name = name.ok_or_else(|| corrupt("section frame missing name"))?.to_owned();
+        let len: usize = len
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| corrupt("section frame missing length"))?;
+        let crc: u32 = crc
+            .and_then(|v| u32::from_str_radix(v, 16).ok())
+            .ok_or_else(|| corrupt("section frame missing crc"))?;
+        if pos + len + 1 > body.len() {
+            return Err(corrupt("section payload overruns file"));
+        }
+        let payload = &body[pos..pos + len];
+        if crc32(payload) != crc {
+            return Err(StoreError::Corrupt(format!("snapshot: section {name} checksum mismatch")));
+        }
+        if body[pos + len] != b'\n' {
+            return Err(corrupt("section payload not newline-terminated"));
+        }
+        pos += len + 1;
+        sections.push((name, payload.to_vec()));
+    }
+    if pos != body.len() {
+        return Err(corrupt("trailing bytes after last section"));
+    }
+    Ok((gen, sections))
+}
+
+/// Generational snapshot files on a [`StorageMedium`].
+#[derive(Debug, Clone)]
+pub struct SnapshotStore<M: StorageMedium> {
+    medium: M,
+    keep: usize,
+}
+
+impl<M: StorageMedium> SnapshotStore<M> {
+    /// A store over `medium` whose ring keeps the newest `keep`
+    /// generations (clamped to at least 1).
+    pub fn new(medium: M, keep: usize) -> Self {
+        Self { medium, keep: keep.max(1) }
+    }
+
+    /// The medium (shared with the journal layer in fleet wiring).
+    pub fn medium(&self) -> &M {
+        &self.medium
+    }
+
+    /// Atomically writes generation `gen`: temp file, sync, rename.
+    pub fn write(&mut self, gen: u64, sections: &[(&str, &[u8])]) -> Result<(), StoreError> {
+        let bytes = encode_snapshot(gen, sections);
+        let tmp = format!("{}.tmp", snapshot_name(gen));
+        self.medium.write(&tmp, &bytes)?;
+        self.medium.sync(&tmp)?;
+        self.medium.rename(&tmp, &snapshot_name(gen))
+    }
+
+    /// Reads and validates generation `gen`.
+    pub fn read(&self, gen: u64) -> Result<Vec<Section>, StoreError> {
+        let bytes = self.medium.read(&snapshot_name(gen))?;
+        let (file_gen, sections) = decode_snapshot(&bytes)?;
+        if file_gen != gen {
+            return Err(StoreError::Corrupt(format!(
+                "snapshot: file named gen {gen} claims gen {file_gen}"
+            )));
+        }
+        Ok(sections)
+    }
+
+    /// All committed generations on the medium, ascending. `.tmp`
+    /// leftovers from interrupted writes are not listed.
+    pub fn generations(&self) -> Result<Vec<u64>, StoreError> {
+        let mut gens: Vec<u64> =
+            self.medium.list()?.iter().filter_map(|n| parse_snapshot_name(n)).collect();
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// The newest committed generation, if any.
+    pub fn newest(&self) -> Result<Option<u64>, StoreError> {
+        Ok(self.generations()?.into_iter().next_back())
+    }
+
+    /// Removes generations beyond the ring size plus any `.tmp`
+    /// leftovers; returns the pruned generations (ascending) so the
+    /// caller can drop their journals too.
+    pub fn prune(&mut self) -> Result<Vec<u64>, StoreError> {
+        for name in self.medium.list()? {
+            if name.starts_with(SNAPSHOT_PREFIX) && name.ends_with(".tmp") {
+                self.medium.remove(&name)?;
+            }
+        }
+        let gens = self.generations()?;
+        let excess = gens.len().saturating_sub(self.keep);
+        let pruned: Vec<u64> = gens[..excess].to_vec();
+        for &gen in &pruned {
+            self.medium.remove(&snapshot_name(gen))?;
+        }
+        Ok(pruned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::medium::{MediumFault, SimMedium};
+    use super::*;
+
+    fn demo_sections() -> Vec<(&'static str, &'static [u8])> {
+        vec![
+            ("meta", b"round 12".as_slice()),
+            ("fleet", b"# droidfuzz-fleet-snapshot v1 round=12 clock_us=0\n".as_slice()),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let bytes = encode_snapshot(7, &demo_sections());
+        let (gen, sections) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(gen, 7);
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0], ("meta".to_owned(), b"round 12".to_vec()));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = encode_snapshot(1, &demo_sections());
+        for byte in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 0x01;
+            assert!(
+                decode_snapshot(&flipped).is_err(),
+                "bit flip at byte {byte} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_snapshot(1, &demo_sections());
+        for len in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..len]).is_err(),
+                "truncation to {len} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn payloads_may_contain_newlines_and_frame_lookalikes() {
+        let tricky = b"file-crc deadbeef\nsection fake 3 00000000\nxyz\n";
+        let bytes = encode_snapshot(2, &[("tricky", tricky.as_slice())]);
+        let (_, sections) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(sections[0].1, tricky);
+    }
+
+    #[test]
+    fn store_writes_atomically_and_prunes_the_ring() {
+        let mut store = SnapshotStore::new(SimMedium::new(), 2);
+        for gen in 0..4 {
+            store.write(gen, &demo_sections()).unwrap();
+        }
+        assert_eq!(store.generations().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(store.prune().unwrap(), vec![0, 1]);
+        assert_eq!(store.generations().unwrap(), vec![2, 3]);
+        assert_eq!(store.newest().unwrap(), Some(3));
+        assert_eq!(store.read(3).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn crash_before_rename_preserves_previous_generation() {
+        // Ops per write(): write tmp (0), sync tmp (1), rename (2) — the
+        // second snapshot's rename is op 5.
+        let medium = SimMedium::with_plan(vec![MediumFault::CrashBeforeRename { op: 5 }]);
+        let mut store = SnapshotStore::new(medium, 3);
+        store.write(0, &demo_sections()).unwrap();
+        store.write(1, &demo_sections()).unwrap(); // commit swallowed
+        assert_eq!(store.generations().unwrap(), vec![0]);
+        assert!(store.read(0).is_ok());
+        // The orphaned tmp is cleaned up by prune.
+        assert!(store.medium().exists("snapshot-1.dfs.tmp"));
+        store.prune().unwrap();
+        assert!(!store.medium().exists("snapshot-1.dfs.tmp"));
+    }
+
+    #[test]
+    fn torn_write_of_newest_generation_is_detected_not_misread() {
+        // Tear the second snapshot's tmp write (op 3) mid-file; the
+        // rename still commits the torn file.
+        let medium = SimMedium::with_plan(vec![MediumFault::TornWrite { op: 3, keep: 20 }]);
+        let mut store = SnapshotStore::new(medium, 3);
+        store.write(0, &demo_sections()).unwrap();
+        store.write(1, &demo_sections()).unwrap();
+        assert!(matches!(store.read(1), Err(StoreError::Corrupt(_))));
+        assert!(store.read(0).is_ok()); // fallback generation intact
+    }
+
+    #[test]
+    fn mismatched_generation_in_header_is_corrupt() {
+        let mut store = SnapshotStore::new(SimMedium::new(), 2);
+        store.write(4, &demo_sections()).unwrap();
+        let medium = store.medium().clone();
+        let bytes = medium.read(&snapshot_name(4)).unwrap();
+        let mut renamed = SimMedium::new();
+        crate::store::StorageMedium::write(&mut renamed, &snapshot_name(9), &bytes).unwrap();
+        let store2 = SnapshotStore::new(renamed, 2);
+        assert!(matches!(store2.read(9), Err(StoreError::Corrupt(_))));
+    }
+}

@@ -17,6 +17,7 @@ fn quick_config(sync: bool, kill_after_rounds: Option<usize>) -> FleetConfig {
         hub_capacity: 256,
         kill_after_rounds,
         flap_limit: 2,
+        checkpoint_interval_rounds: 1,
     }
 }
 
