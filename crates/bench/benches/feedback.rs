@@ -2,7 +2,11 @@
 //! specialized-ID lookup, directional pair hashing, and signal-set merges.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use droidfuzz::feedback::{signals_from_execution, SignalSet, SyscallIdTable};
+use droidfuzz::feedback::{
+    signals_from_execution, signals_from_execution_into, Signal, SignalScratch, SignalSet,
+    SyscallIdTable,
+};
+use std::collections::HashSet;
 use simdevice::catalog;
 use simkernel::coverage::Block;
 use simkernel::syscall::SyscallNr;
@@ -18,6 +22,26 @@ fn events(n: usize) -> Vec<SyscallEvent> {
             ok: true,
         })
         .collect()
+}
+
+/// The pre-bitmap [`SignalSet`]: a flat `HashSet<Signal>` whose
+/// `count_new` built a fresh `HashSet` of candidates on every call.
+/// Kept here as the before/after baseline for the bitmap benches.
+#[derive(Default)]
+struct HashSetSignals(HashSet<Signal>);
+
+impl HashSetSignals {
+    fn merge(&mut self, signals: &[Signal]) {
+        self.0.extend(signals.iter().copied());
+    }
+
+    fn count_new(&self, signals: &[Signal]) -> usize {
+        signals
+            .iter()
+            .filter(|s| !self.0.contains(s))
+            .collect::<HashSet<_>>()
+            .len()
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -39,6 +63,39 @@ fn bench(c: &mut Criterion) {
         let kcov: Vec<Block> = (0..200u64).map(|i| Block(0x9_0000_0000 + i)).collect();
         let sigs = signals_from_execution(&kcov, &events(30), &mut table, true);
         b.iter(|| std::hint::black_box(set.count_new(&sigs)));
+    });
+    // Before/after pair for the bitmap rewrite: the same 100k-signal set
+    // and 230-signal probe against the old flat-HashSet representation
+    // (one HashSet allocated per count_new call) and the two-level bitmap
+    // (non-allocating after the scratch buffer warms up).
+    c.bench_function("feedback/count_new_hashset_baseline", |b| {
+        let mut set = HashSetSignals::default();
+        let mut table = SyscallIdTable::new();
+        let warmup: Vec<Block> = (0..100_000u64).map(|i| Block(i * 7)).collect();
+        set.merge(&signals_from_execution(&warmup, &[], &mut table, false));
+        let kcov: Vec<Block> = (0..200u64).map(|i| Block(0x9_0000_0000 + i)).collect();
+        let sigs = signals_from_execution(&kcov, &events(30), &mut table, true);
+        b.iter(|| std::hint::black_box(set.count_new(&sigs)));
+    });
+    c.bench_function("feedback/count_new_bitmap", |b| {
+        let mut set = SignalSet::new();
+        let mut table = SyscallIdTable::new();
+        let warmup: Vec<Block> = (0..100_000u64).map(|i| Block(i * 7)).collect();
+        set.merge(&signals_from_execution(&warmup, &[], &mut table, false));
+        let kcov: Vec<Block> = (0..200u64).map(|i| Block(0x9_0000_0000 + i)).collect();
+        let sigs = signals_from_execution(&kcov, &events(30), &mut table, true);
+        b.iter(|| std::hint::black_box(set.count_new(&sigs)));
+    });
+    c.bench_function("feedback/signals_into_reused_buffers", |b| {
+        let kcov: Vec<Block> = (0..100u64).map(|i| Block(0x1000_0000 + i * 13)).collect();
+        let evs = events(50);
+        let mut table = SyscallIdTable::new();
+        let mut scratch = SignalScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            signals_from_execution_into(&kcov, &evs, &mut table, true, &mut scratch, &mut out);
+            std::hint::black_box(out.len())
+        });
     });
 }
 

@@ -12,7 +12,14 @@
 //!
 //! The run ends with a fault-overhead comparison — the same small fleet
 //! under `reliable` vs `flaky` — reported as one machine-readable JSON
-//! line (`"bench":"fleet_fault_overhead"`).
+//! line (`"bench":"fleet_fault_overhead"`) — and a thread-scaling arm:
+//! the same campaign at 1/2/4/8 workers (`DF_PAR_SHARDS` shards, default
+//! 8; `DF_PAR_HOURS` virtual hours, default min(DF_HOURS, 0.5)), one
+//! `"bench":"fleet_parallel"` JSON line per point with wall-clock
+//! executions/second and the speedup over the single-worker run. Every
+//! point's final snapshot is asserted byte-identical to the
+//! single-worker snapshot — the parallel executor is exercised as a
+//! pure wall-clock optimization.
 
 use droidfuzz::config::FuzzerConfig;
 use droidfuzz::fleet::{Fleet, FleetConfig, FleetResult};
@@ -161,6 +168,58 @@ fn main() {
         flaky.fault_totals.injected,
         flaky_cost / reliable_cost.max(1e-9),
     );
+
+    // Thread-scaling arm: the identical campaign run at 1/2/4/8 workers.
+    // The virtual clock makes the *results* bit-identical across thread
+    // counts (asserted below); the wall clock measures how well the shard
+    // slices overlap on this host's cores.
+    let par_shards = env_u64("DF_PAR_SHARDS", 8).max(1) as usize;
+    let par_hours = env_f64("DF_PAR_HOURS", hours.min(0.5));
+    let par_sync = env_f64("DF_PAR_SYNC_MIN", sync_min.min(7.5));
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "\nthread scaling: {par_shards} shards x {par_hours} h on device {device}, \
+         {cores} core(s) available"
+    );
+    let par_arm = |threads: usize| {
+        let cfg = FleetConfig { threads, ..fleet_config(par_shards, par_hours, par_sync, true) };
+        let start = std::time::Instant::now();
+        let result = Fleet::new(cfg).run(&spec, FuzzerConfig::droidfuzz);
+        (result, start.elapsed().as_secs_f64())
+    };
+    let mut base_rate = 0.0_f64;
+    let mut base_snapshot = String::new();
+    let mut measured = Vec::new();
+    for &threads in &[1_usize, 2, 4, 8] {
+        let workers = threads.min(par_shards);
+        if measured.contains(&workers) {
+            continue; // clamped onto an already-measured point
+        }
+        measured.push(workers);
+        let (result, wall) = par_arm(workers);
+        let rate = result.executions as f64 / wall.max(1e-9);
+        if threads == 1 {
+            base_rate = rate;
+            base_snapshot = result.snapshot.clone();
+        }
+        assert_eq!(
+            result.snapshot, base_snapshot,
+            "threads={workers} snapshot diverged from the single-worker run"
+        );
+        let speedup = rate / base_rate.max(1e-9);
+        println!(
+            "  threads={workers}: {} execs in {wall:.2} s wall = {rate:.0} execs/s \
+             ({speedup:.2}x vs threads=1, snapshot identical)",
+            result.executions,
+        );
+        println!(
+            "{{\"bench\":\"fleet_parallel\",\"device\":\"{device}\",\"shards\":{par_shards},\
+             \"hours\":{par_hours},\"threads\":{workers},\"cores\":{cores},\
+             \"executions\":{},\"wall_secs\":{wall:.3},\"execs_per_sec\":{rate:.1},\
+             \"speedup\":{speedup:.3}}}",
+            result.executions,
+        );
+    }
 
     if let Ok(path) = std::env::var("DF_SNAPSHOT_OUT") {
         if let Err(e) = std::fs::write(&path, &synced.snapshot) {

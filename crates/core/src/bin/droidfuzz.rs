@@ -33,6 +33,7 @@ struct Options {
     store_dir: Option<String>,
     shards: usize,
     sync_interval: f64,
+    threads: usize,
     checkpoint_every: usize,
     kill_after: Option<usize>,
 }
@@ -43,10 +44,12 @@ fn usage() -> ! {
          \x20                [--variant <droidfuzz|norel|nohcov|droidfuzz-d|syzkaller|difuze>]\n\
          \x20                [--seed <n>] [--corpus-in <file>] [--corpus-out <file>] [--quiet]\n\
          \x20                [--store-dir <dir>] [--shards <n>] [--sync-interval <hours>]\n\
-         \x20                [--checkpoint-every <rounds>] [--kill-after <rounds>]\n\
+         \x20                [--threads <n>] [--checkpoint-every <rounds>] [--kill-after <rounds>]\n\
          \n\
          \x20 --store-dir runs a durable fleet campaign journaled to <dir>; re-running\n\
-         \x20 with an occupied <dir> resumes from the newest recoverable snapshot."
+         \x20 with an occupied <dir> resumes from the newest recoverable snapshot.\n\
+         \x20 --threads caps the fleet worker pool (0 = one worker per shard; results\n\
+         \x20 are bit-identical for every thread count)."
     );
     std::process::exit(2);
 }
@@ -63,6 +66,7 @@ fn parse_args() -> Options {
         store_dir: None,
         shards: 4,
         sync_interval: 0.25,
+        threads: 0,
         checkpoint_every: 1,
         kill_after: None,
     };
@@ -90,6 +94,9 @@ fn parse_args() -> Options {
             "--sync-interval" => {
                 opts.sync_interval =
                     value("--sync-interval").parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                opts.threads = value("--threads").parse().unwrap_or_else(|_| usage());
             }
             "--checkpoint-every" => {
                 opts.checkpoint_every =
@@ -170,6 +177,7 @@ fn run_durable_fleet(opts: &Options, spec: simdevice::firmware::FirmwareSpec, di
         sync_interval_hours: opts.sync_interval,
         kill_after_rounds: opts.kill_after,
         checkpoint_interval_rounds: opts.checkpoint_every.max(1),
+        threads: opts.threads,
         ..FleetConfig::default()
     });
     let make_config = |s: u64| config_for(&opts.variant, opts.seed.wrapping_add(s));

@@ -154,6 +154,21 @@ impl Corpus {
         out
     }
 
+    /// Serializes only the seeds admitted after sequence `min_seq` (and
+    /// still live). Same format as [`export`](Self::export); the header
+    /// index is per-dump and carries no identity. Eviction reorders the
+    /// seed vector, so the filter is by each seed's admission sequence,
+    /// not by position.
+    pub fn export_since(&self, table: &DescTable, min_seq: u64) -> String {
+        let mut out = String::new();
+        for (i, seed) in self.seeds.iter().filter(|s| s.seq > min_seq).enumerate() {
+            out.push_str(&format!("# seed {i} signals={}\n", seed.new_signals));
+            out.push_str(&format_prog(&seed.prog, table));
+            out.push('\n');
+        }
+        out
+    }
+
     /// Restores a corpus from an [`export`](Self::export) dump. Seeds that
     /// fail to parse or validate against `table` (stale vocabulary after a
     /// firmware update, truncated or corrupted snapshot lines) are skipped

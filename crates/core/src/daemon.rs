@@ -43,12 +43,24 @@ impl CampaignResult {
 
 /// The campaign daemon.
 #[derive(Debug, Default)]
-pub struct Daemon;
+pub struct Daemon {
+    /// Worker threads per fleet round (`0` = one per shard).
+    threads: usize,
+}
 
 impl Daemon {
-    /// Creates a daemon.
+    /// Creates a daemon with one worker thread per repetition.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Caps the campaign worker pool: repetitions are chunked over
+    /// `threads` scoped workers instead of one thread per repeat.
+    /// `0` restores the one-worker-per-shard default; the results are
+    /// bit-identical for every setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Runs `repeats` independent campaigns of `hours` virtual hours of
@@ -68,7 +80,7 @@ impl Daemon {
     where
         F: Fn(u64) -> FuzzerConfig + Sync,
     {
-        let fleet = Self::campaign_fleet(hours, repeats);
+        let fleet = self.campaign_fleet(hours, repeats);
         Self::aggregate(fleet.run(spec, &make_config))
     }
 
@@ -90,7 +102,7 @@ impl Daemon {
         F: Fn(u64) -> FuzzerConfig + Sync,
         M: StorageMedium + Clone,
     {
-        let fleet = Self::campaign_fleet(hours, repeats);
+        let fleet = self.campaign_fleet(hours, repeats);
         if medium.list()?.is_empty() {
             let result = fleet.run_durable(spec, &make_config, medium)?;
             Ok((Self::aggregate(result), None))
@@ -100,13 +112,14 @@ impl Daemon {
         }
     }
 
-    fn campaign_fleet(hours: f64, repeats: u64) -> Fleet {
+    fn campaign_fleet(&self, hours: f64, repeats: u64) -> Fleet {
         Fleet::new(FleetConfig {
             shards: repeats.max(1) as usize,
             hours,
             sync_interval_hours: hours,
             sync: false,
             kill_after_rounds: None,
+            threads: self.threads,
             ..FleetConfig::default()
         })
     }

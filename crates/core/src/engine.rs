@@ -13,7 +13,9 @@ use crate::corpus::Corpus;
 use crate::crashes::CrashDb;
 use crate::descs::{build_difuze_table, build_syscall_table, ioctl_only_view};
 use crate::exec::Broker;
-use crate::feedback::{signals_from_execution, Signal, SignalSet, SyscallIdTable};
+use crate::feedback::{
+    signals_from_execution_into, Signal, SignalScratch, SignalSet, SyscallIdTable,
+};
 use crate::generate::{random_generate, relational_generate};
 use crate::minimize::minimize;
 use crate::probe::{add_hal_descs, probe_device, ProbeReport};
@@ -28,7 +30,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simdevice::faults::FaultPlan;
 use simdevice::{AdbLink, Device};
-use simkernel::coverage::CoverageMap;
+use simkernel::coverage::{Block, CoverageMap};
 
 /// Virtual µs per executor session (ADB shell + kcov setup + teardown).
 pub const EXEC_SESSION_US: u64 = 1_500_000;
@@ -61,6 +63,12 @@ pub struct FuzzingEngine {
     /// Device-wide kernel coverage across all boots — the evaluation
     /// metric (Figs. 4/5, Table III), measured out-of-band from feedback.
     observed_kernel: CoverageMap,
+    /// The same blocks in first-observation order: an append-only log so
+    /// fleet shards can publish only the suffix since their last sync.
+    cov_log: Vec<Block>,
+    /// Reusable buffers for the per-execution signal conversion.
+    sig_scratch: SignalScratch,
+    sig_buf: Vec<Signal>,
     probe_report: Option<ProbeReport>,
     driver_regions: Vec<(String, u64)>,
     last_sample_us: u64,
@@ -126,6 +134,9 @@ impl FuzzingEngine {
             executions: 0,
             series: Series::new(),
             observed_kernel: CoverageMap::new(),
+            cov_log: Vec::new(),
+            sig_scratch: SignalScratch::default(),
+            sig_buf: Vec::new(),
             probe_report,
             driver_regions,
             last_sample_us: 0,
@@ -222,26 +233,29 @@ impl FuzzingEngine {
             self.sample_if_due();
             return;
         };
-        self.observed_kernel.extend(outcome.observed_new_blocks.iter().copied());
+        for &b in &outcome.observed_new_blocks {
+            if self.observed_kernel.insert(b) {
+                self.cov_log.push(b);
+            }
+        }
 
-        let sigs = signals_from_execution(
+        let mut sigs = std::mem::take(&mut self.sig_buf);
+        signals_from_execution_into(
             &outcome.kcov,
             &outcome.hal_events,
             &mut self.id_table,
             self.config.hal_coverage,
+            &mut self.sig_scratch,
+            &mut sigs,
         );
 
         let had_bug = !outcome.bugs.is_empty();
         if self.config.feedback {
-            let new_count = self.signals.count_new(&sigs);
+            let (new_count, kernel_new) = self.signals.count_new_split(&sigs);
             // Crashing executions are reported, not seeded: their
             // coverage is tainted and mutating them would re-trigger the
             // same bug (and pay the reboot) forever.
             if new_count > 0 && !had_bug {
-                let kernel_before = self.signals.kernel_blocks();
-                let mut probe = self.signals.clone();
-                probe.merge(&sigs);
-                let kernel_new = probe.kernel_blocks() - kernel_before;
                 if kernel_new > 0 {
                     // New kernel coverage: minimize, learn relations from
                     // the essential sequence, and seed the corpus.
@@ -287,6 +301,7 @@ impl FuzzingEngine {
             // let it influence generation.
             self.signals.merge(&sigs);
         }
+        self.sig_buf = sigs;
 
         for report in &outcome.bugs {
             if self.crash_db.record(report, self.clock_us) {
@@ -311,16 +326,18 @@ impl FuzzingEngine {
         let target: Vec<Signal> = sigs
             .iter()
             .copied()
-            .filter(|s| self.signals.count_new(&[*s]) > 0)
+            .filter(|s| !self.signals.covers(&[*s]))
             .collect();
         let required = target.len().div_ceil(2);
         let device = &mut self.device;
         let broker = &mut self.broker;
         let table = &self.table;
         let id_table = &mut self.id_table;
+        let sig_scratch = &mut self.sig_scratch;
         let hal_cov = self.config.hal_coverage;
         let mut replay_cost = 0u64;
         let mut rebooted = false;
+        let mut cand_sigs: Vec<Signal> = Vec::new();
         let (minimized, checks) = minimize(prog, |candidate| {
             let outcome = broker.execute(device, table, candidate);
             replay_cost += EXEC_SESSION_US / 2 + outcome.calls_executed as u64 * PER_CALL_US;
@@ -328,8 +345,14 @@ impl FuzzingEngine {
                 device.reboot();
                 rebooted = true;
             }
-            let cand_sigs =
-                signals_from_execution(&outcome.kcov, &outcome.hal_events, id_table, hal_cov);
+            signals_from_execution_into(
+                &outcome.kcov,
+                &outcome.hal_events,
+                id_table,
+                hal_cov,
+                sig_scratch,
+                &mut cand_sigs,
+            );
             let hits = target
                 .iter()
                 .filter(|t| cand_sigs.contains(t))
@@ -433,6 +456,19 @@ impl FuzzingEngine {
         blocks
     }
 
+    /// Length of the first-observation block log — a monotonic cursor for
+    /// [`observed_blocks_since`](Self::observed_blocks_since).
+    pub fn observed_blocks_len(&self) -> usize {
+        self.cov_log.len()
+    }
+
+    /// The blocks first observed at log position `since` or later, in
+    /// observation order. Fleet shards publish this suffix each sync
+    /// instead of re-sending the whole coverage map.
+    pub fn observed_blocks_since(&self, since: usize) -> &[Block] {
+        &self.cov_log[since.min(self.cov_log.len())..]
+    }
+
     /// The seed corpus.
     pub fn corpus(&self) -> &Corpus {
         &self.corpus
@@ -446,6 +482,20 @@ impl FuzzingEngine {
     /// Serializes the seed corpus (the daemon's persistent data, §IV-A).
     pub fn export_corpus(&self) -> String {
         self.corpus.export(&self.table)
+    }
+
+    /// Serializes only the seeds admitted after sequence `min_seq` — the
+    /// shard-side half of batched hub sync. `corpus_seq` is the matching
+    /// cursor source.
+    ///
+    /// [`corpus_seq`]: Self::corpus_seq
+    pub fn export_corpus_since(&self, min_seq: u64) -> String {
+        self.corpus.export_since(&self.table, min_seq)
+    }
+
+    /// The corpus admission-sequence tip (monotonic across evictions).
+    pub fn corpus_seq(&self) -> u64 {
+        self.corpus.admitted()
     }
 
     /// Restores seeds from a previous session's [`export_corpus`] dump;

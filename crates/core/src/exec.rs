@@ -7,7 +7,7 @@ use fuzzlang::prog::{ArgValue, Prog};
 use fuzzlang::types::TypeDesc;
 use simbinder::{Parcel, Transaction, TransactionError};
 use simdevice::Device;
-use simkernel::coverage::Block;
+use simkernel::coverage::{Block, CoverageMap};
 use simkernel::fd::Fd;
 use simkernel::report::BugReport;
 use simkernel::trace::{Origin, SyscallEvent, TraceFilter};
@@ -56,6 +56,12 @@ pub struct ExecOutcome {
 #[derive(Debug, Default)]
 pub struct Broker {
     executions: u64,
+    /// Every block already attributed to an earlier execution (or present
+    /// before the first one). Persisting this across executions lets each
+    /// run compute its device-wide delta with one pass over the kernel's
+    /// map instead of snapshotting the whole map per execution.
+    seen_global: CoverageMap,
+    seen_primed: bool,
 }
 
 impl Broker {
@@ -78,9 +84,13 @@ impl Broker {
     /// trace session for the directional feedback of §IV-D.
     pub fn execute(&mut self, device: &mut Device, table: &DescTable, prog: &Prog) -> ExecOutcome {
         self.executions += 1;
+        if !self.seen_primed {
+            // Coverage present before the first execution (boot, probing)
+            // is prior art, not this run's delta.
+            self.seen_global.extend(device.kernel().global_coverage().iter().copied());
+            self.seen_primed = true;
+        }
         let pid = device.kernel().spawn_process(Origin::Native);
-        let cov_before: std::collections::HashSet<Block> =
-            device.kernel().global_coverage().iter().copied().collect();
         let _ = device.kernel().kcov_enable(pid);
         let trace = device.kernel().attach_trace(TraceFilter::HalOnly);
 
@@ -111,9 +121,10 @@ impl Broker {
             .kernel()
             .global_coverage()
             .iter()
-            .filter(|b| !cov_before.contains(b))
+            .filter(|b| !self.seen_global.contains(**b))
             .copied()
             .collect();
+        self.seen_global.extend(observed_new_blocks.iter().copied());
         let bugs = device.take_bug_reports();
         let reply_bytes = kcov.len() * 8 + hal_events.len() * 16;
         ExecOutcome {

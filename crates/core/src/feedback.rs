@@ -9,12 +9,20 @@
 //!   at initialization). Order is captured by hashing consecutive ID
 //!   pairs, so the same set of calls in a different order yields different
 //!   signals — the property plain kcov lacks.
+//!
+//! [`SignalSet`] stores the accumulated space as a two-level fixed-page
+//! bitmap rather than a `HashSet`: membership tests on the per-execution
+//! hot path are a shift and a mask instead of a hash probe, and
+//! [`SignalSet::count_new`] no longer allocates. The HAL tag bit selects
+//! one of two independent partitions so the kernel-block count (the
+//! paper's comparison metric) falls out of the partition length.
 
 use simkernel::coverage::{mix64, Block};
 use simkernel::syscall::SyscallNr;
 use simkernel::trace::SyscallEvent;
 use simkernel::Kernel;
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 /// One feedback signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,12 +100,122 @@ impl SyscallIdTable {
     }
 }
 
+/// Low bits of a signal selecting its slot within a page.
+const PAGE_SHIFT: u32 = 12;
+/// Slots per page (`1 << PAGE_SHIFT`).
+const PAGE_SLOTS: usize = 1 << PAGE_SHIFT;
+/// Pages per partition, selected by the bits above the slot bits. Kernel
+/// blocks are a driver-region base plus a sub-16-bit offset
+/// ([`simkernel::coverage::DRIVER_REGION`]), so slot + page bits cover the
+/// whole offset space and distinct drivers land on distinct page groups;
+/// HAL pair-hashes are `mix64`-uniform over all 64 page indices.
+const PAGE_COUNT: usize = 64;
+/// `u64` words in one page's presence bitmap.
+const PAGE_WORDS: usize = PAGE_SLOTS / 64;
+
+/// One lazily allocated page: a presence bit per slot plus the full
+/// signal value that claimed the slot, so two signals colliding on the
+/// same slot are detected instead of conflated.
+#[derive(Clone)]
+struct SignalPage {
+    bits: [u64; PAGE_WORDS],
+    owners: [u64; PAGE_SLOTS],
+}
+
+impl SignalPage {
+    fn empty() -> Box<Self> {
+        Box::new(Self { bits: [0; PAGE_WORDS], owners: [0; PAGE_SLOTS] })
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.bits.iter().enumerate().flat_map(move |(w, &word)| {
+            (0..64).filter(move |b| word >> b & 1 == 1).map(move |b| self.owners[w * 64 + b])
+        })
+    }
+}
+
+/// One half of a [`SignalSet`]: all signals sharing a HAL-tag value.
+/// Slot collisions (same low bits, different value) spill into a compact
+/// overflow set so `len` stays exact.
+#[derive(Clone)]
+struct SignalPartition {
+    pages: [Option<Box<SignalPage>>; PAGE_COUNT],
+    overflow: HashSet<u64>,
+    len: usize,
+}
+
+impl Default for SignalPartition {
+    fn default() -> Self {
+        Self { pages: std::array::from_fn(|_| None), overflow: HashSet::new(), len: 0 }
+    }
+}
+
+impl fmt::Debug for SignalPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SignalPartition")
+            .field("len", &self.len)
+            .field("pages", &self.pages.iter().filter(|p| p.is_some()).count())
+            .field("overflow", &self.overflow.len())
+            .finish()
+    }
+}
+
+impl SignalPartition {
+    #[inline]
+    fn locate(value: u64) -> (usize, usize, u64) {
+        let slot = value as usize & (PAGE_SLOTS - 1);
+        let page = (value >> PAGE_SHIFT) as usize & (PAGE_COUNT - 1);
+        (page, slot, 1 << (slot % 64))
+    }
+
+    /// Inserts `value`, returning whether it was new.
+    fn insert(&mut self, value: u64) -> bool {
+        let (page_idx, slot, mask) = Self::locate(value);
+        let page = self.pages[page_idx].get_or_insert_with(SignalPage::empty);
+        let word = &mut page.bits[slot / 64];
+        if *word & mask == 0 {
+            *word |= mask;
+            page.owners[slot] = value;
+            self.len += 1;
+            true
+        } else if page.owners[slot] == value {
+            false
+        } else if self.overflow.insert(value) {
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn contains(&self, value: u64) -> bool {
+        let (page_idx, slot, mask) = Self::locate(value);
+        match &self.pages[page_idx] {
+            Some(page) if page.bits[slot / 64] & mask != 0 => {
+                page.owners[slot] == value || self.overflow.contains(&value)
+            }
+            _ => false,
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.pages
+            .iter()
+            .flatten()
+            .flat_map(|p| p.iter())
+            .chain(self.overflow.iter().copied())
+    }
+}
+
 /// An accumulating set of signals, partitioned so kernel coverage can be
 /// reported separately (the paper's comparison metric).
 #[derive(Debug, Clone, Default)]
 pub struct SignalSet {
-    signals: HashSet<Signal>,
-    kernel_blocks: usize,
+    kernel: SignalPartition,
+    hal: SignalPartition,
+    /// Reused by [`Self::count_new_split`] so the per-execution novelty
+    /// check allocates nothing in steady state.
+    scratch: Vec<u64>,
 }
 
 impl SignalSet {
@@ -106,15 +224,22 @@ impl SignalSet {
         Self::default()
     }
 
+    #[inline]
+    fn partition(&self, value: u64) -> &SignalPartition {
+        if value & HAL_TAG == 0 { &self.kernel } else { &self.hal }
+    }
+
+    #[inline]
+    fn partition_mut(&mut self, value: u64) -> &mut SignalPartition {
+        if value & HAL_TAG == 0 { &mut self.kernel } else { &mut self.hal }
+    }
+
     /// Merges `signals`, returning how many were new.
     pub fn merge(&mut self, signals: &[Signal]) -> usize {
         let mut new = 0;
         for &s in signals {
-            if self.signals.insert(s) {
+            if self.partition_mut(s.0).insert(s.0) {
                 new += 1;
-                if s.0 & HAL_TAG == 0 {
-                    self.kernel_blocks += 1;
-                }
             }
         }
         new
@@ -122,40 +247,60 @@ impl SignalSet {
 
     /// Whether every signal in `signals` is already covered.
     pub fn covers(&self, signals: &[Signal]) -> bool {
-        signals.iter().all(|s| self.signals.contains(s))
+        signals.iter().all(|s| self.partition(s.0).contains(s.0))
     }
 
     /// How many of `signals` would be new.
-    pub fn count_new(&self, signals: &[Signal]) -> usize {
-        signals
-            .iter()
-            .collect::<HashSet<_>>()
-            .into_iter()
-            .filter(|s| !self.signals.contains(s))
-            .count()
+    pub fn count_new(&mut self, signals: &[Signal]) -> usize {
+        self.count_new_split(signals).0
+    }
+
+    /// How many of `signals` would be new, as `(total, kernel_blocks)` —
+    /// the second component is what the old callers derived by merging
+    /// into a throwaway clone. Deduplicates within `signals` via an
+    /// internal scratch buffer instead of an allocated set.
+    pub fn count_new_split(&mut self, signals: &[Signal]) -> (usize, usize) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend(signals.iter().map(|s| s.0).filter(|&v| !self.partition(v).contains(v)));
+        scratch.sort_unstable();
+        scratch.dedup();
+        let total = scratch.len();
+        let kernel = scratch.iter().filter(|&&v| v & HAL_TAG == 0).count();
+        self.scratch = scratch;
+        (total, kernel)
     }
 
     /// Total distinct signals.
     pub fn len(&self) -> usize {
-        self.signals.len()
+        self.kernel.len + self.hal.len
     }
 
     /// Whether no signals are recorded.
     pub fn is_empty(&self) -> bool {
-        self.signals.is_empty()
+        self.len() == 0
     }
 
     /// Distinct *kernel* coverage blocks (the metric of Fig. 4/5 and
     /// Table III).
     pub fn kernel_blocks(&self) -> usize {
-        self.kernel_blocks
+        self.kernel.len
     }
 
     /// Iterates the raw values of kernel (non-HAL-tagged) signals — these
     /// are kcov block identifiers, usable for per-driver accounting.
     pub fn iter_kernel(&self) -> impl Iterator<Item = u64> + '_ {
-        self.signals.iter().filter(|s| s.0 & HAL_TAG == 0).map(|s| s.0)
+        self.kernel.iter()
     }
+}
+
+/// Reusable allocation pool for [`signals_from_execution_into`]: the
+/// per-service chain state and pair-occurrence counts, kept across
+/// executions so the hot path stops re-growing two hash maps per run.
+#[derive(Debug, Clone, Default)]
+pub struct SignalScratch {
+    prev_by_tag: HashMap<u32, u64>,
+    occurrence: HashMap<(u32, u64, u64), u64>,
 }
 
 /// Converts one execution's raw feedback into the uniform signal list:
@@ -167,25 +312,49 @@ pub fn signals_from_execution(
     table: &mut SyscallIdTable,
     hal_coverage: bool,
 ) -> Vec<Signal> {
-    let mut out: Vec<Signal> = kcov.iter().map(|b| Signal(b.0 & !HAL_TAG)).collect();
+    let mut out = Vec::new();
+    signals_from_execution_into(
+        kcov,
+        hal_events,
+        table,
+        hal_coverage,
+        &mut SignalScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+/// Buffer-reusing form of [`signals_from_execution`]: clears and fills
+/// `out`, borrowing hash-map capacity from `scratch`. The fuzzing engine
+/// owns one scratch + output pair and threads them through every
+/// execution.
+pub fn signals_from_execution_into(
+    kcov: &[Block],
+    hal_events: &[SyscallEvent],
+    table: &mut SyscallIdTable,
+    hal_coverage: bool,
+    scratch: &mut SignalScratch,
+    out: &mut Vec<Signal>,
+) {
+    out.clear();
+    out.extend(kcov.iter().map(|b| Signal(b.0 & !HAL_TAG)));
     if hal_coverage {
         // Chain specialized IDs *per HAL service*: a service's internal
         // syscall order is a function of its state machine, so new pairs
         // mean genuinely new HAL behaviour — whereas cross-service
         // interleaving is an artifact of payload order and would flood
         // the signal space with noise.
-        let mut prev_by_tag: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
-        let mut occurrence: std::collections::HashMap<(u32, u64, u64), u64> =
-            std::collections::HashMap::new();
+        scratch.prev_by_tag.clear();
+        scratch.occurrence.clear();
         for event in hal_events {
             let simkernel::trace::Origin::Hal(tag) = event.origin else { continue };
             let id = u64::from(table.id_of(event));
-            let prev = prev_by_tag.entry(tag).or_insert(0xFFFF_FFFF);
+            let prev = scratch.prev_by_tag.entry(tag).or_insert(0xFFFF_FFFF);
             // The n-th occurrence of a pair (capped) is its own signal, so
             // repetition ladders — e.g. one more buffer queued than ever
             // before — register as new HAL behaviour even when the kernel
             // blocks they touch are saturated.
-            let count = occurrence.entry((tag, *prev, id)).or_insert(0);
+            let count = scratch.occurrence.entry((tag, *prev, id)).or_insert(0);
             *count += 1;
             let pair = mix64(
                 (u64::from(tag) << 40)
@@ -197,7 +366,6 @@ pub fn signals_from_execution(
             *prev = id;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -277,5 +445,97 @@ mod tests {
         assert!(set.covers(&[Signal(1)]));
         assert!(!set.covers(&[Signal(1), Signal(3)]));
         assert_eq!(set.count_new(&[Signal(2), Signal(3), Signal(3)]), 1);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let mut t1 = SyscallIdTable::new();
+        let mut t2 = SyscallIdTable::new();
+        let events =
+            [ev(SyscallNr::Ioctl, 1), ev(SyscallNr::Ioctl, 2), ev(SyscallNr::Ioctl, 1)];
+        let kcov = [Block(0x10), Block(0x20)];
+        let plain = signals_from_execution(&kcov, &events, &mut t1, true);
+        let mut scratch = SignalScratch::default();
+        let mut out = vec![Signal(999)]; // must be cleared, not appended to
+        signals_from_execution_into(&kcov, &events, &mut t2, true, &mut scratch, &mut out);
+        assert_eq!(plain, out);
+        // Reuse with different input must not leak prior chain state.
+        let plain2 = signals_from_execution(&[], &events[..1], &mut t1, true);
+        signals_from_execution_into(&[], &events[..1], &mut t2, true, &mut scratch, &mut out);
+        assert_eq!(plain2, out);
+    }
+
+    #[test]
+    fn bitmap_handles_slot_collisions_exactly() {
+        // Two values with identical page+slot bits (low 18) but different
+        // high bits: the second must spill to overflow, keep the count
+        // exact, and both must remain individually queryable.
+        let a = Signal(0x0000_0000_0002_1234);
+        let b = Signal(0x0000_0001_0002_1234);
+        let mut set = SignalSet::new();
+        assert_eq!(set.merge(&[a]), 1);
+        assert!(set.covers(&[a]));
+        assert!(!set.covers(&[b]), "colliding value must not be conflated");
+        assert_eq!(set.count_new(&[b]), 1);
+        assert_eq!(set.merge(&[b, b]), 1);
+        assert!(set.covers(&[a, b]));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.kernel_blocks(), 2);
+        assert_eq!(set.merge(&[a, b]), 0);
+        let mut kernel: Vec<u64> = set.iter_kernel().collect();
+        kernel.sort_unstable();
+        assert_eq!(kernel, vec![a.0, b.0]);
+    }
+
+    #[test]
+    fn bitmap_partitions_by_hal_tag() {
+        // Same low 63 bits, differing only in the HAL tag: distinct
+        // signals living in distinct partitions, no overflow involved.
+        let k = Signal(0x42);
+        let h = Signal(0x42 | HAL_TAG);
+        let mut set = SignalSet::new();
+        assert_eq!(set.merge(&[k, h]), 2);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.kernel_blocks(), 1);
+        assert_eq!(set.iter_kernel().collect::<Vec<_>>(), vec![k.0]);
+        assert_eq!(set.count_new_split(&[k, h, Signal(0x43), Signal(0x43 | HAL_TAG)]), (2, 1));
+    }
+
+    #[test]
+    fn bitmap_matches_hashset_reference() {
+        // Differential check against a reference HashSet over a value mix
+        // engineered to exercise pages, slots, and collisions.
+        let values: Vec<u64> = (0..4_000u64)
+            .map(|i| match i % 4 {
+                0 => i * 7,                          // dense low kernel blocks
+                1 => (i << 18) | (i & 0xFFF),        // page-colliding highs
+                2 => mix64(i) | HAL_TAG,             // uniform HAL hashes
+                _ => (i & 0x3_FFFF) | (i << 40),     // slot-colliding highs
+            })
+            .collect();
+        let mut set = SignalSet::new();
+        let mut reference: HashSet<u64> = HashSet::new();
+        for chunk in values.chunks(97) {
+            let sigs: Vec<Signal> = chunk.iter().map(|&v| Signal(v)).collect();
+            let distinct_new: HashSet<u64> =
+                chunk.iter().copied().filter(|v| !reference.contains(v)).collect();
+            assert_eq!(set.count_new(&sigs), distinct_new.len());
+            assert_eq!(set.merge(&sigs), distinct_new.len());
+            reference.extend(chunk.iter().copied());
+            assert_eq!(set.len(), reference.len());
+            assert_eq!(
+                set.kernel_blocks(),
+                reference.iter().filter(|&&v| v & HAL_TAG == 0).count()
+            );
+        }
+        for &v in &values {
+            assert!(set.covers(&[Signal(v)]));
+        }
+        let mut via_iter: Vec<u64> = set.iter_kernel().collect();
+        via_iter.sort_unstable();
+        let mut expect: Vec<u64> =
+            reference.iter().copied().filter(|&v| v & HAL_TAG == 0).collect();
+        expect.sort_unstable();
+        assert_eq!(via_iter, expect);
     }
 }

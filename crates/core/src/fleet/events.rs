@@ -50,6 +50,8 @@ pub enum FleetEvent {
         hub_edges: usize,
         /// Fleet-wide distinct kernel blocks.
         union_coverage: usize,
+        /// Worker threads that ran the round's shard slices.
+        workers: usize,
     },
     /// The orchestrator replaced a shard's lost device with a fresh
     /// engine restored from hub state.
@@ -169,6 +171,8 @@ pub struct FleetStats {
     pub hub_edges: usize,
     /// Final fleet-wide distinct kernel blocks.
     pub union_coverage: usize,
+    /// Worker threads the orchestrator ran shard slices on.
+    pub workers: usize,
     /// Fault/recovery counters summed across shards (this run).
     pub fault_totals: FaultCounters,
     /// Lint-gate counters summed across shards (this run).
@@ -227,6 +231,7 @@ impl FleetStats {
                     hub_seeds,
                     hub_edges,
                     union_coverage,
+                    workers,
                 } => {
                     stats.sync_rounds = stats.sync_rounds.max(round + 1);
                     stats.seeds_published += published;
@@ -234,6 +239,7 @@ impl FleetStats {
                     stats.hub_seeds = hub_seeds;
                     stats.hub_edges = hub_edges;
                     stats.union_coverage = union_coverage;
+                    stats.workers = workers;
                 }
                 FleetEvent::ShardRestarted { shard, restarts, .. } => {
                     if let Some(s) = stats.shards.get_mut(shard) {
@@ -311,8 +317,9 @@ impl FleetStats {
             &rows,
         );
         out.push_str(&format!(
-            "sync rounds: {}  hub seeds: {} live / {} published  pulls: {}  hub edges: {}  union coverage: {}\n",
+            "sync rounds: {}  workers: {}  hub seeds: {} live / {} published  pulls: {}  hub edges: {}  union coverage: {}\n",
             self.sync_rounds,
+            self.workers,
             self.hub_seeds,
             self.seeds_published,
             self.seeds_pulled,
@@ -370,6 +377,7 @@ mod tests {
             hub_seeds: 6,
             hub_edges: 9,
             union_coverage: 120,
+            workers: 2,
         });
         bus.emit(FleetEvent::ShardRestarted { shard: 1, round: 0, restarts: 1 });
         bus.emit(FleetEvent::ShardQuarantined { shard: 1, round: 0, until_round: 2 });
@@ -396,6 +404,7 @@ mod tests {
         assert_eq!(stats.sync_rounds, 1);
         assert_eq!(stats.seeds_published, 6);
         assert_eq!(stats.union_coverage, 120);
+        assert_eq!(stats.workers, 2);
         assert_eq!(stats.fault_totals.injected, 7);
         assert_eq!(stats.shards[1].lint.repaired, 3);
         assert_eq!(stats.lint_totals.rejected, 2);

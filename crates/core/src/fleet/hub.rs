@@ -175,6 +175,23 @@ impl CorpusHub {
         self.live.iter().filter(move |s| s.seq >= cursor)
     }
 
+    /// Applies one shard's batched round update ([`ShardUpdate`]): corpus
+    /// delta, relation graph (when the shard's changed), and new coverage
+    /// blocks, in one call. The orchestrator applies updates in shard-id
+    /// order, which is what keeps a parallel fleet deterministic.
+    ///
+    /// Returns the seeds newly accepted from the delta.
+    ///
+    /// [`ShardUpdate`]: super::shard::ShardUpdate
+    pub fn apply_update(&mut self, update: &super::shard::ShardUpdate) -> usize {
+        let accepted = self.publish_corpus(update.shard, &update.corpus_delta);
+        if let Some(graph) = &update.relations {
+            self.publish_relations(graph);
+        }
+        self.publish_coverage(update.new_blocks.iter().copied());
+        accepted
+    }
+
     /// Merges a shard's relation graph into the fleet graph (Eq. 1
     /// normalization preserved by [`RelationGraph::merge_from`]).
     pub fn publish_relations(&mut self, peer: &RelationGraph) {

@@ -26,12 +26,24 @@
 //! losses) is quarantined for an exponentially growing window of rounds
 //! before it may rejoin.
 //!
-//! Determinism: worker threads only ever touch their own shard, and all
-//! hub traffic happens on the orchestrator thread in shard-index order.
-//! Restarts and quarantines also run on the orchestrator thread in shard
-//! order, and replacement engines are seeded from `(shard, restarts)`, so
-//! a fixed `(seed, shard count, fault profile)` produces identical
-//! results run-to-run, threads notwithstanding.
+//! Execution is parallel: each sync round, the shards are split into
+//! [`FleetConfig::threads`] contiguous chunks and every chunk runs on a
+//! `std::thread::scope` worker — the round boundary (the scope join) is
+//! the only barrier. At the end of its slice each shard assembles a
+//! batched [`ShardUpdate`] *on the worker thread* (corpus delta by
+//! admission sequence, newly observed coverage blocks, and a relation
+//! graph only when its revision moved), so the orchestrator's sequential
+//! section is reduced to applying pre-built messages.
+//!
+//! Determinism: worker threads only ever touch their own shards, and all
+//! hub traffic — applying the batched updates, crash sync, pulls, persist
+//! sink calls — happens on the orchestrator thread in shard-index order
+//! regardless of which worker finished first. Restarts and quarantines
+//! also run on the orchestrator thread in shard order, and replacement
+//! engines are seeded from `(shard, restarts)`, so a fixed `(seed, shard
+//! count, fault profile)` produces identical results run-to-run and for
+//! every `threads` value: `threads: 1` runs the shards sequentially in
+//! ascending order and any other worker count is bit-identical to it.
 
 pub mod events;
 pub mod hub;
@@ -42,7 +54,7 @@ pub mod snapshot;
 pub use events::{EventBus, FleetEvent, FleetStats, ShardStats};
 pub use hub::{CorpusHub, HubSeed, HUB_ORIGIN};
 pub use persist::{FleetPersist, FleetStore, DEFAULT_KEEP};
-pub use shard::Shard;
+pub use shard::{Shard, ShardUpdate};
 pub use snapshot::{FleetSnapshot, SNAPSHOT_HEADER};
 
 use crate::config::FuzzerConfig;
@@ -84,6 +96,13 @@ pub struct FleetConfig {
     /// [`FleetStats::snapshots_skipped`]. The final round and a
     /// `kill_after_rounds` kill always checkpoint.
     pub checkpoint_interval_rounds: usize,
+    /// Worker threads per round: the shards are split into this many
+    /// contiguous chunks, each run by one scoped thread. `0` (the
+    /// default) means one worker per shard; `1` runs the shards
+    /// sequentially in ascending order; any value is clamped to the shard
+    /// count. Every setting produces bit-identical campaign results —
+    /// the knob trades wall-clock speed only.
+    pub threads: usize,
 }
 
 impl Default for FleetConfig {
@@ -97,6 +116,7 @@ impl Default for FleetConfig {
             kill_after_rounds: None,
             flap_limit: 2,
             checkpoint_interval_rounds: 1,
+            threads: 0,
         }
     }
 }
@@ -284,19 +304,34 @@ impl Fleet {
         let clock_offset_us = resume.as_ref().map_or(0, |s| s.clock_us.min(total_us));
 
         let (bus, rx) = EventBus::new();
+        let workers = if cfg.threads == 0 {
+            cfg.shards
+        } else {
+            cfg.threads.clamp(1, cfg.shards)
+        };
+        let chunk_len = cfg.shards.div_ceil(workers);
 
-        // Boot the engines in parallel (probing is the expensive part),
-        // then wrap them into shards on the orchestrator thread.
+        // Boot the engines on the worker pool (probing is the expensive
+        // part), then wrap them into shards on the orchestrator thread.
+        // Chunks are contiguous and joined in order, so the engine list
+        // comes back in shard order for any worker count.
+        let shard_ids: Vec<usize> = (0..cfg.shards).collect();
         let engines: Vec<FuzzingEngine> = thread::scope(|scope| {
-            let handles: Vec<_> = (0..cfg.shards)
-                .map(|i| {
+            let handles: Vec<_> = shard_ids
+                .chunks(chunk_len)
+                .map(|ids| {
                     let spec = spec.clone();
                     scope.spawn(move || {
-                        FuzzingEngine::new(spec.boot(), make_config(i as u64 + 1))
+                        ids.iter()
+                            .map(|&i| FuzzingEngine::new(spec.clone().boot(), make_config(i as u64 + 1)))
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("shard boot")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard boot"))
+                .collect()
         });
         let mut shards: Vec<Shard> = engines
             .into_iter()
@@ -361,24 +396,41 @@ impl Fleet {
             let global_target = (interval_us * (round as u64 + 1)).min(total_us);
             let slice_us = global_target.saturating_sub(clock_us);
 
-            // Fuzz the slice: each worker thread owns exactly one shard.
-            // Quarantined shards sit the slice out; their clock offset
-            // absorbs it so they rejoin the fleet clock without a giant
-            // catch-up slice.
-            thread::scope(|scope| {
-                for shard in &mut shards {
-                    if shard.is_quarantined(round) {
-                        shard.skip_slice(slice_us);
-                    } else {
-                        scope.spawn(move || shard.run_slice(global_target, round));
-                    }
-                }
+            // Fuzz the slice: every worker owns a contiguous chunk of
+            // shards and runs them back to back, ending each with its
+            // batched hub update. Quarantined shards sit the slice out
+            // (their clock offset absorbs it so they rejoin the fleet
+            // clock without a giant catch-up slice) but still report an
+            // update, which is empty for an idle shard. Chunks join in
+            // order, so the updates come back in shard-id order.
+            let updates: Vec<ShardUpdate> = thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .chunks_mut(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut updates = Vec::with_capacity(chunk.len());
+                            for shard in chunk {
+                                if shard.is_quarantined(round) {
+                                    shard.skip_slice(slice_us);
+                                } else {
+                                    shard.run_slice(global_target, round);
+                                }
+                                updates.push(shard.prepare_update());
+                            }
+                            updates
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker"))
+                    .collect()
             });
 
             // Sync round, sequential in shard order for determinism.
             let mut published = 0;
-            for shard in &mut shards {
-                published += shard.publish(&mut hub);
+            for update in &updates {
+                published += hub.apply_update(update);
             }
             hub.sync_crashes(shards.iter().map(|s| s.engine().crash_db()));
             let mut pulled = 0;
@@ -395,6 +447,7 @@ impl Fleet {
                 hub_seeds: hub.len(),
                 hub_edges: hub.relations().map_or(0, RelationGraph::edge_count),
                 union_coverage: hub.union_coverage(),
+                workers,
             });
 
             // Self-healing: a shard whose device is permanently lost
@@ -552,6 +605,7 @@ mod tests {
             kill_after_rounds,
             flap_limit: 2,
             checkpoint_interval_rounds: 1,
+            threads: 0,
         })
     }
 
@@ -651,6 +705,7 @@ mod tests {
             kill_after_rounds: None,
             flap_limit: 1,
             checkpoint_interval_rounds: 1,
+            threads: 0,
         });
         let result = fleet.run(&catalog::device_a1(), mk);
         assert!(result.finished, "a fleet of vanishing devices still completes");

@@ -10,8 +10,29 @@
 use super::events::{EventBus, FleetEvent};
 use super::hub::CorpusHub;
 use crate::engine::FuzzingEngine;
+use crate::relation::RelationGraph;
 use crate::supervisor::FaultCounters;
 use droidfuzz_analysis::LintCounters;
+use simkernel::coverage::Block;
+
+/// One shard's batched round traffic: everything the shard wants the hub
+/// to see, assembled on the worker thread at the end of a slice
+/// ([`Shard::prepare_update`]) and applied on the orchestrator thread in
+/// shard-id order ([`CorpusHub::apply_update`]). Deltas, not dumps: only
+/// seeds admitted, blocks first observed, and (when dirty) the relation
+/// graph since the shard's last update.
+#[derive(Debug)]
+pub struct ShardUpdate {
+    /// Publishing shard.
+    pub shard: usize,
+    /// Seeds admitted since the last update, in corpus interchange text.
+    pub corpus_delta: String,
+    /// Kernel blocks first observed since the last update.
+    pub new_blocks: Vec<Block>,
+    /// The shard's relation graph, cloned only when its revision moved
+    /// since the last update.
+    pub relations: Option<RelationGraph>,
+}
 
 /// A fleet shard.
 #[derive(Debug)]
@@ -40,6 +61,12 @@ pub struct Shard {
     quarantines: u32,
     /// First round the shard may run again after a quarantine.
     quarantined_until: usize,
+    /// Corpus admission sequence already covered by a published update.
+    corpus_pub_seq: u64,
+    /// Coverage-log length already covered by a published update.
+    blocks_pub: usize,
+    /// Relation-graph revision already covered by a published update.
+    relations_pub_rev: u64,
 }
 
 impl Shard {
@@ -58,6 +85,9 @@ impl Shard {
             consecutive_losses: 0,
             quarantines: 0,
             quarantined_until: 0,
+            corpus_pub_seq: 0,
+            blocks_pub: 0,
+            relations_pub_rev: 0,
         }
     }
 
@@ -72,6 +102,7 @@ impl Shard {
         if let Some(graph) = hub.relations() {
             self.engine.merge_relations(graph);
         }
+        self.mark_published();
         self.bus.emit(FleetEvent::ShardStarted { shard: self.id, restored_seeds: accepted });
         accepted
     }
@@ -106,6 +137,7 @@ impl Shard {
         if let Some(graph) = hub.relations() {
             self.engine.merge_relations(graph);
         }
+        self.mark_published();
         self.bus.emit(FleetEvent::ShardStarted { shard: self.id, restored_seeds: accepted });
         accepted
     }
@@ -129,6 +161,9 @@ impl Shard {
         self.retired_lint.absorb(&self.engine.lint_counters());
         self.engine = engine;
         self.cursor = 0;
+        self.corpus_pub_seq = 0;
+        self.blocks_pub = 0;
+        self.relations_pub_rev = 0;
         self.clock_offset_us = clock_offset_us;
         self.restarts += 1;
         self.consecutive_losses += 1;
@@ -197,7 +232,37 @@ impl Shard {
         let accepted = hub.publish_corpus(self.id, &self.engine.export_corpus());
         hub.publish_relations(self.engine.relation_graph());
         hub.publish_coverage(self.engine.observed_blocks());
+        self.mark_published();
         accepted
+    }
+
+    /// Assembles this shard's batched hub traffic since the last update
+    /// (or full [`publish`](Self::publish)): the corpus delta by admission
+    /// sequence, the newly observed kernel blocks, and — only when the
+    /// graph's revision moved — a relation-graph clone. Runs on the worker
+    /// thread at the end of a slice, so the orchestrator's sequential sync
+    /// section only applies pre-built messages.
+    pub fn prepare_update(&mut self) -> ShardUpdate {
+        let corpus_delta = self.engine.export_corpus_since(self.corpus_pub_seq);
+        self.corpus_pub_seq = self.engine.corpus_seq();
+        let new_blocks = self.engine.observed_blocks_since(self.blocks_pub).to_vec();
+        self.blocks_pub = self.engine.observed_blocks_len();
+        let rev = self.engine.relation_graph().revision();
+        let relations = if rev != self.relations_pub_rev {
+            self.relations_pub_rev = rev;
+            Some(self.engine.relation_graph().clone())
+        } else {
+            None
+        };
+        ShardUpdate { shard: self.id, corpus_delta, new_blocks, relations }
+    }
+
+    /// Fast-forwards the update cursors to the engine's current state —
+    /// after a full publish or a hub import, nothing current is pending.
+    fn mark_published(&mut self) {
+        self.corpus_pub_seq = self.engine.corpus_seq();
+        self.blocks_pub = self.engine.observed_blocks_len();
+        self.relations_pub_rev = self.engine.relation_graph().revision();
     }
 
     /// Pulls peers' seeds published since the last pull and merges the
@@ -212,6 +277,9 @@ impl Shard {
         if let Some(graph) = hub.relations() {
             self.engine.merge_relations(graph);
         }
+        // Everything just imported came *from* the hub; pushing it back
+        // next round would be pure dedup traffic.
+        self.mark_published();
         accepted
     }
 

@@ -25,6 +25,9 @@ pub struct RelationGraph {
     out: BTreeMap<usize, BTreeMap<usize, f64>>,
     edge_count: usize,
     learn_events: u64,
+    /// Bumped on every mutation: fleet shards compare it against their
+    /// last-published value to skip cloning an unchanged graph at sync.
+    revision: u64,
 }
 
 impl RelationGraph {
@@ -32,7 +35,7 @@ impl RelationGraph {
     /// their description weights, and `E = ∅`.
     pub fn new(table: &DescTable) -> Self {
         let vertex_weight = table.iter().map(|(_, d)| d.weight.max(1e-6)).collect();
-        Self { vertex_weight, out: BTreeMap::new(), edge_count: 0, learn_events: 0 }
+        Self { vertex_weight, out: BTreeMap::new(), edge_count: 0, learn_events: 0, revision: 0 }
     }
 
     /// Number of vertices.
@@ -50,6 +53,12 @@ impl RelationGraph {
         self.learn_events
     }
 
+    /// Mutation counter: changes iff the graph may have changed. Cheap
+    /// dirtiness check for batched fleet sync; not part of any snapshot.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
     /// Current weight of edge `a → b`, if present.
     pub fn edge_weight(&self, a: DescId, b: DescId) -> Option<f64> {
         self.out.get(&a.0).and_then(|m| m.get(&b.0)).copied()
@@ -63,6 +72,7 @@ impl RelationGraph {
             return;
         }
         self.learn_events += 1;
+        self.revision += 1;
         // Halve all other in-edges of b and sum their (halved) weights.
         let mut sum_others = 0.0;
         for (&from, targets) in &mut self.out {
@@ -85,6 +95,7 @@ impl RelationGraph {
     /// fall below a floor — the periodic diversity reduction of §IV-C.
     pub fn decay(&mut self, factor: f64) {
         const FLOOR: f64 = 1e-4;
+        self.revision += 1;
         for targets in self.out.values_mut() {
             targets.retain(|_, w| {
                 *w *= factor;
@@ -224,6 +235,7 @@ impl RelationGraph {
             }
         }
         self.learn_events = self.learn_events.max(learns);
+        self.revision += 1;
         for (a, b, w) in staged {
             if self.out.entry(a.0).or_default().insert(b.0, w).is_none() {
                 self.edge_count += 1;
@@ -243,6 +255,7 @@ impl RelationGraph {
     /// Both graphs must be built over the same description table (fleet
     /// shards share one device model and config).
     pub fn merge_from(&mut self, peer: &RelationGraph) {
+        self.revision += 1;
         assert_eq!(
             self.vertex_count(),
             peer.vertex_count(),

@@ -7,6 +7,7 @@ use droidfuzz_repro::droidfuzz::daemon::Daemon;
 use droidfuzz_repro::droidfuzz::fleet::{Fleet, FleetConfig, FleetResult, SNAPSHOT_HEADER};
 use droidfuzz_repro::simdevice::catalog;
 use droidfuzz_repro::simdevice::faults::FaultProfile;
+use proptest::prelude::*;
 
 fn quick_config(sync: bool, kill_after_rounds: Option<usize>) -> FleetConfig {
     FleetConfig {
@@ -18,6 +19,7 @@ fn quick_config(sync: bool, kill_after_rounds: Option<usize>) -> FleetConfig {
         kill_after_rounds,
         flap_limit: 2,
         checkpoint_interval_rounds: 1,
+        threads: 0,
     }
 }
 
@@ -108,6 +110,68 @@ fn hostile_fleet_survives_and_replays_identically() {
     }
 }
 
+/// A parallel run must be *bit-identical* to the sequential one: the
+/// worker pool only changes which OS thread executes a shard's slice,
+/// never the order hub state is touched in. `threads: 1` is the
+/// sequential reference; every other worker count must reproduce its
+/// snapshot, crash sets, and execution totals exactly.
+#[test]
+fn parallel_fleet_matches_sequential_bit_for_bit() {
+    let spec = catalog::device_a1();
+    let config = |threads| FleetConfig { shards: 4, threads, ..quick_config(true, None) };
+    let sequential = Fleet::new(config(1)).run(&spec, FuzzerConfig::droidfuzz);
+    assert!(sequential.finished);
+    for threads in [2, 3, 4, 8] {
+        let parallel = Fleet::new(config(threads)).run(&spec, FuzzerConfig::droidfuzz);
+        assert_eq!(
+            fingerprint(&sequential),
+            fingerprint(&parallel),
+            "threads={threads} diverged from the sequential run"
+        );
+        assert_eq!(sequential.executions, parallel.executions, "threads={threads}");
+        assert_eq!(
+            sequential.snapshot, parallel.snapshot,
+            "threads={threads} snapshot not byte-identical"
+        );
+    }
+}
+
+/// Parallel determinism also holds under fault injection: restarts and
+/// quarantines are orchestrator-side decisions made in shard order, so a
+/// hostile campaign replays identically at any worker count.
+#[test]
+fn parallel_hostile_fleet_matches_sequential() {
+    let spec = catalog::device_e();
+    let mk = |seed| FuzzerConfig::droidfuzz(seed).with_fault_profile(FaultProfile::Hostile);
+    let config = |threads| FleetConfig { shards: 3, threads, ..quick_config(true, None) };
+    let sequential = Fleet::new(config(1)).run(&spec, mk);
+    let parallel = Fleet::new(config(3)).run(&spec, mk);
+    assert!(sequential.fault_totals.injected > 0, "hostile profile actually injects");
+    assert_eq!(fingerprint(&sequential), fingerprint(&parallel));
+}
+
+proptest! {
+    /// Sequential/parallel equivalence over random seeds and worker
+    /// counts: for any base seed and any `threads in 2..=8`, the final
+    /// snapshot and crash sets match the `threads: 1` run byte for byte.
+    #[test]
+    fn any_worker_count_matches_sequential(seed in 0u64..4096, threads in 2u64..9) {
+        let spec = catalog::device_a1();
+        let config = |threads| FleetConfig {
+            shards: 3,
+            hours: 0.06,
+            sync_interval_hours: 0.03,
+            threads,
+            ..quick_config(true, None)
+        };
+        let mk = move |lane: u64| FuzzerConfig::droidfuzz(lane.wrapping_add(seed));
+        let sequential = Fleet::new(config(1)).run(&spec, mk);
+        let parallel = Fleet::new(config(threads as usize)).run(&spec, mk);
+        prop_assert_eq!(fingerprint(&sequential), fingerprint(&parallel));
+        prop_assert_eq!(sequential.executions, parallel.executions);
+    }
+}
+
 /// The daemon's repeated-campaign entry point is the unsynced single-slice
 /// special case of the fleet path and keeps its aggregate shape.
 #[test]
@@ -120,4 +184,20 @@ fn daemon_campaign_rides_the_fleet_path() {
     assert!(result.executions > 0);
     assert!(!result.mean_series.is_empty());
     assert_eq!(result.fault_totals.total(), 0, "reliable by default");
+}
+
+/// The daemon's thread cap is plumbed through to the fleet and keeps the
+/// campaign results bit-identical.
+#[test]
+fn daemon_thread_cap_does_not_change_results() {
+    let spec = catalog::device_e();
+    let wide = Daemon::new().run_campaign(&spec, FuzzerConfig::droidfuzz, 0.05, 3);
+    let narrow =
+        Daemon::new().with_threads(1).run_campaign(&spec, FuzzerConfig::droidfuzz, 0.05, 3);
+    assert_eq!(wide.final_coverage, narrow.final_coverage);
+    assert_eq!(wide.executions, narrow.executions);
+    assert_eq!(
+        wide.crashes.iter().map(|c| &c.title).collect::<Vec<_>>(),
+        narrow.crashes.iter().map(|c| &c.title).collect::<Vec<_>>()
+    );
 }

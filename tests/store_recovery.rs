@@ -34,6 +34,7 @@ fn fleet_config(kill_after_rounds: Option<usize>) -> FleetConfig {
         kill_after_rounds,
         flap_limit: 2,
         checkpoint_interval_rounds: 1,
+        threads: 0,
     }
 }
 
@@ -222,6 +223,59 @@ fn killed_campaign_resumes_losslessly_from_the_filesystem() {
     let reference = Fleet::new(fleet_config(None)).run(&spec, FuzzerConfig::droidfuzz);
     assert_eq!(reference.rounds_completed, resumed.rounds_completed);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill/resume under parallelism: a durable campaign killed mid-run on a
+/// multi-worker fleet leaves byte-identical store state to the
+/// single-worker run, and resuming with a *different* worker count picks
+/// up from it to the same final state — durability and the worker pool
+/// compose without either observing the other.
+#[test]
+fn parallel_kill_resume_matches_sequential_durable_run() {
+    let spec = catalog::device_e();
+    let config = |threads: usize, kill| FleetConfig { threads, ..fleet_config(kill) };
+
+    // Phase 1: the same campaign killed at round 2, once sequentially and
+    // once on 4 workers, onto separate media. The media must end byte-
+    // identical: same snapshot generations, same journal records.
+    let medium_seq = SimMedium::new();
+    let medium_par = SimMedium::new();
+    let killed_seq = Fleet::new(config(1, Some(2)))
+        .run_durable(&spec, FuzzerConfig::droidfuzz, medium_seq.clone())
+        .unwrap();
+    let killed_par = Fleet::new(config(4, Some(2)))
+        .run_durable(&spec, FuzzerConfig::droidfuzz, medium_par.clone())
+        .unwrap();
+    assert_eq!(killed_seq.rounds_completed, 2);
+    assert_eq!(killed_seq.snapshot, killed_par.snapshot, "kill-point snapshots diverged");
+    let names_seq = medium_seq.list().unwrap();
+    let names_par = medium_par.list().unwrap();
+    assert_eq!(names_seq, names_par, "store object lists diverged");
+    for name in &names_seq {
+        assert_eq!(
+            medium_seq.read(name).unwrap(),
+            medium_par.read(name).unwrap(),
+            "store object {name} diverged between thread counts"
+        );
+    }
+
+    // Phase 2: resume the parallel medium sequentially and the sequential
+    // medium on 4 workers — crossing thread counts over the kill point
+    // must still converge on the same completed campaign.
+    let (resumed_a, report_a) = Fleet::new(config(1, None))
+        .resume_durable(&spec, FuzzerConfig::droidfuzz, medium_par)
+        .unwrap();
+    let (resumed_b, report_b) = Fleet::new(config(4, None))
+        .resume_durable(&spec, FuzzerConfig::droidfuzz, medium_seq)
+        .unwrap();
+    assert_eq!(report_a.outcome, RecoveryOutcome::Clean);
+    assert_eq!(report_b.outcome, RecoveryOutcome::Clean);
+    assert_eq!(resumed_a.rounds_completed, 3);
+    assert_eq!(resumed_a.snapshot, resumed_b.snapshot, "post-resume snapshots diverged");
+    assert_eq!(
+        resumed_a.crashes.iter().map(|c| &c.title).collect::<Vec<_>>(),
+        resumed_b.crashes.iter().map(|c| &c.title).collect::<Vec<_>>()
+    );
 }
 
 /// The same zero-loss property under an actively hostile medium: torn
