@@ -261,7 +261,7 @@ pub fn audit_snapshot(text: &str, table: &DescTable) -> Report {
         if let Some(name) = line.strip_prefix("# section ") {
             section = match name.trim() {
                 known @ ("relations" | "coverage" | "series" | "crashes" | "faults" | "lint"
-                | "store" | "corpus") => known,
+                | "store" | "net" | "corpus") => known,
                 other => {
                     report.push(
                         Severity::Warning,
@@ -337,13 +337,14 @@ pub fn audit_snapshot(text: &str, table: &DescTable) -> Report {
                     );
                 }
             }
-            "faults" | "lint" | "store" => {
+            "faults" | "lint" | "store" | "net" => {
                 // The line keyword is singular (`fault injected 0`,
-                // `lint repaired 0`, `store recoveries 0`) regardless of
-                // the section name.
+                // `lint repaired 0`, `store recoveries 0`, `net
+                // frames_sent 0`) regardless of the section name.
                 let keyword = match section {
                     "faults" => "fault",
                     "lint" => "lint",
+                    "net" => "net",
                     _ => "store",
                 };
                 let well_formed = line

@@ -17,6 +17,12 @@
 //!   and undecodable delta payloads are reported;
 //! - `# droidfuzz-fleet-snapshot v1 ...` → full snapshot audit (framing,
 //!   nested relation graph, fault/lint counters, corpus seeds);
+//! - `# droidfuzz-net stream v1 ...` → captured wire stream (one
+//!   direction of one hub/worker connection): frame CRCs and sequence
+//!   continuity are verified and every payload is decoded as a protocol
+//!   message; a torn tail is a warning (a link fault cut the capture),
+//!   duplicated frames are warnings (faulty-link replays are dropped by
+//!   the receiver by design), anything else malformed is an error;
 //! - `# relation-graph ...` or `edge ...`  → relation-graph audit (Eq. 1
 //!   in-weight invariants, vertex names, duplicate/self/orphan edges);
 //! - `# seed <i> signals=<n>` anywhere  → corpus audit (per-seed parse +
@@ -37,6 +43,7 @@ use droidfuzz::analysis::{
 use droidfuzz::config::FuzzerConfig;
 use droidfuzz::engine::FuzzingEngine;
 use droidfuzz::fleet::SNAPSHOT_HEADER;
+use droidfuzz::net::{decode_frame, decode_message, NetError, NET_STREAM_HEADER};
 use droidfuzz::store::{
     decode_journal, decode_snapshot, parse_journal_name, FleetDelta, FLEET_SECTION,
     JOURNAL_HEADER, STORE_SNAPSHOT_HEADER,
@@ -190,6 +197,93 @@ fn audit_store_journal(path: &str, bytes: &[u8]) -> Report {
     report
 }
 
+/// Audits a captured net stream: the same `rec <seq> <len> <crc>`
+/// framing audit the journal gets, plus protocol-message decoding.
+fn audit_net_stream(bytes: &[u8]) -> Report {
+    let mut report = Report::new();
+    // Skip the `# droidfuzz-net stream v1` header line.
+    let mut offset =
+        bytes.iter().position(|&b| b == b'\n').map_or(bytes.len(), |nl| nl + 1);
+    let mut next_seq = 0u64;
+    let mut frames = 0usize;
+    let mut duplicates = 0usize;
+    let mut torn = false;
+    while offset < bytes.len() {
+        match decode_frame(&bytes[offset..]) {
+            Ok((seq, payload, used)) => {
+                offset += used;
+                frames += 1;
+                if seq.wrapping_add(1) == next_seq {
+                    // A faulty link delivered the frame twice; receivers
+                    // drop the replay, so the capture is still sound.
+                    duplicates += 1;
+                } else if seq != next_seq {
+                    report.push(
+                        Severity::Error,
+                        "net-stream-seq-gap",
+                        None,
+                        format!("frame {frames} carries seq {seq}, expected {next_seq}"),
+                    );
+                    break;
+                } else {
+                    next_seq += 1;
+                }
+                let decoded = std::str::from_utf8(&payload)
+                    .map_err(|_| NetError::Garbage("payload is not UTF-8".to_owned()))
+                    .and_then(decode_message);
+                if let Err(e) = decoded {
+                    report.push(
+                        Severity::Error,
+                        "net-stream-bad-message",
+                        None,
+                        format!("frame seq {seq} does not decode as a message: {e}"),
+                    );
+                }
+            }
+            Err(NetError::Truncated(what)) => {
+                torn = true;
+                report.push(
+                    Severity::Warning,
+                    "net-stream-torn-tail",
+                    None,
+                    format!(
+                        "capture ends mid-frame after {frames} whole frame(s): {what} \
+                         ({} trailing byte(s))",
+                        bytes.len() - offset
+                    ),
+                );
+                break;
+            }
+            Err(e) => {
+                report.push(
+                    Severity::Error,
+                    "net-stream-malformed-frame",
+                    None,
+                    format!("after {frames} valid frame(s): {e}"),
+                );
+                break;
+            }
+        }
+    }
+    if duplicates > 0 {
+        report.push(
+            Severity::Warning,
+            "net-stream-duplicate-frames",
+            None,
+            format!("{duplicates} duplicated frame(s) (dropped by the receiver)"),
+        );
+    }
+    if !report.has_errors() && !torn {
+        report.push(
+            Severity::Info,
+            "net-stream-clean",
+            None,
+            format!("{frames} frame(s), every checksum and message valid"),
+        );
+    }
+    report
+}
+
 fn main() {
     let opts = parse_args();
     let Some(spec) = catalog::by_id(&opts.device) else {
@@ -216,6 +310,8 @@ fn main() {
             audit_store_snapshot(&bytes, table)
         } else if bytes.starts_with(JOURNAL_HEADER.as_bytes()) {
             audit_store_journal(path, &bytes)
+        } else if bytes.starts_with(NET_STREAM_HEADER.as_bytes()) {
+            audit_net_stream(&bytes)
         } else {
             match String::from_utf8(bytes) {
                 Err(_) => {

@@ -1,0 +1,124 @@
+//! The `droidfuzz-worker` front end: run local fuzzing shards against a
+//! remote corpus hub started with `droidfuzz --serve`.
+//!
+//! ```sh
+//! droidfuzz --serve 127.0.0.1:7800 --device A1 --hours 2 --shards 4 &
+//! droidfuzz-worker --connect 127.0.0.1:7800 --shards 2
+//! droidfuzz-worker --connect 127.0.0.1:7800 --shards 2
+//! ```
+//!
+//! The hub hands each worker a global shard range and the full campaign
+//! spec (device, variant, seed, clock), so a worker needs nothing but an
+//! address: engines are seeded by *global* shard id and every sync
+//! barrier is sequenced hub-side in shard order, which keeps a
+//! fixed-seed distributed campaign bit-identical to the local
+//! `--threads` run no matter how the shards are split across workers.
+
+use droidfuzz::net::{TcpConnector, WorkerConfig, WorkerRuntime};
+
+struct Options {
+    connect: String,
+    shards: usize,
+    threads: usize,
+    name: String,
+    max_link_retries: u32,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: droidfuzz-worker --connect <host:port> [--shards <n>] [--threads <n>]\n\
+         \x20                       [--name <label>] [--max-link-retries <n>] [--quiet]\n\
+         \n\
+         \x20 Runs <n> local shards of a campaign served by `droidfuzz --serve`.\n\
+         \x20 --threads caps the slice worker pool (0 = one thread per shard; any\n\
+         \x20 value is bit-identical). --max-link-retries bounds reconnect attempts\n\
+         \x20 after a link fault before the worker gives up."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        connect: String::new(),
+        shards: 1,
+        threads: 0,
+        name: "worker".into(),
+        max_link_retries: 10,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--connect" => opts.connect = value("--connect"),
+            "--shards" => {
+                opts.shards = value("--shards").parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                opts.threads = value("--threads").parse().unwrap_or_else(|_| usage());
+            }
+            "--name" => opts.name = value("--name"),
+            "--max-link-retries" => {
+                opts.max_link_retries =
+                    value("--max-link-retries").parse().unwrap_or_else(|_| usage());
+            }
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if opts.connect.is_empty() {
+        eprintln!("--connect is required");
+        usage();
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    if !opts.quiet {
+        println!(
+            "worker {:?}: {} shard(s), dialing {}",
+            opts.name, opts.shards, opts.connect
+        );
+    }
+    let runtime = WorkerRuntime::new(WorkerConfig {
+        shards: opts.shards,
+        threads: opts.threads,
+        name: opts.name.clone(),
+        max_link_retries: opts.max_link_retries,
+    });
+    let result = match runtime.run(Box::new(TcpConnector::new(opts.connect.clone()))) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("worker {:?} failed: {e}", opts.name);
+            std::process::exit(1);
+        }
+    };
+    if !opts.quiet {
+        let net = result.net_totals;
+        println!(
+            "worker {:?}: shards {}..{} done, {} round(s), execs={}{}",
+            opts.name,
+            result.base_shard,
+            result.base_shard + result.shards - 1,
+            result.rounds_completed,
+            result.executions,
+            if result.finished { "" } else { " (campaign stopped early)" },
+        );
+        println!(
+            "net: {} frame(s) sent / {} received, {} reconnect(s), {} link retrie(s)",
+            net.frames_sent, net.frames_received, net.reconnects, net.link_retries,
+        );
+    }
+    std::process::exit(if result.finished { 0 } else { 3 });
+}

@@ -15,11 +15,25 @@
 //! droidfuzz --device A1 --hours 2 --store-dir ./a1-store --shards 4
 //! droidfuzz --device A1 --hours 2 --store-dir ./a1-store --shards 4  # resumes
 //! ```
+//!
+//! With `--serve <addr>` the process becomes a *corpus hub* instead of
+//! running engines itself: it listens for `droidfuzz-worker` sessions,
+//! hands each a shard range, sequences their pushes in shard-id order at
+//! every sync barrier, and runs the same checkpoint cadence — so a
+//! fixed-seed distributed campaign reproduces the local run bit for bit
+//! (modulo the snapshot's wire-counter section). `--store-dir` composes:
+//! a durable hub journals every round and resumes like a local fleet.
+//!
+//! ```sh
+//! droidfuzz --serve 127.0.0.1:7800 --device A1 --hours 2 --shards 4
+//! droidfuzz-worker --connect 127.0.0.1:7800 --shards 2   # twice
+//! ```
 
 use droidfuzz::config::FuzzerConfig;
 use droidfuzz::engine::FuzzingEngine;
-use droidfuzz::fleet::{Fleet, FleetConfig, FleetResult};
-use droidfuzz::store::{FsMedium, StorageMedium};
+use droidfuzz::fleet::{Fleet, FleetConfig, FleetResult, FleetStore, DEFAULT_KEEP};
+use droidfuzz::net::{variant_config, HubResult, HubServer, ServeConfig, TcpHubListener};
+use droidfuzz::store::{FsMedium, RecoveryManager, StorageMedium};
 use simdevice::catalog;
 
 struct Options {
@@ -36,6 +50,9 @@ struct Options {
     threads: usize,
     checkpoint_every: usize,
     kill_after: Option<usize>,
+    serve: Option<String>,
+    fleet: bool,
+    snapshot_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -45,11 +62,16 @@ fn usage() -> ! {
          \x20                [--seed <n>] [--corpus-in <file>] [--corpus-out <file>] [--quiet]\n\
          \x20                [--store-dir <dir>] [--shards <n>] [--sync-interval <hours>]\n\
          \x20                [--threads <n>] [--checkpoint-every <rounds>] [--kill-after <rounds>]\n\
+         \x20                [--fleet] [--serve <addr>] [--snapshot-out <file>]\n\
          \n\
          \x20 --store-dir runs a durable fleet campaign journaled to <dir>; re-running\n\
          \x20 with an occupied <dir> resumes from the newest recoverable snapshot.\n\
          \x20 --threads caps the fleet worker pool (0 = one worker per shard; results\n\
-         \x20 are bit-identical for every thread count)."
+         \x20 are bit-identical for every thread count).\n\
+         \x20 --fleet runs an in-memory fleet campaign (no store) with the same knobs.\n\
+         \x20 --serve turns the process into a corpus hub: droidfuzz-worker processes\n\
+         \x20 connect to <addr> and run the shards; composes with --store-dir.\n\
+         \x20 --snapshot-out writes the final fleet/hub snapshot text to <file>."
     );
     std::process::exit(2);
 }
@@ -69,6 +91,9 @@ fn parse_args() -> Options {
         threads: 0,
         checkpoint_every: 1,
         kill_after: None,
+        serve: None,
+        fleet: false,
+        snapshot_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -106,6 +131,9 @@ fn parse_args() -> Options {
                 opts.kill_after =
                     Some(value("--kill-after").parse().unwrap_or_else(|_| usage()));
             }
+            "--serve" => opts.serve = Some(value("--serve")),
+            "--fleet" => opts.fleet = true,
+            "--snapshot-out" => opts.snapshot_out = Some(value("--snapshot-out")),
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => usage(),
             other => {
@@ -118,17 +146,22 @@ fn parse_args() -> Options {
 }
 
 fn config_for(variant: &str, seed: u64) -> FuzzerConfig {
-    match variant {
-        "droidfuzz" => FuzzerConfig::droidfuzz(seed),
-        "norel" => FuzzerConfig::droidfuzz_norel(seed),
-        "nohcov" => FuzzerConfig::droidfuzz_nohcov(seed),
-        "droidfuzz-d" => FuzzerConfig::droidfuzz_d(seed),
-        "syzkaller" => FuzzerConfig::syzkaller(seed),
-        "difuze" => FuzzerConfig::difuze(seed),
-        other => {
-            eprintln!("unknown variant {other}");
-            usage()
-        }
+    // The same table `CampaignSpec::engine_config` uses on workers, so a
+    // hub and its workers can never disagree on what a label means.
+    variant_config(variant, seed).unwrap_or_else(|| {
+        eprintln!("unknown variant {variant}");
+        usage()
+    })
+}
+
+fn write_snapshot(path: &Option<String>, snapshot: &str, quiet: bool) {
+    let Some(path) = path else { return };
+    if let Err(e) = std::fs::write(path, snapshot) {
+        eprintln!("cannot write snapshot {path}: {e}");
+        std::process::exit(1);
+    }
+    if !quiet {
+        println!("wrote snapshot to {path}");
     }
 }
 
@@ -165,13 +198,8 @@ fn report_fleet(result: &FleetResult, quiet: bool) {
     }
 }
 
-fn run_durable_fleet(opts: &Options, spec: simdevice::firmware::FirmwareSpec, dir: &str) -> ! {
-    let medium = FsMedium::new(dir).unwrap_or_else(|e| {
-        eprintln!("cannot open store dir {dir}: {e}");
-        std::process::exit(1);
-    });
-    let occupied = !medium.list().unwrap_or_default().is_empty();
-    let fleet = Fleet::new(FleetConfig {
+fn fleet_config(opts: &Options) -> FleetConfig {
+    FleetConfig {
         shards: opts.shards.max(1),
         hours: opts.hours,
         sync_interval_hours: opts.sync_interval,
@@ -179,7 +207,135 @@ fn run_durable_fleet(opts: &Options, spec: simdevice::firmware::FirmwareSpec, di
         checkpoint_interval_rounds: opts.checkpoint_every.max(1),
         threads: opts.threads,
         ..FleetConfig::default()
+    }
+}
+
+/// `--serve`: run as the fleet's corpus hub. Workers bring the engines;
+/// this process owns the hub, the barrier sequencing, and (with
+/// `--store-dir`) the durable store.
+fn run_hub(opts: &Options, spec: &simdevice::firmware::FirmwareSpec, addr: &str) -> ! {
+    let serve_cfg = ServeConfig {
+        fleet: fleet_config(opts),
+        device: opts.device.clone(),
+        variant: opts.variant.clone(),
+        seed: opts.seed,
+    };
+    let (listener, bound) = TcpHubListener::bind(addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind hub on {addr}: {e}");
+        std::process::exit(1);
     });
+    if !opts.quiet {
+        println!(
+            "hub for {} {} listening on {bound} — waiting for {} shard(s) of workers",
+            spec.meta.vendor,
+            spec.meta.name,
+            opts.shards.max(1)
+        );
+    }
+    let hub = HubServer::new(serve_cfg);
+    let served = match &opts.store_dir {
+        None => hub.serve(listener, None, None),
+        Some(dir) => {
+            let medium = FsMedium::new(dir).unwrap_or_else(|e| {
+                eprintln!("cannot open store dir {dir}: {e}");
+                std::process::exit(1);
+            });
+            let occupied = !medium.list().unwrap_or_default().is_empty();
+            if occupied {
+                // Same recovery path as a durable local resume: a probe
+                // engine supplies the table the auditors verify against.
+                let probe = FuzzingEngine::new(
+                    spec.clone().boot(),
+                    config_for(&opts.variant, opts.seed),
+                );
+                let recovered = RecoveryManager::new(medium.clone())
+                    .recover_verified(probe.desc_table())
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot recover hub state from {dir}: {e}");
+                        std::process::exit(1);
+                    });
+                if !opts.quiet {
+                    println!("{}", recovered.report.describe());
+                }
+                let mut store = FleetStore::resume(medium, DEFAULT_KEEP, &recovered)
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot resume store in {dir}: {e}");
+                        std::process::exit(1);
+                    });
+                hub.serve(listener, Some(&mut store), Some(&recovered.snapshot))
+            } else {
+                let mut store =
+                    FleetStore::create(medium, DEFAULT_KEEP).unwrap_or_else(|e| {
+                        eprintln!("cannot start durable hub in {dir}: {e}");
+                        std::process::exit(1);
+                    });
+                hub.serve(listener, Some(&mut store), None)
+            }
+        }
+    };
+    let result = served.unwrap_or_else(|e| {
+        eprintln!("hub failed: {e}");
+        std::process::exit(1);
+    });
+    report_hub(&result, opts.quiet);
+    write_snapshot(&opts.snapshot_out, &result.snapshot, opts.quiet);
+    std::process::exit(0);
+}
+
+fn report_hub(result: &HubResult, quiet: bool) {
+    if !quiet {
+        println!(
+            "hub: {} worker(s), {} round(s), cov={} execs={} crashes={}",
+            result.workers,
+            result.rounds_completed,
+            result.union_coverage,
+            result.executions,
+            result.crashes.len(),
+        );
+        let net = result.net_totals;
+        println!(
+            "net: {} session(s), {} frame(s) sent / {} received, \
+             {} malformed, {} reconnect(s)",
+            net.sessions,
+            net.frames_sent,
+            net.frames_received,
+            net.malformed_frames + net.truncated_frames + net.oversized_frames,
+            net.reconnects,
+        );
+    }
+    println!("\n== crash summary ==");
+    if result.crashes.is_empty() {
+        println!("(no crashes)");
+    }
+    for crash in &result.crashes {
+        println!(
+            "{} [{}] first seen at {:.1} h, {} occurrence(s)",
+            crash.title,
+            crash.component,
+            crash.first_seen_us as f64 / 3.6e9,
+            crash.count
+        );
+    }
+}
+
+/// `--fleet`: an in-memory fleet campaign — the single-process reference
+/// a distributed run is diffed against (same knobs, no store).
+fn run_plain_fleet(opts: &Options, spec: &simdevice::firmware::FirmwareSpec) -> ! {
+    let fleet = Fleet::new(fleet_config(opts));
+    let make_config = |s: u64| config_for(&opts.variant, opts.seed.wrapping_add(s));
+    let result = fleet.run(spec, make_config);
+    report_fleet(&result, opts.quiet);
+    write_snapshot(&opts.snapshot_out, &result.snapshot, opts.quiet);
+    std::process::exit(0);
+}
+
+fn run_durable_fleet(opts: &Options, spec: simdevice::firmware::FirmwareSpec, dir: &str) -> ! {
+    let medium = FsMedium::new(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open store dir {dir}: {e}");
+        std::process::exit(1);
+    });
+    let occupied = !medium.list().unwrap_or_default().is_empty();
+    let fleet = Fleet::new(fleet_config(opts));
     let make_config = |s: u64| config_for(&opts.variant, opts.seed.wrapping_add(s));
     let result = if occupied {
         match fleet.resume_durable(&spec, make_config, medium) {
@@ -204,6 +360,7 @@ fn run_durable_fleet(opts: &Options, spec: simdevice::firmware::FirmwareSpec, di
         }
     };
     report_fleet(&result, opts.quiet);
+    write_snapshot(&opts.snapshot_out, &result.snapshot, opts.quiet);
     std::process::exit(0);
 }
 
@@ -214,6 +371,12 @@ fn main() {
         std::process::exit(2);
     };
     let config = config_for(&opts.variant, opts.seed);
+    if let Some(addr) = opts.serve.clone() {
+        run_hub(&opts, &spec, &addr);
+    }
+    if opts.fleet && opts.store_dir.is_none() {
+        run_plain_fleet(&opts, &spec);
+    }
     if let Some(dir) = opts.store_dir.clone() {
         if !opts.quiet {
             println!(

@@ -184,6 +184,9 @@ pub struct FleetStats {
     /// Sync rounds that skipped the full snapshot re-serialization
     /// (checkpoint cadence; set by the orchestrator, not the bus).
     pub snapshots_skipped: u64,
+    /// Wire-layer counters (all-zero for a purely local campaign; set
+    /// by the hub server / worker runtime, not the bus).
+    pub net_totals: crate::net::NetCounters,
     /// Total events observed on the bus.
     pub events: u64,
 }
@@ -340,6 +343,16 @@ impl FleetStats {
             "lint rejected: {}  lint repaired: {}  snapshots skipped: {}\n",
             self.lint_totals.rejected, self.lint_totals.repaired, self.snapshots_skipped,
         ));
+        if self.net_totals.total() > 0 {
+            out.push_str(&format!(
+                "net frames: {} sent / {} received  dups dropped: {}  reconnects: {}  sessions: {}\n",
+                self.net_totals.frames_sent,
+                self.net_totals.frames_received,
+                self.net_totals.dup_frames,
+                self.net_totals.reconnects,
+                self.net_totals.sessions,
+            ));
+        }
         out
     }
 }

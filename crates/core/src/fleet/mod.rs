@@ -171,6 +171,10 @@ pub struct FleetResult {
     /// snapshot baseline carried across a kill/resume (all zero for an
     /// in-memory campaign except `snapshots_skipped`).
     pub store_totals: StoreCounters,
+    /// Wire-layer counters over the whole campaign (all zero for a
+    /// purely local campaign; a snapshot baseline carries them across a
+    /// kill/resume).
+    pub net_totals: crate::net::NetCounters,
     /// Metrics drained from the event bus.
     pub stats: FleetStats,
     /// Sync rounds completed over the campaign (including pre-resume).
@@ -379,6 +383,9 @@ impl Fleet {
         };
         let baseline_store =
             resume.as_ref().map_or_else(StoreCounters::default, |s| s.store_totals);
+        let baseline_net = resume
+            .as_ref()
+            .map_or_else(crate::net::NetCounters::default, |s| s.net_totals);
 
         if let Some(sink) = persist.as_deref_mut() {
             sink.on_start(&hub, shards[0].engine().desc_table());
@@ -491,7 +498,15 @@ impl Fleet {
             let fault_totals = fleet_fault_totals(&shards);
             let lint_totals = fleet_lint_totals(&shards);
             if let Some(sink) = persist.as_deref_mut() {
-                sink.on_round(&hub, table, rounds_completed, clock_us, &fault_totals, &lint_totals);
+                sink.on_round(
+                    &hub,
+                    table,
+                    rounds_completed,
+                    clock_us,
+                    &fault_totals,
+                    &lint_totals,
+                    &baseline_net,
+                );
             }
 
             // Re-serializing the full snapshot every round is the single
@@ -514,6 +529,7 @@ impl Fleet {
                     fault_totals,
                     lint_totals,
                     store_totals,
+                    baseline_net,
                 );
                 snapshot_text = snap.to_text();
                 if let Some(sink) = persist.as_deref_mut() {
@@ -534,6 +550,7 @@ impl Fleet {
         }
         let mut stats = FleetStats::drain(&rx, cfg.shards);
         stats.snapshots_skipped = snapshots_skipped;
+        stats.net_totals = baseline_net;
         let mut store_totals = baseline_store;
         if let Some(sink) = persist.as_deref() {
             store_totals.absorb(&sink.counters());
@@ -579,6 +596,7 @@ impl Fleet {
             fault_totals: fleet_fault_totals(&shards),
             lint_totals: fleet_lint_totals(&shards),
             store_totals,
+            net_totals: baseline_net,
             shards: outcomes,
             stats,
             rounds_completed,

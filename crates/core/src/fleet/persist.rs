@@ -16,6 +16,7 @@
 use super::hub::CorpusHub;
 use super::snapshot::{crash_fields, FleetSnapshot};
 use crate::crashes::dedup_key;
+use crate::net::NetCounters;
 use crate::store::journal::{journal_name, parse_journal_name, Journal};
 use crate::store::recovery::{Recovered, FLEET_SECTION};
 use crate::store::snapshot_store::{parse_snapshot_name, SnapshotStore};
@@ -41,6 +42,7 @@ pub trait FleetPersist {
     /// Called after every completed sync round with the hub and the
     /// campaign-cumulative counter totals (baseline + this run, the same
     /// values a snapshot would carry).
+    #[allow(clippy::too_many_arguments)] // one positional slot per counter family
     fn on_round(
         &mut self,
         hub: &CorpusHub,
@@ -49,6 +51,7 @@ pub trait FleetPersist {
         clock_us: u64,
         fault_totals: &FaultCounters,
         lint_totals: &LintCounters,
+        net_totals: &NetCounters,
     );
 
     /// Called with every captured snapshot (checkpoint cadence, final
@@ -109,6 +112,7 @@ pub struct FleetStore<M: StorageMedium + Clone> {
     series_len: usize,
     faults: Option<FaultCounters>,
     lint: Option<LintCounters>,
+    net: Option<NetCounters>,
 }
 
 impl<M: StorageMedium + Clone> FleetStore<M> {
@@ -140,6 +144,7 @@ impl<M: StorageMedium + Clone> FleetStore<M> {
             series_len: 0,
             faults: None,
             lint: None,
+            net: None,
         })
     }
 
@@ -178,6 +183,7 @@ impl<M: StorageMedium + Clone> FleetStore<M> {
             series_len: 0,
             faults: None,
             lint: None,
+            net: None,
         };
         store.prune();
         Ok(store)
@@ -257,6 +263,7 @@ impl<M: StorageMedium + Clone> FleetPersist for FleetStore<M> {
         clock_us: u64,
         fault_totals: &FaultCounters,
         lint_totals: &LintCounters,
+        net_totals: &NetCounters,
     ) {
         let fresh_seeds: Vec<(usize, String)> = hub
             .seeds_since(self.seed_cursor)
@@ -325,6 +332,10 @@ impl<M: StorageMedium + Clone> FleetPersist for FleetStore<M> {
         if self.lint.as_ref() != Some(lint_totals) {
             self.lint = Some(*lint_totals);
             self.append(&FleetDelta::Lint(*lint_totals));
+        }
+        if self.net.as_ref() != Some(net_totals) {
+            self.net = Some(*net_totals);
+            self.append(&FleetDelta::Net(*net_totals));
         }
         // Durability counters, campaign-cumulative like the snapshot's
         // `# section store` (they trail by the bytes of this very record,
@@ -399,13 +410,13 @@ mod tests {
         hub.publish_corpus(0, "# seed 0 signals=5\nr0 = openat$/dev/video0()\n\n");
         hub.publish_coverage([simkernel::coverage::Block(0x10)]);
         hub.record_sample(1_000);
-        store.on_round(&hub, &t, 1, 1_000, &FaultCounters::default(), &LintCounters::default());
+        store.on_round(&hub, &t, 1, 1_000, &FaultCounters::default(), &LintCounters::default(), &NetCounters::default());
         let after_first = store.counters().journal_records;
-        // seed + blocks + sample + faults + lint + store + round = 7
-        assert_eq!(after_first, 7);
+        // seed + blocks + sample + faults + lint + net + store + round = 8
+        assert_eq!(after_first, 8);
 
         // Nothing changed: only the store totals and round marker append.
-        store.on_round(&hub, &t, 2, 2_000, &FaultCounters::default(), &LintCounters::default());
+        store.on_round(&hub, &t, 2, 2_000, &FaultCounters::default(), &LintCounters::default(), &NetCounters::default());
         assert_eq!(store.counters().journal_records, after_first + 2);
     }
 
@@ -425,6 +436,7 @@ mod tests {
                 FaultCounters::default(),
                 LintCounters::default(),
                 store.counters(),
+                NetCounters::default(),
             );
             store.on_checkpoint(&snap);
             assert_eq!(store.generation(), round);
@@ -451,7 +463,7 @@ mod tests {
         hub.publish_corpus(0, "# seed 0 signals=5\nr0 = openat$/dev/video0()\n\n");
         hub.publish_coverage([simkernel::coverage::Block(0x42)]);
         hub.record_sample(9_000);
-        store.on_round(&hub, &t, 1, 9_000, &FaultCounters::default(), &LintCounters::default());
+        store.on_round(&hub, &t, 1, 9_000, &FaultCounters::default(), &LintCounters::default(), &NetCounters::default());
 
         let recovered = RecoveryManager::new(medium).recover().unwrap();
         assert_eq!(recovered.snapshot.round, 1);
@@ -473,7 +485,7 @@ mod tests {
         let mut full_hub = hub_with_state();
         full_hub.publish_coverage([simkernel::coverage::Block(0x99)]);
         full_hub.record_sample(2_000);
-        store.on_round(&full_hub, &t, 1, 2_000, &FaultCounters::default(), &LintCounters::default());
+        store.on_round(&full_hub, &t, 1, 2_000, &FaultCounters::default(), &LintCounters::default(), &NetCounters::default());
         let snap = FleetSnapshot::capture(
             &full_hub,
             &t,
@@ -482,6 +494,7 @@ mod tests {
             FaultCounters::default(),
             LintCounters::default(),
             store.counters(),
+            NetCounters::default(),
         );
         store.on_checkpoint(&snap);
         assert!(store.counters().io_errors > 0);
@@ -495,7 +508,7 @@ mod tests {
         let t = table();
         let hub = hub_with_state();
         store.on_start(&CorpusHub::new(64), &t);
-        store.on_round(&hub, &t, 1, 1_000, &FaultCounters::default(), &LintCounters::default());
+        store.on_round(&hub, &t, 1, 1_000, &FaultCounters::default(), &LintCounters::default(), &NetCounters::default());
         drop(store);
 
         let recovered = RecoveryManager::new(medium.clone()).recover().unwrap();

@@ -97,9 +97,23 @@ impl Shard {
     /// Returns the number of seeds restored.
     pub fn restore_from_hub(&mut self, hub: &CorpusHub) -> usize {
         let (text, cursor, _) = hub.pull_corpus(self.id, self.cursor);
-        let (accepted, _) = self.engine.import_corpus(&text);
+        self.apply_restore(&text, cursor, hub.relations())
+    }
+
+    /// The hub-delivery half of [`restore_from_hub`](Self::restore_from_hub),
+    /// split out so a remote worker can apply a hub's answer received
+    /// over the wire with byte-identical effect: imports `text`
+    /// unconditionally, advances the pull cursor to `cursor`, merges
+    /// `graph` when present, and emits `ShardStarted`.
+    pub fn apply_restore(
+        &mut self,
+        text: &str,
+        cursor: u64,
+        graph: Option<&RelationGraph>,
+    ) -> usize {
+        let (accepted, _) = self.engine.import_corpus(text);
         self.cursor = cursor;
-        if let Some(graph) = hub.relations() {
+        if let Some(graph) = graph {
             self.engine.merge_relations(graph);
         }
         self.mark_published();
@@ -132,9 +146,21 @@ impl Shard {
     /// replacement engine inherits everything the fleet knows. Emits
     /// `ShardStarted`; returns the seeds restored.
     pub fn restore_all_from_hub(&mut self, hub: &CorpusHub) -> usize {
-        let (accepted, _) = self.engine.import_corpus(&hub.corpus_text());
-        self.cursor = hub.tip();
-        if let Some(graph) = hub.relations() {
+        self.apply_full_restore(&hub.corpus_text(), hub.tip(), hub.relations())
+    }
+
+    /// The delivery half of [`restore_all_from_hub`](Self::restore_all_from_hub)
+    /// for remote workers: `text` must be the hub's *entire* live corpus
+    /// and `cursor` its tip.
+    pub fn apply_full_restore(
+        &mut self,
+        text: &str,
+        cursor: u64,
+        graph: Option<&RelationGraph>,
+    ) -> usize {
+        let (accepted, _) = self.engine.import_corpus(text);
+        self.cursor = cursor;
+        if let Some(graph) = graph {
             self.engine.merge_relations(graph);
         }
         self.mark_published();
@@ -269,12 +295,27 @@ impl Shard {
     /// hub relation graph. Returns seeds accepted into the engine corpus.
     pub fn pull(&mut self, hub: &CorpusHub) -> usize {
         let (text, cursor, delivered) = hub.pull_corpus(self.id, self.cursor);
+        self.apply_pull(&text, cursor, delivered, hub.relations())
+    }
+
+    /// The delivery half of [`pull`](Self::pull) for remote workers:
+    /// applies a hub pull answer received over the wire. Unlike
+    /// [`apply_restore`](Self::apply_restore), the corpus import is
+    /// gated on `delivered > 0` — exactly mirroring the local path, so
+    /// distributed and local campaigns stay bit-identical.
+    pub fn apply_pull(
+        &mut self,
+        text: &str,
+        cursor: u64,
+        delivered: usize,
+        graph: Option<&RelationGraph>,
+    ) -> usize {
         self.cursor = cursor;
         let mut accepted = 0;
         if delivered > 0 {
-            accepted = self.engine.import_corpus(&text).0;
+            accepted = self.engine.import_corpus(text).0;
         }
-        if let Some(graph) = hub.relations() {
+        if let Some(graph) = graph {
             self.engine.merge_relations(graph);
         }
         // Everything just imported came *from* the hub; pushing it back
@@ -306,6 +347,11 @@ impl Shard {
     /// skipped/restarted slices).
     pub fn clock_offset_us(&self) -> u64 {
         self.clock_offset_us
+    }
+
+    /// The shard's hub pull cursor (seeds with `seq >= cursor` are news).
+    pub fn cursor(&self) -> u64 {
+        self.cursor
     }
 
     /// The wrapped engine.

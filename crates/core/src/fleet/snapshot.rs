@@ -22,6 +22,8 @@
 //! lint <counter> <value>
 //! # section store
 //! store <counter> <value>
+//! # section net
+//! net <counter> <value>
 //! # section corpus
 //! <Corpus::export text>
 //! ```
@@ -32,6 +34,7 @@
 
 use super::hub::CorpusHub;
 use crate::crashes::CrashRecord;
+use crate::net::NetCounters;
 use crate::store::StoreCounters;
 use crate::supervisor::FaultCounters;
 use droidfuzz_analysis::LintCounters;
@@ -69,6 +72,10 @@ pub struct FleetSnapshot {
     /// Durability counters accumulated over the whole campaign; a resume
     /// treats these as its baseline, like `fault_totals`.
     pub store_totals: StoreCounters,
+    /// Wire-layer counters accumulated over the whole campaign; a resume
+    /// treats these as its baseline, like `fault_totals`. All-zero for a
+    /// purely local campaign.
+    pub net_totals: NetCounters,
     /// [`Corpus::export`]-format text of the hub's live seeds.
     ///
     /// [`Corpus::export`]: crate::corpus::Corpus::export
@@ -159,6 +166,7 @@ impl FleetSnapshot {
     /// `round`/`clock_us` stamp the fleet's position for resume;
     /// `fault_totals` carries the campaign's cumulative fault/recovery
     /// counters across a kill.
+    #[allow(clippy::too_many_arguments)] // one positional slot per snapshot section
     pub fn capture(
         hub: &CorpusHub,
         table: &DescTable,
@@ -167,6 +175,7 @@ impl FleetSnapshot {
         fault_totals: FaultCounters,
         lint_totals: LintCounters,
         store_totals: StoreCounters,
+        net_totals: NetCounters,
     ) -> Self {
         Self {
             round,
@@ -178,6 +187,7 @@ impl FleetSnapshot {
             fault_totals,
             lint_totals,
             store_totals,
+            net_totals,
             corpus_text: hub.corpus_text(),
             malformed_lines: 0,
         }
@@ -214,6 +224,10 @@ impl FleetSnapshot {
         for (key, value) in self.store_totals.entries() {
             out.push_str(&format!("store {key} {value}\n"));
         }
+        out.push_str("# section net\n");
+        for (key, value) in self.net_totals.entries() {
+            out.push_str(&format!("net {key} {value}\n"));
+        }
         out.push_str("# section corpus\n");
         out.push_str(&self.corpus_text);
         out
@@ -246,6 +260,7 @@ impl FleetSnapshot {
             Faults,
             Lint,
             Store,
+            Net,
             Corpus,
         }
         let mut section = Section::None;
@@ -259,6 +274,7 @@ impl FleetSnapshot {
                     "faults" => Section::Faults,
                     "lint" => Section::Lint,
                     "store" => Section::Store,
+                    "net" => Section::Net,
                     "corpus" => Section::Corpus,
                     _ => {
                         snap.malformed_lines += 1;
@@ -333,6 +349,16 @@ impl FleetSnapshot {
                         .and_then(|rest| rest.split_once(' '))
                         .and_then(|(key, v)| Some((key, v.trim().parse::<u64>().ok()?)))
                         .is_some_and(|(key, v)| snap.store_totals.set(key, v));
+                    if !applied {
+                        snap.malformed_lines += 1;
+                    }
+                }
+                Section::Net => {
+                    let applied = line
+                        .strip_prefix("net ")
+                        .and_then(|rest| rest.split_once(' '))
+                        .and_then(|(key, v)| Some((key, v.trim().parse::<u64>().ok()?)))
+                        .is_some_and(|(key, v)| snap.net_totals.set(key, v));
                     if !applied {
                         snap.malformed_lines += 1;
                     }
@@ -429,6 +455,14 @@ mod tests {
                 snapshots_skipped: 5,
                 ..Default::default()
             },
+            net_totals: NetCounters {
+                frames_sent: 40,
+                frames_received: 38,
+                dup_frames: 2,
+                reconnects: 1,
+                sessions: 2,
+                ..Default::default()
+            },
             corpus_text: "# seed 0 signals=7\nr0 = openat$/dev/video0()\n\n".to_owned(),
             malformed_lines: 0,
         }
@@ -453,6 +487,8 @@ mod tests {
         assert_eq!(parsed.lint_totals.repaired, 9);
         assert_eq!(parsed.store_totals, snap.store_totals, "store counters round-trip");
         assert_eq!(parsed.store_totals.journal_records, 31);
+        assert_eq!(parsed.net_totals, snap.net_totals, "net counters round-trip");
+        assert_eq!(parsed.net_totals.frames_sent, 40);
     }
 
     #[test]
@@ -470,13 +506,15 @@ mod tests {
         text.push_str("# section faults\nfault no_such_counter 3\nfault hangs notanumber\n");
         text.push_str("# section lint\nlint no_such_counter 3\nlint repaired notanumber\n");
         text.push_str("# section store\nstore no_such_counter 3\nstore recoveries notanumber\n");
+        text.push_str("# section net\nnet no_such_counter 3\nnet dup_frames notanumber\n");
         let parsed = FleetSnapshot::parse(&text).expect("tolerant parse");
-        assert_eq!(parsed.malformed_lines, 10);
+        assert_eq!(parsed.malformed_lines, 12);
         assert!(parsed.coverage.contains(&0x3e), "good lines after bad ones still land");
         assert_eq!(parsed.crashes.len(), 1);
         assert_eq!(parsed.fault_totals.hangs, 2, "bad fault lines leave good counters alone");
         assert_eq!(parsed.lint_totals.repaired, 9, "bad lint lines leave good counters alone");
         assert_eq!(parsed.store_totals.journal_records, 31, "bad store lines too");
+        assert_eq!(parsed.net_totals.dup_frames, 2, "bad net lines too");
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod feedback;
 pub mod fleet;
 pub mod generate;
 pub mod minimize;
+pub mod net;
 pub mod probe;
 pub mod relation;
 pub mod report;

@@ -1,0 +1,575 @@
+//! The worker runtime: N local shards against a remote hub.
+//!
+//! [`WorkerRuntime::run`] is [`Fleet::launch`]'s shard loop with the
+//! hub on the far side of a [`Connector`]: the worker boots its engines
+//! from the [`CampaignSpec`] the hub hands back in `HelloAck`, runs
+//! each sync slice on its own scoped thread pool, and replaces the
+//! orchestrator's in-process hub calls with their wire twins —
+//! `prepare_update` → `PushUpdate`, `pull` → `PullRequest`/
+//! [`Shard::apply_pull`], `restore_all_from_hub` → a `full` pull +
+//! [`Shard::apply_full_restore`]. Relation graphs arrive
+//! revision-gated (the hub resends its export only when the graph
+//! actually changed) and are cached; the cache is merged on *every*
+//! pull, exactly as local shards merge `hub.relations()` every round,
+//! so the distributed campaign stays bit-identical.
+//!
+//! The supervisor's backoff/quarantine taxonomy extends to the link:
+//! any send/recv failure retires the connection, and the worker
+//! re-dials with capped exponential backoff, reclaiming its shard
+//! range with `Hello { claim }`. Every protocol step is then replayed
+//! from its first unacknowledged message — safe because the hub
+//! deduplicates pushes and round reports, and pulls are pure reads.
+//!
+//! [`Fleet::launch`]: crate::fleet::Fleet
+//! [`Shard::apply_pull`]: crate::fleet::Shard::apply_pull
+//! [`Shard::apply_full_restore`]: crate::fleet::Shard::apply_full_restore
+
+use std::thread;
+use std::time::Duration;
+
+use simdevice::catalog;
+use simdevice::FirmwareSpec;
+
+use super::codec::{CampaignSpec, Message, WireShardStats, WireUpdate, PROTOCOL_VERSION};
+use super::transport::{Channel, Connector};
+use super::{NetCounters, NetError};
+use crate::engine::{FuzzingEngine, HOUR_US};
+use crate::fleet::{EventBus, FleetEvent, FleetStats, Shard, ShardUpdate};
+use crate::relation::RelationGraph;
+
+/// Worker knobs — everything else comes from the hub's campaign spec.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Local shards to run (the hub assigns the global id range).
+    pub shards: usize,
+    /// Worker threads per slice: `0` = one per shard, otherwise clamped
+    /// to `[1, shards]`. Any value is bit-identical (same contract as
+    /// [`FleetConfig::threads`]).
+    ///
+    /// [`FleetConfig::threads`]: crate::fleet::FleetConfig::threads
+    pub threads: usize,
+    /// Worker name, for the hub's diagnostics.
+    pub name: String,
+    /// Reconnect attempts before the campaign is abandoned.
+    pub max_link_retries: u32,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self { shards: 1, threads: 0, name: "worker".into(), max_link_retries: 10 }
+    }
+}
+
+/// Campaign outcome from one worker's perspective.
+#[derive(Debug, Clone)]
+pub struct WorkerResult {
+    /// First global shard id this worker ran.
+    pub base_shard: usize,
+    /// Local shard count.
+    pub shards: usize,
+    /// Sync rounds this worker completed (including pre-resume).
+    pub rounds_completed: usize,
+    /// Executions across this worker's shards (this run).
+    pub executions: u64,
+    /// Whether the hub declared the campaign complete (`false` after a
+    /// kill-after-rounds stop).
+    pub finished: bool,
+    /// Metrics drained from the worker-local event bus (indexed by
+    /// *global* shard id; remote shards stay zeroed).
+    pub stats: FleetStats,
+    /// This worker's wire counters (also reported to the hub with
+    /// every `RoundDone`).
+    pub net_totals: NetCounters,
+}
+
+/// The hub connection with reconnect/replay semantics.
+struct Link {
+    connector: Box<dyn Connector>,
+    channel: Option<Channel>,
+    /// Counters of retired (failed) channels plus link bookkeeping.
+    retired: NetCounters,
+    name: String,
+    shards: usize,
+    /// Set after the first `HelloAck`; re-sent as `claim` on reconnect.
+    base_shard: Option<usize>,
+    max_link_retries: u32,
+}
+
+impl Link {
+    /// Current cumulative wire counters (retired + live channel).
+    fn counters(&self) -> NetCounters {
+        let mut totals = self.retired;
+        if let Some(ch) = &self.channel {
+            totals.absorb(&ch.counters());
+        }
+        totals
+    }
+
+    fn retire_channel(&mut self) {
+        if let Some(ch) = self.channel.take() {
+            self.retired.absorb(&ch.counters());
+        }
+    }
+
+    /// One dial + handshake attempt. On success the channel is live and
+    /// the campaign spec is returned.
+    fn handshake(&mut self) -> Result<CampaignSpec, NetError> {
+        let transport = self.connector.connect()?;
+        let mut ch = Channel::new(transport);
+        let hello = Message::Hello {
+            version: PROTOCOL_VERSION,
+            worker: self.name.clone(),
+            shards: self.shards,
+            claim: self.base_shard,
+        };
+        let outcome = ch.send(&hello).and_then(|()| ch.recv());
+        let result = match outcome {
+            Ok(Message::HelloAck { version, base_shard, campaign }) => {
+                if version != PROTOCOL_VERSION {
+                    Err(NetError::Version { ours: PROTOCOL_VERSION, theirs: version })
+                } else if self.base_shard.is_some_and(|claimed| claimed != base_shard) {
+                    Err(NetError::Protocol(format!(
+                        "hub reassigned base shard {base_shard}, claimed {:?}",
+                        self.base_shard
+                    )))
+                } else {
+                    self.base_shard = Some(base_shard);
+                    Ok(campaign)
+                }
+            }
+            Ok(Message::Bye { reason }) => Err(NetError::Protocol(format!("hub refused: {reason}"))),
+            Ok(other) => {
+                Err(NetError::Protocol(format!("expected hello-ack, got {other:?}")))
+            }
+            Err(e) => Err(e),
+        };
+        match result {
+            Ok(campaign) => {
+                self.channel = Some(ch);
+                Ok(campaign)
+            }
+            Err(e) => {
+                self.retired.absorb(&ch.counters());
+                Err(e)
+            }
+        }
+    }
+
+    /// Re-dials with capped exponential backoff until the handshake
+    /// lands or the retry budget is spent. Returns the (re-confirmed)
+    /// campaign spec.
+    fn reconnect(&mut self) -> Result<CampaignSpec, NetError> {
+        self.retire_channel();
+        let mut delay = Duration::from_millis(10);
+        let mut last = NetError::Closed;
+        for _ in 0..self.max_link_retries.max(1) {
+            self.retired.link_retries += 1;
+            match self.handshake() {
+                Ok(campaign) => {
+                    self.retired.reconnects += 1;
+                    return Ok(campaign);
+                }
+                Err(e) => last = e,
+            }
+            thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(500));
+        }
+        Err(NetError::Io(format!(
+            "reconnect failed after {} retries: {last}",
+            self.max_link_retries.max(1)
+        )))
+    }
+
+    /// Sends `msg` and awaits the answer `expect` recognizes,
+    /// transparently reconnecting and replaying on any link failure
+    /// (the hub deduplicates pushes and round reports; pulls are pure
+    /// reads). Residual messages from a reconnect replay — e.g. a
+    /// second `RoundAck` when the round-done raced the fleet-wide
+    /// barrier broadcast — are counted as duplicates and skipped.
+    fn request_where(
+        &mut self,
+        msg: &Message,
+        expect: impl Fn(&Message) -> bool,
+    ) -> Result<Message, NetError> {
+        'attempt: loop {
+            if self.channel.is_none() {
+                self.reconnect()?;
+            }
+            let ch = self.channel.as_mut().expect("just reconnected");
+            if ch.send(msg).is_err() {
+                self.retire_channel();
+                continue 'attempt;
+            }
+            loop {
+                match self.channel.as_mut().expect("live channel").recv() {
+                    Ok(response) if expect(&response) => return Ok(response),
+                    Ok(Message::Bye { reason }) => {
+                        self.retire_channel();
+                        return Err(NetError::Protocol(format!("hub closed session: {reason}")));
+                    }
+                    Ok(_replay_residue) => {
+                        self.retired.dup_frames += 1;
+                    }
+                    Err(_) => {
+                        self.retire_channel();
+                        continue 'attempt;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fire-and-forget close; the campaign is already complete.
+    fn bye(&mut self, reason: &str) {
+        if let Some(ch) = self.channel.as_mut() {
+            let _ = ch.send(&Message::Bye { reason: reason.into() });
+        }
+        self.retire_channel();
+    }
+}
+
+/// Runs this host's slice of a distributed campaign against a hub.
+pub struct WorkerRuntime {
+    cfg: WorkerConfig,
+}
+
+impl WorkerRuntime {
+    /// A runtime for `cfg` (shard count clamped to at least 1).
+    pub fn new(cfg: WorkerConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        Self { cfg: WorkerConfig { shards, ..cfg } }
+    }
+
+    /// Connects, claims a shard range, and runs the campaign to the
+    /// hub's `RoundAck { continue_campaign: false }`.
+    pub fn run(&self, connector: Box<dyn Connector>) -> Result<WorkerResult, NetError> {
+        let mut link = Link {
+            connector,
+            channel: None,
+            retired: NetCounters::default(),
+            name: self.cfg.name.clone(),
+            shards: self.cfg.shards,
+            base_shard: None,
+            max_link_retries: self.cfg.max_link_retries,
+        };
+        let campaign = match link.handshake() {
+            Ok(campaign) => campaign,
+            // The very first dial also deserves the backoff loop (a hub
+            // still binding its socket), but a refusal is final.
+            Err(e @ (NetError::Protocol(_) | NetError::Version { .. })) => return Err(e),
+            Err(_) => link.reconnect()?,
+        };
+        let base_shard = link.base_shard.expect("handshake sets base");
+        let spec = catalog::by_id(&campaign.device).ok_or_else(|| {
+            NetError::Protocol(format!("hub campaign names unknown device {:?}", campaign.device))
+        })?;
+        if campaign.engine_config(0).is_none() {
+            return Err(NetError::Protocol(format!(
+                "hub campaign names unknown variant {:?}",
+                campaign.variant
+            )));
+        }
+        self.run_campaign(&mut link, &campaign, &spec, base_shard)
+    }
+
+    fn run_campaign(
+        &self,
+        link: &mut Link,
+        campaign: &CampaignSpec,
+        spec: &FirmwareSpec,
+        base_shard: usize,
+    ) -> Result<WorkerResult, NetError> {
+        let total_us = (campaign.hours * HOUR_US as f64) as u64;
+        let interval_us = ((campaign.sync_interval_hours * HOUR_US as f64) as u64).max(1);
+        let total_rounds = (total_us.div_ceil(interval_us) as usize).max(1);
+        let start_round = campaign.start_round.min(total_rounds);
+        let clock_offset_us = campaign.clock_us.min(total_us);
+
+        let local = self.cfg.shards;
+        let (bus, rx) = EventBus::new();
+        let workers = if self.cfg.threads == 0 {
+            local
+        } else {
+            self.cfg.threads.clamp(1, local)
+        };
+        let chunk_len = local.div_ceil(workers);
+
+        // Boot engines on the worker pool, exactly like the local
+        // orchestrator: global shard `g` gets engine seed `g + 1`.
+        let local_ids: Vec<usize> = (0..local).collect();
+        let engines: Vec<FuzzingEngine> = thread::scope(|scope| {
+            let handles: Vec<_> = local_ids
+                .chunks(chunk_len)
+                .map(|ids| {
+                    let spec = spec.clone();
+                    scope.spawn(move || {
+                        ids.iter()
+                            .map(|&i| {
+                                let g = (base_shard + i) as u64;
+                                let config =
+                                    campaign.engine_config(g + 1).expect("variant validated");
+                                FuzzingEngine::new(spec.clone().boot(), config)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("shard boot")).collect()
+        });
+        let mut shards: Vec<Shard> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, engine)| Shard::new(base_shard + i, engine, bus.clone(), clock_offset_us))
+            .collect();
+        let table = shards[0].engine().desc_table().clone();
+
+        // The hub relation graph, rebuilt whenever the hub resends its
+        // (revision-gated) export and merged on every pull — the same
+        // graph value local shards see in `hub.relations()`.
+        let mut hub_graph: Option<RelationGraph> = None;
+        let mut restored = vec![0usize; local];
+        let mut pulled = vec![0u64; local];
+        let mut heartbeats = vec![0u64; local];
+
+        // Initial restore: what `restore_from_hub` does locally, over
+        // the wire. On a fresh campaign the hub is empty and this is a
+        // no-op import; on resume it delivers the snapshot corpus.
+        if campaign.sync {
+            for i in 0..local {
+                let (text, cursor, _delivered) = self.pull(
+                    link,
+                    start_round,
+                    base_shard + i,
+                    shards[i].cursor(),
+                    false,
+                    &mut hub_graph,
+                    &table,
+                )?;
+                restored[i] += shards[i].apply_restore(&text, cursor, hub_graph.as_ref());
+            }
+        } else {
+            for shard in &shards {
+                bus.emit(FleetEvent::ShardStarted { shard: shard.id, restored_seeds: 0 });
+            }
+        }
+
+        let mut rounds_completed = start_round;
+        let mut clock_us = clock_offset_us;
+        let mut finished = false;
+
+        for round in start_round..total_rounds {
+            let global_target = (interval_us * (round as u64 + 1)).min(total_us);
+            let slice_us = global_target.saturating_sub(clock_us);
+            for (i, shard) in shards.iter().enumerate() {
+                if !shard.is_quarantined(round) {
+                    heartbeats[i] += 1;
+                }
+            }
+
+            // Fuzz the slice on contiguous chunks, one scoped thread
+            // each; chunks join in order so updates come back in
+            // shard-id order.
+            let updates: Vec<ShardUpdate> = thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .chunks_mut(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut updates = Vec::with_capacity(chunk.len());
+                            for shard in chunk {
+                                if shard.is_quarantined(round) {
+                                    shard.skip_slice(slice_us);
+                                } else {
+                                    shard.run_slice(global_target, round);
+                                }
+                                updates.push(shard.prepare_update());
+                            }
+                            updates
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("shard worker")).collect()
+            });
+
+            // Push every shard's update; the hub applies them in global
+            // shard-id order once all fleet shards have reported.
+            for (i, update) in updates.into_iter().enumerate() {
+                let wire = WireUpdate {
+                    shard: update.shard,
+                    corpus_delta: update.corpus_delta,
+                    new_blocks: update.new_blocks.iter().map(|b| b.0).collect(),
+                    relations_text: update.relations.as_ref().map(|g| g.export(&table)),
+                    crashes: shards[i]
+                        .engine()
+                        .crash_db()
+                        .records()
+                        .into_iter()
+                        .cloned()
+                        .collect(),
+                };
+                self.push(link, round, wire)?;
+            }
+
+            // Pull the peers' seeds published this round (barrier
+            // `round + 1`: the hub answers once the round is applied).
+            if campaign.sync {
+                for i in 0..local {
+                    let (text, cursor, delivered) = self.pull(
+                        link,
+                        round + 1,
+                        base_shard + i,
+                        shards[i].cursor(),
+                        false,
+                        &mut hub_graph,
+                        &table,
+                    )?;
+                    pulled[i] += shards[i].apply_pull(
+                        &text,
+                        cursor,
+                        delivered as usize,
+                        hub_graph.as_ref(),
+                    ) as u64;
+                }
+            }
+
+            // Self-heal, mirroring the local supervisor taxonomy: a
+            // lost device restarts from the full hub corpus; a flapping
+            // shard is quarantined for an exponential window.
+            for (i, shard) in shards.iter_mut().enumerate() {
+                if shard.is_quarantined(round) {
+                    continue;
+                }
+                if !shard.engine().device_lost() {
+                    shard.note_healthy();
+                    continue;
+                }
+                let g = (base_shard + i) as u64;
+                let restarts = u64::from(shard.restarts()) + 1;
+                let config = campaign
+                    .engine_config(g + 1 + restarts * 1009)
+                    .expect("variant validated");
+                let engine = FuzzingEngine::new(spec.clone().boot(), config);
+                shard.replace_engine(engine, global_target);
+                bus.emit(FleetEvent::ShardRestarted {
+                    shard: base_shard + i,
+                    round,
+                    restarts: shard.restarts(),
+                });
+                let (text, cursor, _) = self.pull(
+                    link,
+                    round + 1,
+                    base_shard + i,
+                    0,
+                    true,
+                    &mut hub_graph,
+                    &table,
+                )?;
+                shard.apply_full_restore(&text, cursor, hub_graph.as_ref());
+                if shard.consecutive_losses() >= campaign.flap_limit.max(1) {
+                    let window = 1usize << shard.quarantines().min(8);
+                    let until = round + 1 + window;
+                    shard.quarantine_until(until);
+                    bus.emit(FleetEvent::ShardQuarantined {
+                        shard: base_shard + i,
+                        round,
+                        until_round: until,
+                    });
+                }
+            }
+
+            rounds_completed = round + 1;
+            clock_us = global_target;
+
+            // Sync barrier: report telemetry, wait for the fleet-wide
+            // ack, and learn whether the campaign goes on.
+            let stats: Vec<WireShardStats> = shards
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| WireShardStats {
+                    shard: shard.id,
+                    heartbeats: heartbeats[i],
+                    executions: shard.total_executions(),
+                    clock_us: shard.global_clock_us(),
+                    corpus_len: shard.engine().corpus().len(),
+                    coverage: shard.engine().kernel_coverage(),
+                    crashes: shard.engine().crash_db().len(),
+                    restored_seeds: restored[i],
+                    restarts: shard.restarts(),
+                    quarantines: shard.quarantines(),
+                    pulled: pulled[i],
+                    faults: shard.fault_totals(),
+                    lint: shard.lint_totals(),
+                })
+                .collect();
+            let net = link.counters();
+            let done = Message::RoundDone { round, stats, net };
+            let ack = link.request_where(&done, |m| {
+                matches!(m, Message::RoundAck { round: acked, .. } if *acked == round)
+            })?;
+            let Message::RoundAck { continue_campaign, .. } = ack else { unreachable!() };
+            if !continue_campaign {
+                finished = rounds_completed == total_rounds;
+                break;
+            }
+        }
+
+        for shard in &shards {
+            shard.finish();
+        }
+        link.bye("campaign complete");
+        let net_totals = link.counters();
+        let mut stats = FleetStats::drain(&rx, campaign.shards);
+        stats.net_totals = net_totals;
+        Ok(WorkerResult {
+            base_shard,
+            shards: local,
+            rounds_completed,
+            executions: shards.iter().map(Shard::total_executions).sum(),
+            finished,
+            stats,
+            net_totals,
+        })
+    }
+
+    /// One push step: replayed through reconnects until acknowledged.
+    fn push(&self, link: &mut Link, round: usize, wire: WireUpdate) -> Result<(), NetError> {
+        let shard = wire.shard;
+        let msg = Message::PushUpdate { round, update: wire };
+        link.request_where(&msg, |m| {
+            matches!(m, Message::PushAck { round: r, shard: s, .. } if *r == round && *s == shard)
+        })?;
+        Ok(())
+    }
+
+    /// One pull step: updates the cached hub relation graph when the
+    /// hub sent a fresh export, then hands back the corpus answer.
+    #[allow(clippy::too_many_arguments)]
+    fn pull(
+        &self,
+        link: &mut Link,
+        barrier: usize,
+        shard: usize,
+        cursor: u64,
+        full: bool,
+        hub_graph: &mut Option<RelationGraph>,
+        table: &fuzzlang::desc::DescTable,
+    ) -> Result<(String, u64, u64), NetError> {
+        let msg = Message::PullRequest { barrier, shard, cursor, full };
+        let response = link.request_where(&msg, |m| {
+            matches!(
+                m,
+                Message::PullResponse { barrier: b, shard: s, .. } if *b == barrier && *s == shard
+            )
+        })?;
+        let Message::PullResponse { corpus_text, cursor, delivered, relations_text, .. } =
+            response
+        else {
+            unreachable!()
+        };
+        if let Some(text) = relations_text {
+            let mut graph = RelationGraph::new(table);
+            graph.import(&text, table);
+            *hub_graph = Some(graph);
+        }
+        Ok((corpus_text, cursor, delivered))
+    }
+}

@@ -17,6 +17,7 @@
 use super::StoreCounters;
 use crate::crashes::CrashRecord;
 use crate::fleet::snapshot::{crash_fields, escape, parse_crash_line, unescape};
+use crate::net::NetCounters;
 use crate::supervisor::FaultCounters;
 use droidfuzz_analysis::LintCounters;
 
@@ -66,6 +67,8 @@ pub enum FleetDelta {
     Lint(LintCounters),
     /// Cumulative durability counters (absolute).
     Store(StoreCounters),
+    /// Cumulative wire-layer counters (absolute).
+    Net(NetCounters),
     /// A sync round completed at this fleet clock.
     Round {
         /// Rounds completed (the value a resume starts from).
@@ -122,6 +125,7 @@ impl FleetDelta {
             FleetDelta::Faults(c) => encode_counters("faults", c.entries()),
             FleetDelta::Lint(c) => encode_counters("lint", c.entries()),
             FleetDelta::Store(c) => encode_counters("store", c.entries()),
+            FleetDelta::Net(c) => encode_counters("net", c.entries()),
             FleetDelta::Round { round, clock_us } => format!("round {round} {clock_us}"),
         }
     }
@@ -189,6 +193,11 @@ impl FleetDelta {
                 decode_counters(rest, |k, v| c.set(k, v))?;
                 Some(FleetDelta::Store(c))
             }
+            "net" => {
+                let mut c = NetCounters::default();
+                decode_counters(rest, |k, v| c.set(k, v))?;
+                Some(FleetDelta::Net(c))
+            }
             "round" => {
                 let (round, clock_us) = rest.split_once(' ')?;
                 Some(FleetDelta::Round {
@@ -237,6 +246,11 @@ mod tests {
         round_trip(FleetDelta::Store(StoreCounters {
             journal_records: 9,
             recoveries: 1,
+            ..Default::default()
+        }));
+        round_trip(FleetDelta::Net(NetCounters {
+            frames_sent: 17,
+            reconnects: 2,
             ..Default::default()
         }));
         round_trip(FleetDelta::Round { round: 12, clock_us: 3_600_000_000 });

@@ -221,6 +221,7 @@ impl ReplayState {
             FleetDelta::Faults(c) => self.snap.fault_totals = c,
             FleetDelta::Lint(c) => self.snap.lint_totals = c,
             FleetDelta::Store(c) => self.snap.store_totals = c,
+            FleetDelta::Net(c) => self.snap.net_totals = c,
             FleetDelta::Round { round, clock_us } => {
                 self.snap.round = round;
                 self.snap.clock_us = clock_us;

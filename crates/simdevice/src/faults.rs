@@ -237,6 +237,133 @@ impl FaultPlan {
     }
 }
 
+/// Per-frame link fault probabilities (each in `[0, 1]`) for a
+/// networked transport. At most one fault fires per frame; kinds are
+/// rolled in declaration order and the first hit wins, mirroring
+/// [`FaultRates`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaultRates {
+    /// The frame arrives with its tail cut off (decoder sees a torn
+    /// frame and must resynchronize by reconnecting).
+    pub truncate: f64,
+    /// A payload byte is flipped in flight (CRC mismatch on receive).
+    pub corrupt: f64,
+    /// The frame is delivered twice back to back.
+    pub duplicate: f64,
+    /// The connection drops before the frame is delivered.
+    pub disconnect: f64,
+    /// The frame is delayed (counted; delivery still succeeds — stalls
+    /// never change what arrives, only when).
+    pub stall: f64,
+}
+
+impl LinkFaultRates {
+    /// The link rates behind a [`FaultProfile`].
+    pub fn for_profile(profile: FaultProfile) -> Self {
+        match profile {
+            FaultProfile::Reliable => {
+                Self { truncate: 0.0, corrupt: 0.0, duplicate: 0.0, disconnect: 0.0, stall: 0.0 }
+            }
+            FaultProfile::Flaky => Self {
+                truncate: 0.004,
+                corrupt: 0.004,
+                duplicate: 0.003,
+                disconnect: 0.002,
+                stall: 0.010,
+            },
+            FaultProfile::Hostile => Self {
+                truncate: 0.015,
+                corrupt: 0.012,
+                duplicate: 0.010,
+                disconnect: 0.008,
+                stall: 0.030,
+            },
+        }
+    }
+}
+
+/// One injected link fault, drawn per transported frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Deliver only a prefix of the frame.
+    TruncatedFrame,
+    /// Deliver the frame with one byte flipped.
+    CorruptFrame,
+    /// Deliver the frame twice.
+    DuplicateFrame,
+    /// Drop the connection before delivering the frame.
+    Disconnect,
+    /// Delay the frame (delivery still succeeds).
+    Stall,
+}
+
+/// A seeded, profile-driven link fault schedule — the network analogue
+/// of [`FaultPlan`]. `draw` consumes a fixed number of RNG words per
+/// call regardless of what fires, so the fault sequence for frame *n*
+/// depends only on `(seed, rates)`, never on how earlier faults were
+/// handled.
+#[derive(Debug, Clone)]
+pub struct LinkFaultPlan {
+    rates: LinkFaultRates,
+    rng: StdRng,
+    drawn: u64,
+}
+
+impl LinkFaultPlan {
+    /// A plan for `profile`, seeded independently of the fuzzer's RNG.
+    pub fn for_profile(profile: FaultProfile, seed: u64) -> Self {
+        Self::with_rates(LinkFaultRates::for_profile(profile), seed)
+    }
+
+    /// A plan with explicit rates (tests force specific fault mixes).
+    pub fn with_rates(rates: LinkFaultRates, seed: u64) -> Self {
+        Self { rates, rng: StdRng::seed_from_u64(seed), drawn: 0 }
+    }
+
+    /// The rates in effect.
+    pub fn rates(&self) -> &LinkFaultRates {
+        &self.rates
+    }
+
+    /// Draws the link fault (if any) for the next frame. At most one
+    /// kind fires; earlier kinds in the roll order shadow later ones.
+    pub fn draw(&mut self) -> Option<LinkFault> {
+        self.drawn += 1;
+        let rolls = [
+            (self.rates.truncate, LinkFault::TruncatedFrame),
+            (self.rates.corrupt, LinkFault::CorruptFrame),
+            (self.rates.duplicate, LinkFault::DuplicateFrame),
+            (self.rates.disconnect, LinkFault::Disconnect),
+            (self.rates.stall, LinkFault::Stall),
+        ];
+        let mut hit = None;
+        for (p, fault) in rolls {
+            // Roll every kind even after a hit: constant RNG consumption
+            // keeps the schedule independent of recovery decisions.
+            let fired = p > 0.0 && self.rng.gen_bool(p);
+            if fired && hit.is_none() {
+                hit = Some(fault);
+            }
+        }
+        hit
+    }
+
+    /// Frames the plan has drawn for.
+    pub fn draws(&self) -> u64 {
+        self.drawn
+    }
+
+    /// Deterministically picks an index in `0..n` (e.g. which byte of a
+    /// frame to flip or where to truncate).
+    pub fn pick_index(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            0
+        } else {
+            self.rng.gen_range(0..n)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,5 +436,44 @@ mod tests {
         for _ in 0..100 {
             assert!(plan.pick_index(7) < 7);
         }
+    }
+
+    #[test]
+    fn reliable_link_never_faults() {
+        let mut plan = LinkFaultPlan::for_profile(FaultProfile::Reliable, 7);
+        assert!((0..5_000).all(|_| plan.draw().is_none()));
+        assert_eq!(plan.draws(), 5_000);
+    }
+
+    #[test]
+    fn same_seed_same_link_schedule() {
+        let mut a = LinkFaultPlan::for_profile(FaultProfile::Hostile, 99);
+        let mut b = LinkFaultPlan::for_profile(FaultProfile::Hostile, 99);
+        for _ in 0..5_000 {
+            assert_eq!(a.draw(), b.draw());
+        }
+    }
+
+    #[test]
+    fn hostile_link_faults_more_than_flaky() {
+        let count = |profile| {
+            let mut plan = LinkFaultPlan::for_profile(profile, 11);
+            (0..20_000).filter(|_| plan.draw().is_some()).count()
+        };
+        let flaky = count(FaultProfile::Flaky);
+        let hostile = count(FaultProfile::Hostile);
+        assert!(flaky > 0, "flaky link must fault at all");
+        assert!(hostile > 2 * flaky, "hostile {hostile} vs flaky {flaky}");
+    }
+
+    #[test]
+    fn link_roll_order_shadows_later_kinds() {
+        let rates = LinkFaultRates {
+            truncate: 1.0,
+            disconnect: 1.0,
+            ..LinkFaultRates::for_profile(FaultProfile::Flaky)
+        };
+        let mut plan = LinkFaultPlan::with_rates(rates, 5);
+        assert_eq!(plan.draw(), Some(LinkFault::TruncatedFrame));
     }
 }

@@ -26,5 +26,5 @@ pub mod firmware;
 pub use adb::AdbLink;
 pub use bugs::{BugId, KnownBug, BUG_CATALOG};
 pub use device::Device;
-pub use faults::{Fault, FaultPlan, FaultProfile, FaultRates};
+pub use faults::{Fault, FaultPlan, FaultProfile, FaultRates, LinkFault, LinkFaultPlan, LinkFaultRates};
 pub use firmware::{Arch, BugSet, DeviceMeta, DriverKind, FirmwareSpec, ServiceKind};

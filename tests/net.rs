@@ -1,0 +1,394 @@
+//! Distributed fleet integration tests: wire-codec round trips, the
+//! tentpole bit-identity guarantee (a fixed-seed distributed campaign
+//! over loopback equals the local `--threads` run), reliable-link
+//! reproducibility including net counters, hostile-link reconnects with
+//! zero lost corpus/crash state, and distributed kill/resume.
+
+use droidfuzz_repro::droidfuzz::config::FuzzerConfig;
+use droidfuzz_repro::droidfuzz::crashes::CrashRecord;
+use droidfuzz_repro::droidfuzz::fleet::{Fleet, FleetConfig, FleetSnapshot, SNAPSHOT_HEADER};
+use droidfuzz_repro::droidfuzz::net::{
+    decode_frame, decode_message, encode_frame, encode_message, CampaignSpec, HubResult,
+    HubServer, LoopbackConnector, Message, NetCounters, NetError, ServeConfig, WireShardStats,
+    WireUpdate, WorkerConfig, WorkerResult, WorkerRuntime,
+};
+use droidfuzz_repro::simdevice::catalog;
+use droidfuzz_repro::simdevice::faults::{FaultProfile, LinkFaultRates};
+use droidfuzz_repro::simkernel::report::{BugKind, Component};
+use proptest::prelude::*;
+use std::thread;
+
+/// Same campaign shape as `tests/fleet.rs` — 3 sync rounds of 0.05
+/// virtual hours each, checkpoint every round.
+fn quick_fleet(shards: usize, kill_after_rounds: Option<usize>) -> FleetConfig {
+    FleetConfig {
+        shards,
+        hours: 0.15,
+        sync_interval_hours: 0.05,
+        sync: true,
+        hub_capacity: 256,
+        kill_after_rounds,
+        flap_limit: 2,
+        checkpoint_interval_rounds: 1,
+        threads: 0,
+    }
+}
+
+/// Hub config matching the local `FuzzerConfig::droidfuzz` recipe:
+/// `engine_config(s) = variant_config("droidfuzz", 0 + s)`.
+fn serve_config(fleet: FleetConfig) -> ServeConfig {
+    ServeConfig { fleet, device: "A1".into(), variant: "droidfuzz".into(), seed: 0 }
+}
+
+/// Drops the `net <counter> <value>` lines from a snapshot. A local
+/// run's snapshot carries its resume baseline (zeros on a fresh run)
+/// while a hub's carries live wire totals, so cross-mode comparisons go
+/// modulo the net section; everything else must match byte for byte.
+fn strip_net(snapshot: &str) -> String {
+    snapshot
+        .lines()
+        .filter(|line| !line.starts_with("net "))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Boots a loopback hub plus one worker per entry in `splits` (each
+/// entry is that worker's local shard count) and runs the campaign to
+/// completion on plain threads.
+fn run_distributed(
+    fleet: FleetConfig,
+    splits: &[usize],
+    rates: LinkFaultRates,
+    seed: u64,
+    resume: Option<FleetSnapshot>,
+) -> (HubResult, Vec<WorkerResult>) {
+    let (connector, listener) = LoopbackConnector::with_rates(rates, seed);
+    let cfg = serve_config(fleet);
+    let hub = thread::spawn(move || HubServer::new(cfg).serve(listener, None, resume.as_ref()));
+    let workers: Vec<_> = splits
+        .iter()
+        .enumerate()
+        .map(|(i, &shards)| {
+            let conn =
+                connector.sibling_with_rates(rates, seed.wrapping_add(1000 * (i as u64 + 1)));
+            let cfg = WorkerConfig {
+                shards,
+                threads: 0,
+                name: format!("w{i}"),
+                max_link_retries: 50,
+            };
+            thread::spawn(move || WorkerRuntime::new(cfg).run(Box::new(conn)))
+        })
+        .collect();
+    drop(connector);
+    let worker_results: Vec<WorkerResult> = workers
+        .into_iter()
+        .map(|h| h.join().expect("worker thread").expect("worker completes"))
+        .collect();
+    let hub_result = hub.join().expect("hub thread").expect("hub completes");
+    (hub_result, worker_results)
+}
+
+fn reliable() -> LinkFaultRates {
+    LinkFaultRates::for_profile(FaultProfile::Reliable)
+}
+
+fn crash_titles(crashes: &[CrashRecord]) -> Vec<String> {
+    crashes.iter().map(|c| c.title.clone()).collect()
+}
+
+// ---------------------------------------------------------------------
+// Codec round trips
+// ---------------------------------------------------------------------
+
+/// Every message variant survives encode → decode unchanged, including
+/// embedded newlines, escapes, and optional fields in both states.
+#[test]
+fn every_message_variant_round_trips_through_the_codec() {
+    let crash = CrashRecord {
+        title: "KASAN: slab-use-after-free in gpu_job_submit".into(),
+        kind: BugKind::KasanUseAfterFree,
+        component: Component::KernelDriver,
+        count: 3,
+        first_seen_us: 123_456,
+        repro: Some("open dev=\"gpu\"\nioctl cmd=0x1f\n".into()),
+    };
+    let update = WireUpdate {
+        shard: 2,
+        corpus_delta: "# seed 1\nopen dev=\"npu\"\n\nclose fd=3\n".into(),
+        new_blocks: vec![1, 99, 1 << 40],
+        relations_text: Some("edge open ioctl 0.5\n".into()),
+        crashes: vec![crash],
+    };
+    let stats = WireShardStats {
+        shard: 1,
+        heartbeats: 3,
+        executions: 1017,
+        clock_us: 180_000_000,
+        corpus_len: 41,
+        coverage: 912,
+        crashes: 2,
+        restored_seeds: 7,
+        restarts: 1,
+        quarantines: 0,
+        pulled: 5,
+        faults: Default::default(),
+        lint: Default::default(),
+    };
+    let campaign = CampaignSpec {
+        device: "A1".into(),
+        variant: "droidfuzz".into(),
+        seed: 0,
+        hours: 0.15,
+        sync_interval_hours: 0.05,
+        sync: true,
+        shards: 3,
+        hub_capacity: 256,
+        flap_limit: 2,
+        start_round: 1,
+        clock_us: 180_000_000,
+    };
+    let net = NetCounters { frames_sent: 12, reconnects: 1, ..Default::default() };
+    let messages = vec![
+        Message::Hello { version: 1, worker: "w0".into(), shards: 2, claim: None },
+        Message::Hello { version: 1, worker: "w \"q\"".into(), shards: 2, claim: Some(4) },
+        Message::HelloAck { version: 1, base_shard: 1, campaign },
+        Message::PushUpdate { round: 0, update },
+        Message::PushAck { round: 0, shard: 2, duplicate: true },
+        Message::PullRequest { barrier: 1, shard: 0, cursor: 9, full: false },
+        Message::PullResponse {
+            barrier: 1,
+            shard: 0,
+            corpus_text: "# seed 2\nmmap len=4096\n".into(),
+            cursor: 12,
+            delivered: 3,
+            relations_text: None,
+        },
+        Message::RoundDone { round: 2, stats: vec![stats], net },
+        Message::RoundAck { round: 2, continue_campaign: false },
+        Message::Heartbeat { round: 1 },
+        Message::Bye { reason: "campaign complete".into() },
+    ];
+    for msg in messages {
+        let text = encode_message(&msg);
+        let back = decode_message(&text).unwrap_or_else(|e| panic!("decode {text:?}: {e}"));
+        assert_eq!(back, msg);
+    }
+}
+
+proptest! {
+    /// Frames round-trip for arbitrary binary payloads and sequence
+    /// numbers, and the decoder reports exactly the bytes it consumed.
+    #[test]
+    fn frames_round_trip(seq in any::<u64>(),
+                         payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let frame = encode_frame(seq, &payload);
+        let (got_seq, got_payload, used) = decode_frame(&frame).expect("well-formed frame");
+        assert_eq!(got_seq, seq);
+        assert_eq!(got_payload, payload);
+        assert_eq!(used, frame.len());
+    }
+
+    /// A single flipped byte anywhere in a frame is either caught by a
+    /// typed decode error or decodes to something observably different —
+    /// never silently accepted as the original.
+    #[test]
+    fn corrupted_frames_never_pass_as_the_original(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        flip in any::<usize>(),
+    ) {
+        let mut frame = encode_frame(7, &payload);
+        let idx = flip % frame.len();
+        frame[idx] ^= 0x01;
+        match decode_frame(&frame) {
+            Ok((seq, body, _)) => assert!(
+                seq != 7 || body != payload,
+                "flipped byte {idx} decoded as the original frame"
+            ),
+            Err(NetError::Crc { .. })
+            | Err(NetError::Garbage(_))
+            | Err(NetError::Truncated(_))
+            | Err(NetError::Oversized(_)) => {}
+            Err(e) => panic!("unexpected error class for a flipped byte: {e}"),
+        }
+    }
+
+    /// Wire updates with arbitrary printable-plus-newline corpus text,
+    /// coverage blocks, and optional relations survive a message-level
+    /// round trip.
+    #[test]
+    fn wire_updates_round_trip(
+        shard in 0usize..8,
+        head in "[ -~]{0,48}",
+        lines in prop::collection::vec("[ -~]{0,24}", 0..4),
+        blocks in prop::collection::vec(any::<u64>(), 0..16),
+        round in 0usize..64,
+        with_relations in any::<bool>(),
+    ) {
+        let mut corpus_delta = head;
+        for line in &lines {
+            corpus_delta.push('\n');
+            corpus_delta.push_str(line);
+        }
+        let relations_text =
+            with_relations.then(|| format!("graph v1\n{}\n", corpus_delta.clone()));
+        let update = WireUpdate {
+            shard,
+            corpus_delta,
+            new_blocks: blocks,
+            relations_text,
+            crashes: Vec::new(),
+        };
+        let msg = Message::PushUpdate { round, update };
+        let back = decode_message(&encode_message(&msg)).expect("decodes");
+        assert_eq!(back, msg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distributed vs local bit-identity (the tentpole guarantee)
+// ---------------------------------------------------------------------
+
+/// A fixed-seed distributed campaign over loopback — one worker or the
+/// same shards split across two workers — must reproduce the local
+/// `--threads` run byte for byte modulo the snapshot's net section,
+/// with identical coverage, executions, and crash set.
+#[test]
+fn loopback_distributed_campaign_matches_local_run_bit_for_bit() {
+    let shards = 3;
+    let spec = catalog::device_a1();
+    let local = Fleet::new(quick_fleet(shards, None)).run(&spec, FuzzerConfig::droidfuzz);
+    assert!(local.finished);
+
+    let (one_worker, workers_a) =
+        run_distributed(quick_fleet(shards, None), &[3], reliable(), 11, None);
+    let (two_workers, workers_b) =
+        run_distributed(quick_fleet(shards, None), &[2, 1], reliable(), 22, None);
+
+    for (label, hub, workers) in
+        [("1x3", &one_worker, &workers_a), ("2+1", &two_workers, &workers_b)]
+    {
+        assert!(hub.finished, "{label}: hub must finish");
+        assert!(workers.iter().all(|w| w.finished), "{label}: workers must finish");
+        assert!(hub.snapshot.starts_with(SNAPSHOT_HEADER), "{label}: snapshot header");
+        assert_eq!(
+            strip_net(&hub.snapshot),
+            strip_net(&local.snapshot),
+            "{label}: distributed snapshot diverged from the local run"
+        );
+        assert_eq!(hub.union_coverage, local.union_coverage, "{label}: coverage");
+        assert_eq!(hub.executions, local.executions, "{label}: executions");
+        assert_eq!(hub.rounds_completed, local.rounds_completed, "{label}: rounds");
+        assert_eq!(hub.clock_us, local.clock_us, "{label}: clock");
+        assert_eq!(
+            crash_titles(&hub.crashes),
+            crash_titles(&local.crashes),
+            "{label}: crash set"
+        );
+        assert_eq!(hub.stats.union_coverage, local.stats.union_coverage, "{label}: stats");
+    }
+    assert_eq!(one_worker.workers, 1);
+    assert_eq!(two_workers.workers, 2);
+}
+
+/// On a reliable link no message is timer-driven, so two identical
+/// single-worker distributed runs agree on *everything* — including the
+/// snapshot's net section and the wire counters themselves.
+#[test]
+fn reliable_link_distributed_runs_reproduce_net_counters_bit_for_bit() {
+    let first = run_distributed(quick_fleet(2, None), &[2], reliable(), 7, None);
+    let second = run_distributed(quick_fleet(2, None), &[2], reliable(), 7, None);
+    assert!(first.0.finished && second.0.finished);
+    assert_eq!(first.0.snapshot, second.0.snapshot, "full snapshot incl. net section");
+    assert_eq!(first.0.net_totals, second.0.net_totals);
+    assert_eq!(first.1[0].net_totals, second.1[0].net_totals);
+    assert!(first.0.net_totals.frames_sent > 0, "hub must have sent frames");
+    assert_eq!(first.0.net_totals.sessions, 1);
+    assert_eq!(first.0.net_totals.reconnects, 0, "reliable link never reconnects");
+}
+
+// ---------------------------------------------------------------------
+// Hostile links
+// ---------------------------------------------------------------------
+
+/// A link that tears frames, flips bytes, and drops the connection
+/// mid-campaign forces reconnects — and the final hub state must still
+/// equal the local run's: zero lost corpus, coverage, or crash state.
+#[test]
+fn hostile_link_reconnects_without_losing_corpus_or_crash_state() {
+    let rates = LinkFaultRates {
+        truncate: 0.02,
+        corrupt: 0.02,
+        duplicate: 0.02,
+        disconnect: 0.04,
+        stall: 0.05,
+    };
+    let spec = catalog::device_a1();
+    let local = Fleet::new(quick_fleet(2, None)).run(&spec, FuzzerConfig::droidfuzz);
+    let (hub, workers) = run_distributed(quick_fleet(2, None), &[2], rates, 31, None);
+
+    assert!(hub.finished && workers[0].finished);
+    assert_eq!(
+        strip_net(&hub.snapshot),
+        strip_net(&local.snapshot),
+        "hostile link must not change campaign state"
+    );
+    assert_eq!(hub.union_coverage, local.union_coverage);
+    assert_eq!(hub.executions, local.executions);
+    assert_eq!(crash_titles(&hub.crashes), crash_titles(&local.crashes));
+    let net = hub.net_totals;
+    assert!(net.reconnects >= 1, "fault rates should force at least one reconnect: {net:?}");
+    assert!(net.sessions > 1, "each reconnect opens a fresh session: {net:?}");
+    assert!(
+        net.malformed_frames + net.truncated_frames + net.dup_frames > 0,
+        "fault injection should surface in the typed counters: {net:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Distributed kill/resume
+// ---------------------------------------------------------------------
+
+/// A hub killed after round 1 leaves a snapshot that a fresh hub (and a
+/// fresh worker) resumes to the same final state as the equivalent
+/// local kill/resume pair.
+#[test]
+fn distributed_kill_resume_matches_local_kill_resume() {
+    let spec = catalog::device_a1();
+    let killed_local =
+        Fleet::new(quick_fleet(2, Some(1))).run(&spec, FuzzerConfig::droidfuzz);
+    assert!(!killed_local.finished);
+    let resumed_local = Fleet::new(quick_fleet(2, None))
+        .resume(&spec, FuzzerConfig::droidfuzz, &killed_local.snapshot)
+        .expect("local snapshot parses");
+    assert!(resumed_local.finished);
+
+    let (killed_hub, killed_workers) =
+        run_distributed(quick_fleet(2, Some(1)), &[2], reliable(), 5, None);
+    assert!(!killed_hub.finished);
+    assert!(!killed_workers[0].finished, "worker must observe the kill");
+    assert_eq!(killed_hub.rounds_completed, 1);
+    assert_eq!(
+        strip_net(&killed_hub.snapshot),
+        strip_net(&killed_local.snapshot),
+        "kill-point snapshots must agree"
+    );
+
+    let snap = FleetSnapshot::parse(&killed_hub.snapshot).expect("hub snapshot parses");
+    let (resumed_hub, resumed_workers) =
+        run_distributed(quick_fleet(2, None), &[2], reliable(), 6, Some(snap));
+    assert!(resumed_hub.finished && resumed_workers[0].finished);
+    assert_eq!(resumed_hub.rounds_completed, 3);
+    assert_eq!(
+        strip_net(&resumed_hub.snapshot),
+        strip_net(&resumed_local.snapshot),
+        "resumed distributed campaign diverged from the local resume"
+    );
+    assert_eq!(resumed_hub.union_coverage, resumed_local.union_coverage);
+    assert_eq!(crash_titles(&resumed_hub.crashes), crash_titles(&resumed_local.crashes));
+    // The resumed hub's baseline carries the killed run's wire totals.
+    assert!(
+        resumed_hub.net_totals.frames_sent > killed_hub.net_totals.frames_sent,
+        "resume must absorb the killed run's net baseline"
+    );
+}
