@@ -10,6 +10,11 @@ pub struct LintCounters {
     pub rejected: u64,
     /// Programs rewritten by auto-repair and allowed through.
     pub repaired: u64,
+    /// Programs discarded because abstract interpretation proved every
+    /// driver call fails and prerequisite insertion could not fix it.
+    pub absint_rejected: u64,
+    /// Programs rescued by inserting prerequisite transitions.
+    pub absint_repaired: u64,
 }
 
 impl LintCounters {
@@ -17,12 +22,19 @@ impl LintCounters {
     pub fn absorb(&mut self, other: &LintCounters) {
         self.rejected += other.rejected;
         self.repaired += other.repaired;
+        self.absint_rejected += other.absint_rejected;
+        self.absint_repaired += other.absint_repaired;
     }
 
     /// All counters as `(key, value)` pairs in a fixed order — the
     /// snapshot wire format.
-    pub fn entries(&self) -> [(&'static str, u64); 2] {
-        [("rejected", self.rejected), ("repaired", self.repaired)]
+    pub fn entries(&self) -> [(&'static str, u64); 4] {
+        [
+            ("rejected", self.rejected),
+            ("repaired", self.repaired),
+            ("absint_rejected", self.absint_rejected),
+            ("absint_repaired", self.absint_repaired),
+        ]
     }
 
     /// Sets a counter by its [`entries`](Self::entries) key; `false` for
@@ -32,6 +44,8 @@ impl LintCounters {
         match key {
             "rejected" => self.rejected = value,
             "repaired" => self.repaired = value,
+            "absint_rejected" => self.absint_rejected = value,
+            "absint_repaired" => self.absint_repaired = value,
             _ => return false,
         }
         true
@@ -39,7 +53,7 @@ impl LintCounters {
 
     /// Sum of all counters (quick "did the gate ever fire?" check).
     pub fn total(&self) -> u64 {
-        self.rejected + self.repaired
+        self.rejected + self.repaired + self.absint_rejected + self.absint_repaired
     }
 }
 
@@ -49,15 +63,18 @@ mod tests {
 
     #[test]
     fn absorb_adds_fieldwise() {
-        let mut a = LintCounters { rejected: 2, repaired: 1 };
-        a.absorb(&LintCounters { rejected: 3, repaired: 4 });
-        assert_eq!(a, LintCounters { rejected: 5, repaired: 5 });
-        assert_eq!(a.total(), 10);
+        let mut a = LintCounters { rejected: 2, repaired: 1, absint_rejected: 1, absint_repaired: 0 };
+        a.absorb(&LintCounters { rejected: 3, repaired: 4, absint_rejected: 2, absint_repaired: 5 });
+        assert_eq!(
+            a,
+            LintCounters { rejected: 5, repaired: 5, absint_rejected: 3, absint_repaired: 5 }
+        );
+        assert_eq!(a.total(), 18);
     }
 
     #[test]
     fn entries_and_set_round_trip() {
-        let a = LintCounters { rejected: 7, repaired: 9 };
+        let a = LintCounters { rejected: 7, repaired: 9, absint_rejected: 2, absint_repaired: 4 };
         let mut b = LintCounters::default();
         for (key, value) in a.entries() {
             assert!(b.set(key, value), "{key} is settable");

@@ -24,22 +24,40 @@
 //! * [`audit`] — a second analyzer over *engine state* in its persistent
 //!   text forms: relation-graph exports (Eq. 1 in-weight sums, decay
 //!   bounds, orphan vertices), corpus exports, and fleet snapshots.
-//! * [`counters::LintCounters`] — `lint_rejected` / `lint_repaired`
-//!   totals, serialized through fleet snapshots the same way fault
-//!   counters are.
+//! * [`model`] — the static interface models: every state machine a
+//!   booted device self-describes ([`model::ModelSet::for_kernel`]), a
+//!   structural auditor over them (`model-invalid`,
+//!   `model-unreachable-state`, `model-dead-transition`,
+//!   `model-nondeterministic`), and the `produces`/`consumes` cross-driver
+//!   pairs used to seed the relation graph before the first execution.
+//! * [`absint`] — a flow-sensitive abstract interpreter that runs
+//!   programs over those models: per-call *definitely-fires* /
+//!   *provably-fails* verdicts (`absint-dead-call`,
+//!   `absint-guard-violation`, `absint-consume-before-produce`,
+//!   `absint-dead-prog`), a static depth score the corpus uses as seed
+//!   energy, and a deterministic prerequisite-insertion repair
+//!   ([`absint::repair_prereqs`]) behind the reachability gate
+//!   ([`absint::gate_prog_static`]).
+//! * [`counters::LintCounters`] — `lint_rejected` / `lint_repaired` plus
+//!   `absint_rejected` / `absint_repaired` totals, serialized through
+//!   fleet snapshots the same way fault counters are.
 //!
-//! The crate depends only on `fuzzlang`, so the fuzzer core, the bench
-//! harness, and the `droidfuzz-lint` CLI can all gate on it without
-//! dependency cycles.
+//! The crate depends only on `fuzzlang` and `simkernel` (for the driver
+//! model types), so the fuzzer core, the bench harness, and the
+//! `droidfuzz-lint` CLI can all gate on it without dependency cycles.
 
+pub mod absint;
 pub mod audit;
 pub mod counters;
 pub mod diag;
 pub mod lint;
+pub mod model;
 pub mod repair;
 
+pub use absint::{absint_prog, gate_prog_static, repair_prereqs, static_depth, AbsintResult};
 pub use audit::{audit_corpus, audit_relations, audit_snapshot};
 pub use counters::LintCounters;
 pub use diag::{Diagnostic, Report, Severity};
 pub use lint::lint_prog;
+pub use model::{ModelEntry, ModelSet};
 pub use repair::{gate_prog, repair_prog};

@@ -1,0 +1,533 @@
+//! Static interface models: the collection of per-driver state machines
+//! a booted device exposes, plus a structural auditor over them.
+//!
+//! Drivers self-describe their state machine through
+//! [`simkernel::driver::DriverApi::state_model`]; the Bluetooth stack
+//! (reached through sockets, not devfs) contributes two hand-written
+//! models. [`ModelSet::for_kernel`] collects everything a device knows
+//! about itself into one analysis-side table that the abstract
+//! interpreter ([`crate::absint`]), the relation-graph prior seeding, and
+//! the `droidfuzz-lint --model` CLI all consume.
+
+use crate::diag::{Report, Severity};
+use fuzzlang::desc::{CallKind, DescId, DescTable, SyscallTemplate};
+use fuzzlang::types::ResourceKind;
+use simkernel::driver::{validate_api, validate_model, Reliability, StateModel, TransOp, Transition, WordGuard};
+use simkernel::kernel::Kernel;
+use std::collections::BTreeSet;
+
+/// One modeled interface: a devfs driver (`node`) or a socket family
+/// (`sock_kind`), exactly one of which is set.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// Display label, e.g. `tcpc0` or `l2cap-stream`.
+    pub label: String,
+    /// Device node for fd-backed models (`/dev/…`).
+    pub node: Option<String>,
+    /// Produced resource kind for socket-backed models (`sock:…`).
+    pub sock_kind: Option<String>,
+    /// The state machine.
+    pub model: StateModel,
+}
+
+impl ModelEntry {
+    /// The resource kind a producer of this interface's handles carries
+    /// (`fd:<node>` or the socket kind).
+    pub fn produced_kind(&self) -> ResourceKind {
+        match (&self.node, &self.sock_kind) {
+            (Some(node), _) => ResourceKind::new(format!("fd:{node}")),
+            (None, Some(kind)) => ResourceKind::new(kind.clone()),
+            (None, None) => ResourceKind::new("fd"),
+        }
+    }
+}
+
+/// Every state model a booted device exposes, in deterministic order
+/// (devfs nodes sorted, then the Bluetooth socket families).
+#[derive(Debug, Clone, Default)]
+pub struct ModelSet {
+    entries: Vec<ModelEntry>,
+    /// Boot-time `validate_api` findings for every devfs driver (modeled
+    /// or not), surfaced by [`audit`](Self::audit) as errors.
+    api_problems: Vec<String>,
+}
+
+impl ModelSet {
+    /// Collects the models of every driver registered in `kernel`, plus
+    /// the Bluetooth socket-family models.
+    pub fn for_kernel(kernel: &Kernel) -> Self {
+        let mut set = ModelSet::default();
+        for node in kernel.device_nodes() {
+            let Some(api) = kernel.device_api(&node) else { continue };
+            let label = node.strip_prefix("/dev/").unwrap_or(&node).to_owned();
+            set.api_problems.extend(validate_api(&label, &api));
+            if let Some(model) = api.state_model {
+                set.entries.push(ModelEntry {
+                    label,
+                    node: Some(node),
+                    sock_kind: None,
+                    model,
+                });
+            }
+        }
+        let hci = simkernel::drivers::bt::hci_socket_state_model();
+        set.api_problems.extend(validate_model("hci", &hci));
+        set.entries.push(ModelEntry {
+            label: "hci".into(),
+            node: None,
+            sock_kind: Some("sock:hci".into()),
+            model: hci,
+        });
+        for (ty, tag) in [(1u32, "stream"), (2, "dgram"), (3, "raw")] {
+            let model = simkernel::drivers::bt::l2cap_socket_state_model(ty);
+            let label = format!("l2cap-{tag}");
+            set.api_problems.extend(validate_model(&label, &model));
+            set.entries.push(ModelEntry {
+                label,
+                node: None,
+                sock_kind: Some(format!("sock:l2cap:{tag}")),
+                model,
+            });
+        }
+        set
+    }
+
+    /// Builds a set from explicit entries (synthetic and test models).
+    pub fn from_entries(entries: Vec<ModelEntry>) -> Self {
+        Self { entries, api_problems: Vec::new() }
+    }
+
+    /// The collected entries.
+    pub fn entries(&self) -> &[ModelEntry] {
+        &self.entries
+    }
+
+    /// Whether no model was collected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index of the model for the devfs node `path`.
+    pub fn entry_for_node(&self, path: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.node.as_deref() == Some(path))
+    }
+
+    /// Index of the model whose handles carry `produced` (exact node kind
+    /// or longest socket-kind prefix).
+    pub fn entry_for_produced(&self, produced: &str) -> Option<usize> {
+        if let Some(node) = produced.strip_prefix("fd:") {
+            return self.entry_for_node(node);
+        }
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                e.sock_kind.as_deref().is_some_and(|k| {
+                    produced == k || produced.starts_with(&format!("{k}:"))
+                })
+            })
+            .max_by_key(|(_, e)| e.sock_kind.as_deref().map_or(0, str::len))
+            .map(|(i, _)| i)
+    }
+
+    /// Finds an entry by label, node path, or node basename.
+    pub fn find(&self, name: &str) -> Option<&ModelEntry> {
+        self.entries.iter().find(|e| {
+            e.label == name
+                || e.node.as_deref() == Some(name)
+                || e.node.as_deref().is_some_and(|n| n.strip_prefix("/dev/") == Some(name))
+        })
+    }
+
+    /// Audits every model for structural defects beyond what boot-time
+    /// validation covers: states unreachable from the initial state, dead
+    /// transitions (every source state unreachable), and nondeterministic
+    /// guard overlap (two same-op transitions from a common state whose
+    /// guards admit a common witness but whose targets differ). Boot-time
+    /// `validate_api` findings (duplicate request codes, empty
+    /// `Choice`/`Flags` shapes, malformed models) are replayed as errors.
+    pub fn audit(&self) -> Report {
+        let mut report = Report::new();
+        for problem in &self.api_problems {
+            report.push(Severity::Error, "model-invalid", None, problem.clone());
+        }
+        for entry in &self.entries {
+            audit_entry(entry, &mut report);
+        }
+        report
+    }
+
+    /// `(producer, consumer)` description pairs implied by matching
+    /// `produces`/`consumes` tags across models — the static priors a
+    /// relation graph can be seeded with before the first execution.
+    /// Sorted and deduplicated, so seeding is deterministic.
+    pub fn prior_pairs(&self, table: &DescTable) -> Vec<(DescId, DescId)> {
+        let mut producers: Vec<(&str, Vec<DescId>)> = Vec::new();
+        let mut consumers: Vec<(&str, Vec<DescId>)> = Vec::new();
+        for entry in &self.entries {
+            for t in &entry.model.transitions {
+                if let Some(tag) = &t.produces {
+                    producers.push((tag, descs_for_transition(entry, t, table)));
+                }
+                if let Some(tag) = &t.consumes {
+                    consumers.push((tag, descs_for_transition(entry, t, table)));
+                }
+            }
+        }
+        let mut pairs = BTreeSet::new();
+        for (ptag, pds) in &producers {
+            for (ctag, cds) in &consumers {
+                if ptag != ctag {
+                    continue;
+                }
+                for &p in pds {
+                    for &c in cds {
+                        if p != c {
+                            pairs.insert((p, c));
+                        }
+                    }
+                }
+            }
+        }
+        pairs.into_iter().collect()
+    }
+
+    /// Renders the model for `name` (plus its audit findings) as the
+    /// human-readable text `droidfuzz-lint --model` prints.
+    pub fn describe(&self, name: &str) -> Option<String> {
+        let entry = self.find(name)?;
+        let mut out = String::new();
+        let interface = entry
+            .node
+            .clone()
+            .or_else(|| entry.sock_kind.clone())
+            .unwrap_or_default();
+        out.push_str(&format!("model {} ({interface})\n", entry.label));
+        let m = &entry.model;
+        let mut flags = vec![if m.per_open { "per-open" } else { "device-global" }.to_owned()];
+        if m.close_clobbers {
+            flags.push("close-clobbers".into());
+        }
+        if m.close_orphans {
+            flags.push("close-orphans".into());
+        }
+        if m.global_backing {
+            flags.push("global-backing".into());
+        }
+        out.push_str(&format!("  scope: {}\n", flags.join(", ")));
+        out.push_str(&format!("  states: {}\n", m
+            .states
+            .iter()
+            .map(|s| if *s == m.initial { format!("*{s}") } else { s.clone() })
+            .collect::<Vec<_>>()
+            .join(", ")));
+        for t in &m.transitions {
+            out.push_str(&format!("  {}\n", render_transition(t)));
+        }
+        let mut audit = Report::new();
+        audit_entry(entry, &mut audit);
+        for d in &audit.diagnostics {
+            out.push_str(&format!("  audit: {d}\n"));
+        }
+        if audit.is_clean() {
+            out.push_str("  audit: clean\n");
+        }
+        Some(out)
+    }
+}
+
+/// Descriptions in `table` that lower to transition `t` of `entry`: the
+/// template matches the transition's op (typed ioctls by request code,
+/// raw `ioctl$…` descriptions by any ioctl op) and the description's
+/// first resource argument accepts this interface's handles.
+fn descs_for_transition(entry: &ModelEntry, t: &Transition, table: &DescTable) -> Vec<DescId> {
+    let produced = entry.produced_kind();
+    table
+        .iter()
+        .filter(|(_, desc)| {
+            let CallKind::Syscall(template) = &desc.kind else { return false };
+            let op_matches = match (&t.op, template) {
+                (TransOp::Ioctl(req), SyscallTemplate::Ioctl { request }) => req == request,
+                (TransOp::Ioctl(_), SyscallTemplate::IoctlAny) => true,
+                (TransOp::Read, SyscallTemplate::Read)
+                | (TransOp::Write, SyscallTemplate::Write)
+                | (TransOp::Mmap, SyscallTemplate::Mmap)
+                | (TransOp::Bind, SyscallTemplate::Bind)
+                | (TransOp::Connect, SyscallTemplate::Connect)
+                | (TransOp::Listen, SyscallTemplate::Listen)
+                | (TransOp::Accept, SyscallTemplate::Accept) => true,
+                _ => false,
+            };
+            op_matches
+                && desc.args.iter().find_map(|a| a.ty.resource_kind()).is_some_and(|k| k.accepts(&produced))
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+fn audit_entry(entry: &ModelEntry, report: &mut Report) {
+    let m = &entry.model;
+    let reachable = reachable_states(m);
+    for s in &m.states {
+        if !reachable.contains(s.as_str()) {
+            report.push(
+                Severity::Warning,
+                "model-unreachable-state",
+                None,
+                format!("{}: state {s:?} is unreachable from {:?}", entry.label, m.initial),
+            );
+        }
+    }
+    for (i, t) in m.transitions.iter().enumerate() {
+        if !t.from.is_empty() && t.from.iter().all(|s| !reachable.contains(s.as_str())) {
+            report.push(
+                Severity::Warning,
+                "model-dead-transition",
+                None,
+                format!(
+                    "{}: transition {i} ({}) can never fire: every source state is unreachable",
+                    entry.label,
+                    render_op(&t.op)
+                ),
+            );
+        }
+    }
+    for (i, a) in m.transitions.iter().enumerate() {
+        for (j, b) in m.transitions.iter().enumerate().skip(i + 1) {
+            if a.op != b.op {
+                continue;
+            }
+            let Some(state) = common_source(m, a, b, &reachable) else { continue };
+            let ta = a.to.clone().unwrap_or_else(|| state.clone());
+            let tb = b.to.clone().unwrap_or_else(|| state.clone());
+            if ta == tb {
+                continue;
+            }
+            if guards_overlap(a, b) {
+                report.push(
+                    Severity::Warning,
+                    "model-nondeterministic",
+                    None,
+                    format!(
+                        "{}: transitions {i} and {j} ({}) overlap from state {state:?} \
+                         but target {ta:?} vs {tb:?}",
+                        entry.label,
+                        render_op(&a.op)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// States reachable from the initial state via transition targets and
+/// accept-spawn states (from-less transitions apply everywhere).
+fn reachable_states(m: &StateModel) -> BTreeSet<&str> {
+    let mut reachable: BTreeSet<&str> = BTreeSet::new();
+    reachable.insert(m.initial.as_str());
+    loop {
+        let mut grew = false;
+        for t in &m.transitions {
+            let applies =
+                t.from.is_empty() || t.from.iter().any(|s| reachable.contains(s.as_str()));
+            if !applies {
+                continue;
+            }
+            for target in t.to.iter().chain(t.spawns.iter()) {
+                if reachable.insert(target.as_str()) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            return reachable;
+        }
+    }
+}
+
+/// A reachable state both transitions can fire from, if any.
+fn common_source(
+    m: &StateModel,
+    a: &Transition,
+    b: &Transition,
+    reachable: &BTreeSet<&str>,
+) -> Option<String> {
+    m.states
+        .iter()
+        .find(|s| {
+            reachable.contains(s.as_str())
+                && (a.from.is_empty() || a.from.contains(s))
+                && (b.from.is_empty() || b.from.contains(s))
+        })
+        .cloned()
+}
+
+/// Witness-based joint satisfiability of two guard lists (and payload
+/// prefixes): best-effort — a missing witness among the tried candidates
+/// means "no overlap found", not a proof of disjointness.
+fn guards_overlap(a: &Transition, b: &Transition) -> bool {
+    let words = a.guards.len().max(b.guards.len());
+    for i in 0..words {
+        let ga = a.guards.get(i).unwrap_or(&WordGuard::Any);
+        let gb = b.guards.get(i).unwrap_or(&WordGuard::Any);
+        let candidates = [ga.example(), gb.example()];
+        let witnessed = candidates
+            .into_iter()
+            .flatten()
+            .any(|w| ga.admits(w) && gb.admits(w));
+        if !witnessed {
+            return false;
+        }
+    }
+    match (&a.payload_prefix, &b.payload_prefix) {
+        (Some(pa), Some(pb)) => pa.starts_with(pb.as_slice()) || pb.starts_with(pa.as_slice()),
+        _ => true,
+    }
+}
+
+fn render_op(op: &TransOp) -> String {
+    match op {
+        TransOp::Ioctl(req) => format!("ioctl {req:#010x}"),
+        TransOp::Read => "read".into(),
+        TransOp::Write => "write".into(),
+        TransOp::Mmap => "mmap".into(),
+        TransOp::Bind => "bind".into(),
+        TransOp::Connect => "connect".into(),
+        TransOp::Listen => "listen".into(),
+        TransOp::Accept => "accept".into(),
+    }
+}
+
+fn render_guard(g: &WordGuard) -> String {
+    match g {
+        WordGuard::Eq(v) => format!("={v}"),
+        WordGuard::In(min, max) => format!("{min}..={max}"),
+        WordGuard::OneOf(values) => format!(
+            "{{{}}}",
+            values.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+        ),
+        WordGuard::MaskEq(mask, value) => format!("&{mask:#x}=={value:#x}"),
+        WordGuard::MaskNonZero(mask) => format!("&{mask:#x}!=0"),
+        WordGuard::Any => "*".into(),
+    }
+}
+
+fn render_transition(t: &Transition) -> String {
+    let mut out = render_op(&t.op);
+    if !t.guards.is_empty() {
+        out.push_str(&format!(
+            " [{}]",
+            t.guards.iter().map(render_guard).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    if let Some(prefix) = &t.payload_prefix {
+        out.push_str(&format!(
+            " prefix={}",
+            prefix.iter().map(|b| format!("{b:02x}")).collect::<String>()
+        ));
+    }
+    match (&t.from, &t.to) {
+        (from, Some(to)) if from.is_empty() => out.push_str(&format!(" * -> {to}")),
+        (from, Some(to)) => out.push_str(&format!(" {} -> {to}", from.join("|"))),
+        (from, None) if from.is_empty() => out.push_str(" * -> ."),
+        (from, None) => out.push_str(&format!(" {} -> .", from.join("|"))),
+    }
+    if t.reliability == Reliability::MayFail {
+        out.push_str(" may-fail");
+    }
+    if t.hazard {
+        out.push_str(" hazard");
+    }
+    if let Some(tag) = &t.produces {
+        out.push_str(&format!(" produces={tag}"));
+    }
+    if let Some(tag) = &t.consumes {
+        out.push_str(&format!(" consumes={tag}"));
+    }
+    if let Some(state) = &t.spawns {
+        out.push_str(&format!(" spawns={state}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::driver::Transition as T;
+
+    fn toy_model() -> StateModel {
+        StateModel::new("Closed", &["Closed", "Open", "Limbo"]).with(vec![
+            T::ioctl(0x10).from(&["Closed"]).to("Open"),
+            T::ioctl(0x11).from(&["Open"]).to("Closed"),
+            T::ioctl(0x12).from(&["Limbo"]).to("Open"),
+        ])
+    }
+
+    fn toy_entry(model: StateModel) -> ModelEntry {
+        ModelEntry { label: "toy".into(), node: Some("/dev/toy".into()), sock_kind: None, model }
+    }
+
+    #[test]
+    fn audit_flags_unreachable_state_and_dead_transition() {
+        let mut report = Report::new();
+        audit_entry(&toy_entry(toy_model()), &mut report);
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"model-unreachable-state"));
+        assert!(codes.contains(&"model-dead-transition"));
+    }
+
+    #[test]
+    fn audit_flags_guard_overlap_with_diverging_targets() {
+        let model = StateModel::new("A", &["A", "B", "C"]).with(vec![
+            T::ioctl(0x10).guard(WordGuard::In(0, 10)).from(&["A"]).to("B"),
+            T::ioctl(0x10).guard(WordGuard::In(5, 20)).from(&["A"]).to("C"),
+        ]);
+        let mut report = Report::new();
+        audit_entry(&toy_entry(model), &mut report);
+        assert!(report.diagnostics.iter().any(|d| d.code == "model-nondeterministic"));
+    }
+
+    #[test]
+    fn disjoint_guards_are_deterministic() {
+        let model = StateModel::new("A", &["A", "B", "C"]).with(vec![
+            T::ioctl(0x10).guard(WordGuard::Eq(0)).from(&["A"]).to("B"),
+            T::ioctl(0x10).guard(WordGuard::Eq(1)).from(&["A"]).to("C"),
+        ]);
+        let mut report = Report::new();
+        audit_entry(&toy_entry(model), &mut report);
+        assert!(!report.diagnostics.iter().any(|d| d.code == "model-nondeterministic"));
+    }
+
+    #[test]
+    fn describe_renders_states_and_transitions() {
+        let mut set = ModelSet::default();
+        set.entries.push(toy_entry(toy_model()));
+        let text = set.describe("toy").unwrap();
+        assert!(text.contains("*Closed"));
+        assert!(text.contains("ioctl 0x00000010"));
+        assert!(text.contains("Closed -> Open"));
+        assert!(set.describe("no-such-driver").is_none());
+    }
+
+    #[test]
+    fn produced_kind_lookup_prefers_longest_socket_prefix() {
+        let mut set = ModelSet::default();
+        set.entries.push(ModelEntry {
+            label: "l2cap".into(),
+            node: None,
+            sock_kind: Some("sock:l2cap".into()),
+            model: toy_model(),
+        });
+        set.entries.push(ModelEntry {
+            label: "l2cap-stream".into(),
+            node: None,
+            sock_kind: Some("sock:l2cap:stream".into()),
+            model: toy_model(),
+        });
+        let hit = set.entry_for_produced("sock:l2cap:stream").unwrap();
+        assert_eq!(set.entries()[hit].label, "l2cap-stream");
+        assert_eq!(set.entry_for_produced("sock:l2cap:dgram").map(|i| &set.entries()[i].label),
+                   Some(&"l2cap".to_owned()));
+        assert!(set.entry_for_produced("fd:/dev/none").is_none());
+    }
+}

@@ -1,15 +1,22 @@
 //! Lint-gate benchmark: raw linter throughput over generated programs,
-//! gate throughput (lint + repair on deliberately broken inputs), and the
-//! end-to-end overhead the gate adds to a fleet campaign, measured by
-//! running the same campaign with the gate on and off.
+//! gate throughput (lint + repair on deliberately broken inputs), the
+//! end-to-end overhead the gate adds to a fleet campaign (same campaign,
+//! gate on vs off), the abstract-interpretation overhead on top of the
+//! flow-insensitive lint, and the static-prior warmup race (DroidFuzz-S
+//! vs cold-start executions-to-first-deep-state).
 //!
-//! Scale: `DF_PROGS` (programs for the throughput phase, default 20000),
+//! Scale: `DF_PROGS` (programs for the throughput phases, default 20000),
 //! `DF_HOURS` (campaign length for the overhead phase, default 0.5),
 //! `DF_SHARDS` (default 2), `DF_SYNC_MIN` (default 7.5), `DF_DEVICE`
-//! (default A1). The run ends with one machine-readable JSON line
-//! (`"bench":"lint_overhead"`).
+//! (default A1), `DF_WARMUP_MAX` (execution cap per warmup arm, default
+//! 4000), `DF_WARMUP_SEEDS` (campaigns per warmup arm, default 3),
+//! `DF_DEEP_DEPTH` (static depth that counts as "deep", default 2). The
+//! run emits three machine-readable JSON lines: `"bench":"lint_overhead"`,
+//! `"bench":"absint_overhead"`, and `"bench":"static_prior_warmup"`.
 
-use droidfuzz::analysis::{gate_prog, lint_prog, LintCounters};
+use droidfuzz::analysis::{
+    absint_prog, gate_prog, gate_prog_static, lint_prog, static_depth, LintCounters, ModelSet,
+};
 use droidfuzz::config::FuzzerConfig;
 use droidfuzz::engine::FuzzingEngine;
 use droidfuzz::fleet::{Fleet, FleetConfig};
@@ -127,5 +134,107 @@ fn main() {
         counters.rejected,
         gated.executions,
         ungated.executions,
+    );
+
+    // Phase 4: abstract-interpretation overhead — absint_prog and the
+    // full static gate (absint + prerequisite repair) over the same
+    // healthy inputs the raw linter saw, so the two rates are comparable.
+    let models = ModelSet::for_kernel(engine.device().kernel_ref());
+    let start = Instant::now();
+    let mut depth_sum = 0u64;
+    let mut flagged = 0usize;
+    for prog in &inputs {
+        let result = absint_prog(prog, table, &models);
+        depth_sum += u64::from(result.depth);
+        flagged += usize::from(!result.report.is_clean());
+    }
+    let absint_secs = start.elapsed().as_secs_f64();
+    let absint_rate = progs as f64 / absint_secs.max(1e-9);
+    let mut static_counters = LintCounters::default();
+    let mut gated_inputs: Vec<Prog> = inputs.clone();
+    let start = Instant::now();
+    let mut static_passed = 0usize;
+    for prog in &mut gated_inputs {
+        if gate_prog_static(prog, table, &models, &mut static_counters) {
+            static_passed += 1;
+        }
+    }
+    let static_gate_secs = start.elapsed().as_secs_f64();
+    let static_gate_rate = progs as f64 / static_gate_secs.max(1e-9);
+    let absint_vs_lint = absint_secs / lint_secs.max(1e-9);
+    println!(
+        "absint throughput: {absint_rate:.0} progs/sec ({:.2}x the raw lint), \
+         mean static depth {:.2}, {flagged} programs flagged; static gate \
+         {static_gate_rate:.0} progs/sec ({static_passed} passed, {} repaired, {} rejected)",
+        absint_vs_lint,
+        depth_sum as f64 / progs.max(1) as f64,
+        static_counters.absint_repaired,
+        static_counters.absint_rejected,
+    );
+    println!(
+        "{{\"bench\":\"absint_overhead\",\"device\":\"{device}\",\"progs\":{progs},\
+         \"lint_progs_per_sec\":{lint_rate:.0},\"absint_progs_per_sec\":{absint_rate:.0},\
+         \"static_gate_progs_per_sec\":{static_gate_rate:.0},\
+         \"absint_vs_lint_ratio\":{absint_vs_lint:.3},\
+         \"mean_static_depth\":{:.3},\"flagged\":{flagged},\
+         \"absint_repaired\":{},\"absint_rejected\":{}}}",
+        depth_sum as f64 / progs.max(1) as f64,
+        static_counters.absint_repaired,
+        static_counters.absint_rejected,
+    );
+
+    // Phase 5: static-prior warmup — how many executions until a corpus
+    // seed reaches a deep driver state, with the model-derived relation
+    // prior (DroidFuzz-S) vs a cold-start relation graph (DroidFuzz).
+    // Depth is measured by the same absint scorer for both arms, so the
+    // only difference is how fast each campaign *finds* a deep program.
+    let warmup_max = env_u64("DF_WARMUP_MAX", 4000);
+    let warmup_seeds = env_u64("DF_WARMUP_SEEDS", 3).max(1);
+    let deep = env_u64("DF_DEEP_DEPTH", 2) as u32;
+    let warmup_arm = |mk: fn(u64) -> FuzzerConfig| -> (f64, u64) {
+        let mut total = 0u64;
+        let mut hits = 0u64;
+        for seed in 1..=warmup_seeds {
+            let mut engine = FuzzingEngine::new(spec.clone().boot(), mk(seed));
+            let scorer = ModelSet::for_kernel(engine.device().kernel_ref());
+            let mut checked = engine.corpus().admitted();
+            let executions = loop {
+                engine.step();
+                if engine.corpus().admitted() != checked {
+                    checked = engine.corpus().admitted();
+                    let best = engine
+                        .corpus()
+                        .seeds()
+                        .iter()
+                        .map(|s| static_depth(&s.prog, engine.desc_table(), &scorer))
+                        .max()
+                        .unwrap_or(0);
+                    if best >= deep {
+                        hits += 1;
+                        break engine.executions();
+                    }
+                }
+                if engine.executions() >= warmup_max {
+                    break engine.executions();
+                }
+            };
+            total += executions;
+        }
+        (total as f64 / warmup_seeds as f64, hits)
+    };
+    let (warm_execs, warm_hits) = warmup_arm(FuzzerConfig::droidfuzz_s);
+    let (cold_execs, cold_hits) = warmup_arm(FuzzerConfig::droidfuzz);
+    println!(
+        "static-prior warmup to depth>={deep}: DroidFuzz-S {warm_execs:.0} executions \
+         ({warm_hits}/{warmup_seeds} runs), cold start {cold_execs:.0} executions \
+         ({cold_hits}/{warmup_seeds} runs)"
+    );
+    println!(
+        "{{\"bench\":\"static_prior_warmup\",\"device\":\"{device}\",\
+         \"deep_depth\":{deep},\"cap\":{warmup_max},\"runs\":{warmup_seeds},\
+         \"prior_executions_to_deep\":{warm_execs:.1},\"prior_runs_reached\":{warm_hits},\
+         \"cold_executions_to_deep\":{cold_execs:.1},\"cold_runs_reached\":{cold_hits},\
+         \"speedup_ratio\":{:.3}}}",
+        cold_execs / warm_execs.max(1e-9),
     );
 }

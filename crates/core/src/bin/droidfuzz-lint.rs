@@ -29,16 +29,25 @@
 //!   program lint);
 //! - anything else → a single fuzzlang program, parsed then linted.
 //!
+//! Single programs additionally run through the flow-sensitive abstract
+//! interpreter against the device's driver state models, so `absint-*`
+//! findings (dead calls, guard violations, statically-dead programs)
+//! appear alongside the flow-insensitive lint. `--model <driver>` skips
+//! file auditing entirely and prints the named driver's state model plus
+//! its audit findings (`<driver>` is a model label, `/dev` node path, or
+//! node basename).
+//!
 //! The vocabulary comes from booting (and probing) the selected Table-I
 //! device, so HAL interface names resolve exactly as they would inside a
 //! campaign. Exit status is 1 when any input carries an `Error`-severity
-//! finding, 2 on usage errors, 0 otherwise — warnings never fail the run,
-//! matching the in-engine gate. A torn journal tail is a warning (the
-//! recovery path replays the valid prefix by design); a snapshot file
-//! that fails its checksums is an error.
+//! finding (or, under `--deny-warnings`, a `Warning`), 2 on usage errors,
+//! 0 otherwise — by default warnings never fail the run, matching the
+//! in-engine gate. A torn journal tail is a warning (the recovery path
+//! replays the valid prefix by design); a snapshot file that fails its
+//! checksums is an error.
 
 use droidfuzz::analysis::{
-    audit_corpus, audit_relations, audit_snapshot, lint_prog, Report, Severity,
+    absint_prog, audit_corpus, audit_relations, audit_snapshot, lint_prog, Report, Severity,
 };
 use droidfuzz::config::FuzzerConfig;
 use droidfuzz::engine::FuzzingEngine;
@@ -54,20 +63,33 @@ use simdevice::catalog;
 
 struct Options {
     device: String,
+    deny_warnings: bool,
+    model: Option<String>,
     paths: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: droidfuzz-lint [--device <A1|A2|B|C1|C2|D|E>] <file>...\n\
+        "usage: droidfuzz-lint [--device <A1|A2|B|C1|C2|D|E>] [--deny-warnings] <file>...\n\
+         \x20      droidfuzz-lint [--device <id>] [--deny-warnings] --model <driver>\n\
          \x20      input kinds (auto-detected): fleet snapshot, relation-graph export,\n\
-         \x20      corpus export, single fuzzlang program"
+         \x20      corpus export, single fuzzlang program (linted + abstractly\n\
+         \x20      interpreted against the device's state models)\n\
+         \x20      --model prints the named driver's state model and its audit;\n\
+         \x20      <driver> is a model label, /dev node path, or node basename\n\
+         \x20      exit codes: 0 clean (warnings allowed unless --deny-warnings),\n\
+         \x20      1 findings at gating severity, 2 usage or I/O error"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Options {
-    let mut opts = Options { device: "A1".into(), paths: Vec::new() };
+    let mut opts = Options {
+        device: "A1".into(),
+        deny_warnings: false,
+        model: None,
+        paths: Vec::new(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -77,6 +99,13 @@ fn parse_args() -> Options {
                     usage()
                 });
             }
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--model" => {
+                opts.model = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --model");
+                    usage()
+                }));
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
@@ -85,7 +114,7 @@ fn parse_args() -> Options {
             path => opts.paths.push(path.to_owned()),
         }
     }
-    if opts.paths.is_empty() {
+    if opts.paths.is_empty() && opts.model.is_none() {
         usage();
     }
     opts
@@ -291,9 +320,26 @@ fn main() {
         std::process::exit(2);
     };
     // Boot + probe exactly as a campaign would, then borrow the engine's
-    // vocabulary; the lint gate itself stays off since nothing executes.
-    let engine = FuzzingEngine::new(spec.boot(), FuzzerConfig::droidfuzz(1));
+    // vocabulary; DroidFuzz-S so the state models are loaded for absint
+    // and `--model`, while the lint gate itself stays off since nothing
+    // executes.
+    let engine = FuzzingEngine::new(spec.boot(), FuzzerConfig::droidfuzz_s(1));
     let table = engine.desc_table();
+    let models = engine.model_set().expect("DroidFuzz-S always loads state models");
+
+    if let Some(name) = &opts.model {
+        let Some(text) = models.describe(name) else {
+            let known: Vec<&str> =
+                models.entries().iter().map(|e| e.label.as_str()).collect();
+            eprintln!("unknown driver model {name}; known: {}", known.join(" "));
+            std::process::exit(2);
+        };
+        print!("{text}");
+        let audit = models.audit();
+        let gating = audit.has_errors()
+            || (opts.deny_warnings && audit.count(Severity::Warning) > 0);
+        std::process::exit(if gating { 1 } else { 0 });
+    }
 
     let mut failed = false;
     for path in &opts.paths {
@@ -333,7 +379,11 @@ fn main() {
                         audit_corpus(&text, table)
                     } else {
                         match parse_prog(&text, table) {
-                            Ok(prog) => lint_prog(&prog, table),
+                            Ok(prog) => {
+                                let mut report = lint_prog(&prog, table);
+                                report.merge(absint_prog(&prog, table, models).report);
+                                report
+                            }
                             Err(e) => {
                                 let mut report = Report::new();
                                 report.push(
@@ -349,7 +399,8 @@ fn main() {
                 }
             }
         };
-        failed |= report.has_errors();
+        failed |= report.has_errors()
+            || (opts.deny_warnings && report.count(Severity::Warning) > 0);
         println!("{}", report.to_json(path));
     }
     std::process::exit(if failed { 1 } else { 0 });

@@ -10,6 +10,12 @@ use std::fmt;
 pub enum Variant {
     /// Full DroidFuzz.
     DroidFuzz,
+    /// DroidFuzz with static interface models: the relation graph is
+    /// seeded with model-derived priors before the first execution, the
+    /// abstract-interpretation reachability gate rejects (or repairs)
+    /// programs whose driver calls provably fail, and static depth feeds
+    /// corpus seed energy.
+    DroidFuzzS,
     /// DroidFuzz without relational payload generation (§V-D1).
     NoRel,
     /// DroidFuzz without HAL directional coverage (§V-D2).
@@ -26,6 +32,7 @@ impl fmt::Display for Variant {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
             Variant::DroidFuzz => "DroidFuzz",
+            Variant::DroidFuzzS => "DroidFuzz-S",
             Variant::NoRel => "DF-NoRel",
             Variant::NoHCov => "DF-NoHCov",
             Variant::DroidFuzzD => "DroidFuzz-D",
@@ -70,6 +77,11 @@ pub struct FuzzerConfig {
     /// fixable defects (on for all variants; the bench harness turns it
     /// off to measure gate overhead).
     pub lint_gate: bool,
+    /// Use the static interface models: seed the relation graph with
+    /// model-derived priors, gate programs through the abstract
+    /// interpreter (with prerequisite-insertion repair), and boost corpus
+    /// seed energy by static depth (DroidFuzz-S).
+    pub static_models: bool,
     /// Reboot the device upon encountering any bug (paper §V-A).
     pub reboot_on_bug: bool,
     /// Device-fault profile the supervisor draws from (`Reliable` is
@@ -97,6 +109,7 @@ impl FuzzerConfig {
             decay_factor: 0.9,
             minimize: true,
             lint_gate: true,
+            static_models: false,
             reboot_on_bug: true,
             fault_profile: FaultProfile::Reliable,
             fault_rates: None,
@@ -123,6 +136,12 @@ impl FuzzerConfig {
     /// Full DroidFuzz.
     pub fn droidfuzz(seed: u64) -> Self {
         Self::base(Variant::DroidFuzz, seed)
+    }
+
+    /// `DroidFuzz-S`: DroidFuzz plus static interface models (prior
+    /// seeding, reachability gating, static-depth seed energy).
+    pub fn droidfuzz_s(seed: u64) -> Self {
+        Self { static_models: true, ..Self::base(Variant::DroidFuzzS, seed) }
     }
 
     /// `DF-NoRel`: randomized dependency generation only.
@@ -176,6 +195,11 @@ mod tests {
         let df = FuzzerConfig::droidfuzz(1);
         assert!(df.hal_enabled && df.relations && df.hal_coverage && df.feedback);
         assert!(!df.ioctl_only);
+        assert!(!df.static_models, "static models are DroidFuzz-S only");
+
+        let dfs = FuzzerConfig::droidfuzz_s(1);
+        assert!(dfs.static_models && dfs.relations && dfs.hal_enabled);
+        assert_eq!(dfs.variant, Variant::DroidFuzzS);
 
         let norel = FuzzerConfig::droidfuzz_norel(1);
         assert!(!norel.relations && norel.hal_coverage && norel.hal_enabled);
@@ -208,6 +232,7 @@ mod tests {
     #[test]
     fn display_labels_match_paper() {
         assert_eq!(Variant::DroidFuzz.to_string(), "DroidFuzz");
+        assert_eq!(Variant::DroidFuzzS.to_string(), "DroidFuzz-S");
         assert_eq!(Variant::NoRel.to_string(), "DF-NoRel");
         assert_eq!(Variant::NoHCov.to_string(), "DF-NoHCov");
         assert_eq!(Variant::DroidFuzzD.to_string(), "DroidFuzz-D");

@@ -22,7 +22,7 @@ use crate::probe::{add_hal_descs, probe_device, ProbeReport};
 use crate::relation::RelationGraph;
 use crate::stats::Series;
 use crate::supervisor::{FailureClass, FaultCounters, Supervisor, SupervisorConfig};
-use droidfuzz_analysis::{gate_prog, LintCounters};
+use droidfuzz_analysis::{gate_prog, gate_prog_static, static_depth, LintCounters, ModelSet};
 use fuzzlang::desc::DescTable;
 use fuzzlang::mutate::{crossover, mutate_n};
 use fuzzlang::prog::Prog;
@@ -56,6 +56,9 @@ pub struct FuzzingEngine {
     adb: AdbLink,
     supervisor: Supervisor,
     lint: LintCounters,
+    /// Static interface models (DroidFuzz-S only): drives the relation
+    /// prior, the abstract-interpretation gate, and seed-energy depth.
+    models: Option<ModelSet>,
     rng: StdRng,
     clock_us: u64,
     executions: u64,
@@ -99,7 +102,17 @@ impl FuzzingEngine {
         };
         device.set_ioctl_only(config.ioctl_only);
         let id_table = SyscallIdTable::compile(device.kernel());
-        let graph = RelationGraph::new(&table);
+        let mut graph = RelationGraph::new(&table);
+        // DroidFuzz-S: collect the drivers' self-described state machines
+        // and seed the relation graph with their produces/consumes pairs
+        // before the first execution (a warm start no runtime learning
+        // has to discover).
+        let models = config.static_models.then(|| ModelSet::for_kernel(device.kernel()));
+        if let Some(models) = &models {
+            if config.relations {
+                graph.seed_prior(&models.prior_pairs(&table));
+            }
+        }
         let driver_regions = device.kernel().driver_regions();
         let adb = if device.spec().meta.id.starts_with('C') {
             AdbLink::tcp()
@@ -129,6 +142,7 @@ impl FuzzingEngine {
             adb,
             supervisor,
             lint: LintCounters::default(),
+            models,
             rng,
             clock_us: 0,
             executions: 0,
@@ -185,11 +199,33 @@ impl FuzzingEngine {
 
     /// Runs the static-analysis gate over `prog` in place: `true` lets the
     /// (possibly repaired) program through, `false` means it carried
-    /// unrepairable errors. Repair is deterministic and consumes no RNG,
-    /// so gated campaigns replay identically. A disabled gate passes
+    /// unrepairable errors. With static models loaded (DroidFuzz-S) the
+    /// abstract-interpretation reachability gate runs after the lint
+    /// gate: programs whose modeled driver calls all provably fail get
+    /// prerequisite transitions inserted, and unfixable ones are
+    /// rejected. Both passes are deterministic and consume no RNG, so
+    /// gated campaigns replay identically. A disabled gate passes
     /// everything.
     fn lint_gate(&mut self, prog: &mut Prog) -> bool {
-        !self.config.lint_gate || gate_prog(prog, &self.table, &mut self.lint)
+        if !self.config.lint_gate {
+            return true;
+        }
+        if !gate_prog(prog, &self.table, &mut self.lint) {
+            return false;
+        }
+        match &self.models {
+            Some(models) => gate_prog_static(prog, &self.table, models, &mut self.lint),
+            None => true,
+        }
+    }
+
+    /// Extra seed energy from the static depth score (DroidFuzz-S):
+    /// programs that provably advance driver state machines get mutated
+    /// more often. Zero without models.
+    fn static_energy_bonus(&self, prog: &Prog) -> usize {
+        self.models
+            .as_ref()
+            .map_or(0, |models| static_depth(prog, &self.table, models) as usize * 4)
     }
 
     /// Runs exactly one fuzzing iteration, advancing the virtual clock.
@@ -274,8 +310,10 @@ impl FuzzingEngine {
                             self.learn_from(&admitted);
                         }
                         if !self.supervisor.is_prog_quarantined(&admitted, &self.table) {
-                            self.corpus
-                                .admit(admitted, kernel_new * 8 + (new_count - kernel_new));
+                            let energy = kernel_new * 8
+                                + (new_count - kernel_new)
+                                + self.static_energy_bonus(&admitted);
+                            self.corpus.admit(admitted, energy);
                         }
                     }
                 } else if self.config.relations {
@@ -291,7 +329,8 @@ impl FuzzingEngine {
                     if self.rng.gen_bool(0.5)
                         && !self.supervisor.is_prog_quarantined(&prog, &self.table)
                     {
-                        self.corpus.admit(prog.clone(), new_count.min(8));
+                        let energy = new_count.min(8) + self.static_energy_bonus(&prog);
+                        self.corpus.admit(prog.clone(), energy);
                     }
                 }
             }
@@ -518,6 +557,12 @@ impl FuzzingEngine {
         self.probe_report.as_ref()
     }
 
+    /// The static interface models (None unless `static_models` is set —
+    /// i.e. outside DroidFuzz-S).
+    pub fn model_set(&self) -> Option<&ModelSet> {
+        self.models.as_ref()
+    }
+
     /// Virtual time elapsed, µs.
     pub fn virtual_time_us(&self) -> u64 {
         self.clock_us
@@ -688,6 +733,45 @@ mod tests {
         let (accepted, rejected) = engine.import_corpus("# seed 0 signals=4\nr0 = close(r9)\n");
         assert_eq!((accepted, rejected), (0, 1), "ungated import drops the defective seed");
         assert_eq!(engine.lint_counters().total(), 0);
+    }
+
+    #[test]
+    fn droidfuzz_s_seeds_priors_and_makes_progress() {
+        let engine = quick_engine(FuzzerConfig::droidfuzz_s(7));
+        let models = engine.model_set().expect("DroidFuzz-S loads models");
+        assert!(!models.is_empty());
+        assert!(!models.audit().has_errors(), "catalog models must audit clean");
+        assert!(
+            engine.relation_graph().edge_count() > 0,
+            "model priors seed the graph before round 0"
+        );
+        assert_eq!(engine.relation_graph().learn_events(), 0, "priors are not observations");
+        let mut engine = engine;
+        engine.run_iterations(300);
+        assert!(engine.kernel_coverage() > 50, "got {}", engine.kernel_coverage());
+        assert!(!engine.corpus().is_empty());
+    }
+
+    #[test]
+    fn droidfuzz_s_campaign_is_seed_deterministic() {
+        let run = |seed| {
+            let mut engine = quick_engine(FuzzerConfig::droidfuzz_s(seed));
+            engine.run_iterations(250);
+            (
+                engine.kernel_coverage(),
+                engine.total_signals(),
+                engine.virtual_time_us(),
+                engine.lint_counters(),
+                engine.relation_graph().edge_count(),
+            )
+        };
+        assert_eq!(run(13), run(13), "the absint gate must not break determinism");
+    }
+
+    #[test]
+    fn plain_droidfuzz_loads_no_models() {
+        let engine = quick_engine(FuzzerConfig::droidfuzz(7));
+        assert!(engine.model_set().is_none());
     }
 
     #[test]

@@ -340,8 +340,12 @@ impl FleetStats {
             self.shard_quarantines,
         ));
         out.push_str(&format!(
-            "lint rejected: {}  lint repaired: {}  snapshots skipped: {}\n",
-            self.lint_totals.rejected, self.lint_totals.repaired, self.snapshots_skipped,
+            "lint rejected: {}  lint repaired: {}  absint rejected: {}  absint repaired: {}  snapshots skipped: {}\n",
+            self.lint_totals.rejected,
+            self.lint_totals.repaired,
+            self.lint_totals.absint_rejected,
+            self.lint_totals.absint_repaired,
+            self.snapshots_skipped,
         ));
         if self.net_totals.total() > 0 {
             out.push_str(&format!(
@@ -403,7 +407,7 @@ mod tests {
             coverage: 60,
             crashes: 0,
             faults: finished_faults,
-            lint: LintCounters { rejected: 2, repaired: 3 },
+            lint: LintCounters { rejected: 2, repaired: 3, absint_rejected: 1, absint_repaired: 4 },
             restarts: 1,
         });
         let stats = FleetStats::drain(&rx, 2);
@@ -422,6 +426,8 @@ mod tests {
         assert_eq!(stats.shards[1].lint.repaired, 3);
         assert_eq!(stats.lint_totals.rejected, 2);
         assert_eq!(stats.lint_totals.repaired, 3);
+        assert_eq!(stats.lint_totals.absint_rejected, 1);
+        assert_eq!(stats.lint_totals.absint_repaired, 4);
         assert_eq!(stats.shard_restarts, 1);
         assert_eq!(stats.shard_quarantines, 1);
         assert!((stats.shards[0].execs_per_vsec() - 5.0).abs() < 1e-9);
@@ -430,7 +436,7 @@ mod tests {
         assert!(table.contains("union coverage: 120"));
         assert!(table.contains("faults injected: 7"));
         assert!(table.contains("shard restarts: 1"));
-        assert!(table.contains("lint rejected: 2  lint repaired: 3"));
+        assert!(table.contains("lint rejected: 2  lint repaired: 3  absint rejected: 1  absint repaired: 4"));
     }
 
     #[test]

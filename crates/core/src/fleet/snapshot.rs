@@ -448,7 +448,7 @@ mod tests {
                 reprovisions: 1,
                 ..Default::default()
             },
-            lint_totals: LintCounters { rejected: 4, repaired: 9 },
+            lint_totals: LintCounters { rejected: 4, repaired: 9, absint_rejected: 2, absint_repaired: 6 },
             store_totals: StoreCounters {
                 journal_records: 31,
                 snapshots_written: 2,

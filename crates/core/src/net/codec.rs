@@ -768,7 +768,12 @@ mod tests {
                     device_lost: 1,
                     ..Default::default()
                 },
-                lint: droidfuzz_analysis::LintCounters { rejected: 2, repaired: 5 },
+                lint: droidfuzz_analysis::LintCounters {
+                    rejected: 2,
+                    repaired: 5,
+                    absint_rejected: 1,
+                    absint_repaired: 3,
+                },
             }],
             net: crate::net::NetCounters { frames_sent: 9, ..Default::default() },
         });

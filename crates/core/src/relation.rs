@@ -91,6 +91,48 @@ impl RelationGraph {
         }
     }
 
+    /// Seeds the graph with static priors before the first execution
+    /// (DroidFuzz-S): for each target, its `k` statically-implied sources
+    /// split half the probability mass (`0.5 / k` each), leaving the
+    /// other half as stop-residual for runtime learning to claim. Edges
+    /// that already exist are left untouched, so seeding an
+    /// already-warmed graph is a no-op for those pairs, and `learn`'s
+    /// halving keeps the Eq. 1 invariant (Σ ≤ 1) intact afterwards.
+    /// No learn events are recorded — priors are not observations.
+    pub fn seed_prior(&mut self, pairs: &[(DescId, DescId)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        self.revision += 1;
+        let mut by_target: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (a, b) in pairs {
+            if a != b {
+                by_target.entry(b.0).or_default().push(a.0);
+            }
+        }
+        for (b, sources) in by_target {
+            let existing: f64 = self.out.values().filter_map(|m| m.get(&b)).sum();
+            let budget = (0.5 - existing).max(0.0);
+            if budget <= 0.0 {
+                continue;
+            }
+            let fresh: Vec<usize> = sources
+                .iter()
+                .copied()
+                .filter(|a| self.out.get(a).is_none_or(|m| !m.contains_key(&b)))
+                .collect();
+            if fresh.is_empty() {
+                continue;
+            }
+            let w = budget / fresh.len() as f64;
+            for a in fresh {
+                if self.out.entry(a).or_default().insert(b, w).is_none() {
+                    self.edge_count += 1;
+                }
+            }
+        }
+    }
+
     /// Multiplies all edge weights by `factor` (< 1), dropping edges that
     /// fall below a floor — the periodic diversity reduction of §IV-C.
     pub fn decay(&mut self, factor: f64) {
@@ -555,6 +597,54 @@ mod tests {
             (sum - 0.5).abs() < 1e-9,
             "merge keeps the larger decayed sum, got {sum}"
         );
+    }
+
+    #[test]
+    fn seed_prior_splits_half_mass_and_keeps_eq1() {
+        let t = table(5);
+        let mut g = RelationGraph::new(&t);
+        g.seed_prior(&[(DescId(0), DescId(4)), (DescId(1), DescId(4)), (DescId(2), DescId(3))]);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.learn_events(), 0, "priors are not observations");
+        assert_eq!(g.edge_weight(DescId(0), DescId(4)), Some(0.25));
+        assert_eq!(g.edge_weight(DescId(1), DescId(4)), Some(0.25));
+        assert_eq!(g.edge_weight(DescId(2), DescId(3)), Some(0.5));
+        // Runtime learning on top of priors keeps the Eq. 1 invariant.
+        let mut warmed = g.clone();
+        warmed.learn(DescId(2), DescId(4));
+        assert!((warmed.in_weight_sum(DescId(4)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seed_prior_never_overwrites_learned_edges() {
+        let t = table(4);
+        let mut g = RelationGraph::new(&t);
+        g.learn(DescId(0), DescId(3));
+        let rev = g.revision();
+        g.seed_prior(&[(DescId(0), DescId(3)), (DescId(1), DescId(3))]);
+        assert_eq!(g.edge_weight(DescId(0), DescId(3)), Some(1.0), "learned edge untouched");
+        assert_eq!(
+            g.edge_weight(DescId(1), DescId(3)),
+            None,
+            "no budget left once learned mass covers the prior half"
+        );
+        assert!(g.revision() > rev);
+        assert!(g.in_weight_sum(DescId(3)) <= 1.0 + 1e-9);
+        // Self-pairs are ignored, empty seeding is a no-op.
+        let rev = g.revision();
+        g.seed_prior(&[(DescId(2), DescId(2))]);
+        g.seed_prior(&[]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.revision(), rev + 1);
+    }
+
+    #[test]
+    fn seeded_graph_exports_audit_clean() {
+        let t = table(4);
+        let mut g = RelationGraph::new(&t);
+        g.seed_prior(&[(DescId(0), DescId(2)), (DescId(1), DescId(2)), (DescId(0), DescId(3))]);
+        let report = droidfuzz_analysis::audit_relations(&g.export(&t), &t);
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
     }
 
     #[test]

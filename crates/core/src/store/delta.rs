@@ -242,7 +242,12 @@ mod tests {
             hangs: 1,
             ..Default::default()
         }));
-        round_trip(FleetDelta::Lint(LintCounters { rejected: 2, repaired: 5 }));
+        round_trip(FleetDelta::Lint(LintCounters {
+            rejected: 2,
+            repaired: 5,
+            absint_rejected: 1,
+            absint_repaired: 3,
+        }));
         round_trip(FleetDelta::Store(StoreCounters {
             journal_records: 9,
             recoveries: 1,

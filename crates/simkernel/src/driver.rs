@@ -298,6 +298,385 @@ pub struct DriverApi {
     /// the (closed-source) HAL. This asymmetry is the core premise of
     /// the DroidFuzz paper.
     pub vendor: bool,
+    /// Declarative state machine of the driver, when one is authored.
+    /// This is analysis-side knowledge (what a static pass over the
+    /// driver source would recover), not something the fuzzer's syscall
+    /// surface exposes.
+    pub state_model: Option<StateModel>,
+}
+
+/// Guard over one little-endian `u32` argument word of a transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordGuard {
+    /// Exactly this value.
+    Eq(u32),
+    /// Any value in `[min, max]` inclusive.
+    In(u32, u32),
+    /// One of an enumerated set.
+    OneOf(Vec<u32>),
+    /// `word & mask == value`.
+    MaskEq(u32, u32),
+    /// `word & mask != 0`.
+    MaskNonZero(u32),
+    /// Unconstrained.
+    Any,
+}
+
+impl WordGuard {
+    /// Whether `w` satisfies the guard.
+    pub fn admits(&self, w: u32) -> bool {
+        match self {
+            WordGuard::Eq(v) => w == *v,
+            WordGuard::In(min, max) => (*min..=*max).contains(&w),
+            WordGuard::OneOf(values) => values.contains(&w),
+            WordGuard::MaskEq(mask, value) => w & mask == *value,
+            WordGuard::MaskNonZero(mask) => w & mask != 0,
+            WordGuard::Any => true,
+        }
+    }
+
+    /// A minimal satisfying value, used when synthesizing prerequisite
+    /// calls. Returns `None` for unsatisfiable guards.
+    pub fn example(&self) -> Option<u32> {
+        match self {
+            WordGuard::Eq(v) => Some(*v),
+            WordGuard::In(min, max) => (min <= max).then_some(*min),
+            WordGuard::OneOf(values) => values.first().copied(),
+            WordGuard::MaskEq(mask, value) => (value & mask == *value).then_some(*value),
+            WordGuard::MaskNonZero(mask) => {
+                (*mask != 0).then(|| 1u32 << mask.trailing_zeros())
+            }
+            WordGuard::Any => Some(0),
+        }
+    }
+}
+
+/// The syscall entry point a transition is keyed on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransOp {
+    /// `ioctl(2)` with this request code.
+    Ioctl(u32),
+    /// `read(2)` (guard 0 constrains the length).
+    Read,
+    /// `write(2)` (constrained by [`Transition::payload_prefix`]).
+    Write,
+    /// `mmap(2)` (guards constrain `len`, `prot`).
+    Mmap,
+    /// `bind(2)` on a socket (guard 0 constrains the address).
+    Bind,
+    /// `connect(2)` on a socket.
+    Connect,
+    /// `listen(2)` on a socket.
+    Listen,
+    /// `accept(2)` on a socket; usually paired with [`Transition::spawns`].
+    Accept,
+}
+
+/// Whether a transition is certain to succeed when its source state and
+/// guards match, or merely allowed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reliability {
+    /// Matching state + satisfied guards imply the syscall succeeds and
+    /// lands in the target state. The abstract interpreter counts only
+    /// these toward the static depth score (soundness: static depth must
+    /// lower-bound dynamic depth).
+    Guaranteed,
+    /// The outcome depends on state the model does not track; the
+    /// abstract state joins to ⊤ unless the transition is a self-loop.
+    MayFail,
+}
+
+/// One guarded transition of a driver state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Triggering entry point.
+    pub op: TransOp,
+    /// Source states; empty = applies from any state.
+    pub from: Vec<String>,
+    /// Target state; `None` = state unchanged (self-loop).
+    pub to: Option<String>,
+    /// Word guards, aligned with the call's scalar argument words
+    /// (missing trailing guards mean "any").
+    pub guards: Vec<WordGuard>,
+    /// Required byte-payload prefix (for [`TransOp::Write`] firmware
+    /// blobs and the like).
+    pub payload_prefix: Option<Vec<u8>>,
+    /// Success certainty.
+    pub reliability: Reliability,
+    /// Whether firing (or attempting) this transition can raise a fatal,
+    /// kernel-wedging bug; the abstract interpreter stops counting depth
+    /// after any call that may take a hazardous path.
+    pub hazard: bool,
+    /// Abstract resource this transition produces (e.g. `"ion:token"`),
+    /// used for consume-before-produce checks and relation-graph priors.
+    pub produces: Option<String>,
+    /// Abstract resource this transition consumes.
+    pub consumes: Option<String>,
+    /// Initial state of a freshly spawned cell (an `accept(2)` child).
+    pub spawns: Option<String>,
+}
+
+impl Transition {
+    fn op(op: TransOp) -> Self {
+        Self {
+            op,
+            from: Vec::new(),
+            to: None,
+            guards: Vec::new(),
+            payload_prefix: None,
+            reliability: Reliability::Guaranteed,
+            hazard: false,
+            produces: None,
+            consumes: None,
+            spawns: None,
+        }
+    }
+
+    /// An ioctl-triggered transition.
+    pub fn ioctl(request: u32) -> Self {
+        Self::op(TransOp::Ioctl(request))
+    }
+
+    /// A `read(2)`-triggered transition.
+    pub fn read() -> Self {
+        Self::op(TransOp::Read)
+    }
+
+    /// A `write(2)`-triggered transition.
+    pub fn write() -> Self {
+        Self::op(TransOp::Write)
+    }
+
+    /// An `mmap(2)`-triggered transition.
+    pub fn mmap() -> Self {
+        Self::op(TransOp::Mmap)
+    }
+
+    /// A `bind(2)`-triggered transition.
+    pub fn bind() -> Self {
+        Self::op(TransOp::Bind)
+    }
+
+    /// A `connect(2)`-triggered transition.
+    pub fn connect() -> Self {
+        Self::op(TransOp::Connect)
+    }
+
+    /// A `listen(2)`-triggered transition.
+    pub fn listen() -> Self {
+        Self::op(TransOp::Listen)
+    }
+
+    /// An `accept(2)`-triggered transition.
+    pub fn accept() -> Self {
+        Self::op(TransOp::Accept)
+    }
+
+    /// Restricts the source states.
+    pub fn from(mut self, states: &[&str]) -> Self {
+        self.from = states.iter().map(|s| (*s).to_owned()).collect();
+        self
+    }
+
+    /// Sets the target state.
+    pub fn to(mut self, state: &str) -> Self {
+        self.to = Some(state.to_owned());
+        self
+    }
+
+    /// Appends one word guard.
+    pub fn guard(mut self, g: WordGuard) -> Self {
+        self.guards.push(g);
+        self
+    }
+
+    /// Requires the byte payload to start with `prefix`.
+    pub fn prefix(mut self, prefix: &[u8]) -> Self {
+        self.payload_prefix = Some(prefix.to_vec());
+        self
+    }
+
+    /// Marks the outcome as uncertain.
+    pub fn may_fail(mut self) -> Self {
+        self.reliability = Reliability::MayFail;
+        self
+    }
+
+    /// Marks the transition as possibly raising a fatal bug.
+    pub fn hazard(mut self) -> Self {
+        self.hazard = true;
+        self
+    }
+
+    /// Declares a produced abstract resource.
+    pub fn produces(mut self, tag: &str) -> Self {
+        self.produces = Some(tag.to_owned());
+        self
+    }
+
+    /// Declares a consumed abstract resource.
+    pub fn consumes(mut self, tag: &str) -> Self {
+        self.consumes = Some(tag.to_owned());
+        self
+    }
+
+    /// Declares a spawned cell (accept child) and its initial state.
+    pub fn spawns(mut self, state: &str) -> Self {
+        self.spawns = Some(state.to_owned());
+        self
+    }
+}
+
+/// Declarative state machine of a driver: the abstract states its
+/// behaviour is conditioned on and the guarded transitions between them.
+///
+/// Models must be *success-complete* per listed entry point: every way a
+/// listed op can succeed appears as a transition. The abstract
+/// interpreter relies on this to conclude that a call matching no
+/// transition from a known state provably fails without changing state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateModel {
+    /// State at boot (device-scoped) or at `open(2)` (per-open).
+    pub initial: String,
+    /// All named abstract states.
+    pub states: Vec<String>,
+    /// Guarded transitions.
+    pub transitions: Vec<Transition>,
+    /// Whether state lives per open file (fresh open = fresh `initial`)
+    /// rather than in the device itself.
+    pub per_open: bool,
+    /// Whether closing *any* fd perturbs device-global state (release
+    /// frees per-owner resources), leaving the abstract state unknown.
+    pub close_clobbers: bool,
+    /// Whether close orphans cells spawned from this one (listening
+    /// Bluetooth sockets orphan their accept children; using an orphan
+    /// can fire a use-after-free).
+    pub close_orphans: bool,
+    /// Whether per-open cells share hidden global state (the HCI
+    /// adapter); more than one live cell makes every one unknown.
+    pub global_backing: bool,
+}
+
+impl StateModel {
+    /// Creates a model with no transitions yet.
+    pub fn new(initial: &str, states: &[&str]) -> Self {
+        Self {
+            initial: initial.to_owned(),
+            states: states.iter().map(|s| (*s).to_owned()).collect(),
+            transitions: Vec::new(),
+            per_open: false,
+            close_clobbers: false,
+            close_orphans: false,
+            global_backing: false,
+        }
+    }
+
+    /// Marks state as per-open-file.
+    pub fn per_open(mut self) -> Self {
+        self.per_open = true;
+        self
+    }
+
+    /// Marks close as perturbing device-global state.
+    pub fn close_clobbers(mut self) -> Self {
+        self.close_clobbers = true;
+        self
+    }
+
+    /// Marks close as orphaning spawned children.
+    pub fn close_orphans(mut self) -> Self {
+        self.close_orphans = true;
+        self
+    }
+
+    /// Marks per-open cells as sharing hidden global state.
+    pub fn global_backing(mut self) -> Self {
+        self.global_backing = true;
+        self
+    }
+
+    /// Appends transitions.
+    pub fn with(mut self, transitions: Vec<Transition>) -> Self {
+        self.transitions.extend(transitions);
+        self
+    }
+}
+
+/// Structural problems in a [`StateModel`] (unknown state references,
+/// unsatisfiable guards). Returns human-readable findings; empty = valid.
+pub fn validate_model(label: &str, model: &StateModel) -> Vec<String> {
+    let mut problems = Vec::new();
+    let known = |s: &String| model.states.contains(s);
+    if !known(&model.initial) {
+        problems.push(format!("{label}: initial state {:?} not in state list", model.initial));
+    }
+    for (i, t) in model.transitions.iter().enumerate() {
+        for s in &t.from {
+            if !known(s) {
+                problems.push(format!("{label}: transition {i} from unknown state {s:?}"));
+            }
+        }
+        if let Some(to) = &t.to {
+            if !known(to) {
+                problems.push(format!("{label}: transition {i} to unknown state {to:?}"));
+            }
+        }
+        if let Some(sp) = &t.spawns {
+            if !known(sp) {
+                problems.push(format!("{label}: transition {i} spawns unknown state {sp:?}"));
+            }
+        }
+        for (j, g) in t.guards.iter().enumerate() {
+            if g.example().is_none() {
+                problems.push(format!("{label}: transition {i} guard {j} is unsatisfiable"));
+            }
+        }
+    }
+    problems
+}
+
+/// Boot-time validation of a driver's self-description: duplicate ioctl
+/// request codes, empty `Choice`/`Flags` word shapes, and state-model
+/// structure. Returns human-readable findings; empty = valid.
+pub fn validate_api(name: &str, api: &DriverApi) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut seen = std::collections::BTreeMap::new();
+    for ioctl in &api.ioctls {
+        if let Some(prev) = seen.insert(ioctl.request, &ioctl.name) {
+            problems.push(format!(
+                "{name}: duplicate ioctl request {:#010x} ({prev} vs {})",
+                ioctl.request, ioctl.name
+            ));
+        }
+        for (i, shape) in ioctl.words.iter().enumerate() {
+            match shape {
+                WordShape::Choice(values) if values.is_empty() => {
+                    problems.push(format!("{name}: {} word {i} has an empty Choice", ioctl.name));
+                }
+                WordShape::Flags(values) if values.is_empty() => {
+                    problems.push(format!("{name}: {} word {i} has an empty Flags", ioctl.name));
+                }
+                WordShape::Range { min, max } if min > max => {
+                    problems.push(format!("{name}: {} word {i} has min > max", ioctl.name));
+                }
+                _ => {}
+            }
+        }
+    }
+    if let Some(model) = &api.state_model {
+        problems.extend(validate_model(name, model));
+        let requests: Vec<u32> = api.ioctls.iter().map(|i| i.request).collect();
+        for (i, t) in model.transitions.iter().enumerate() {
+            if let TransOp::Ioctl(req) = t.op {
+                if !requests.contains(&req) {
+                    problems.push(format!(
+                        "{name}: transition {i} references unlisted ioctl request {req:#010x}"
+                    ));
+                }
+            }
+        }
+    }
+    problems
 }
 
 /// Reads little-endian word `i` of an ioctl argument, 0 when out of range

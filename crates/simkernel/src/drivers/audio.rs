@@ -1,7 +1,10 @@
 //! ALSA-PCM-style audio driver at `/dev/snd_pcm0` — the kernel side of the
 //! Audio HAL.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 
 /// Set hardware parameters (`arg[0]` = rate, `arg[1]` = channels,
@@ -24,6 +27,41 @@ pub const PCM_GET_HWPTR: u32 = 0x8004_4107;
 pub const RATES: [u32; 5] = [8000, 16000, 44100, 48000, 96000];
 /// Valid sample formats.
 pub const FORMATS: [u32; 3] = [1, 2, 10];
+
+/// Declarative state machine of one substream (per open fd), mirroring
+/// the ALSA PCM lifecycle: `Open → Setup → Prepared → Running ⇄ Paused`,
+/// with `DRAIN`/`DROP` falling back to `Setup`. The first `write` from
+/// `Prepared` auto-starts the stream, as ALSA does.
+fn pcm_state_model() -> StateModel {
+    StateModel::new("Open", &["Open", "Setup", "Prepared", "Running", "Paused"])
+        .per_open()
+        .with(vec![
+            Transition::ioctl(PCM_HW_PARAMS)
+                .guard(WordGuard::OneOf(RATES.to_vec()))
+                .guard(WordGuard::In(1, 8))
+                .guard(WordGuard::OneOf(FORMATS.to_vec()))
+                .from(&["Open", "Setup", "Prepared"])
+                .to("Setup"),
+            Transition::ioctl(PCM_PREPARE)
+                .from(&["Setup", "Prepared", "Running", "Paused"])
+                .to("Prepared"),
+            Transition::ioctl(PCM_START).from(&["Prepared"]).to("Running"),
+            Transition::ioctl(PCM_PAUSE)
+                .guard(WordGuard::Eq(1))
+                .from(&["Running"])
+                .to("Paused"),
+            Transition::ioctl(PCM_PAUSE)
+                .guard(WordGuard::Eq(0))
+                .from(&["Paused"])
+                .to("Running"),
+            Transition::ioctl(PCM_DRAIN).from(&["Running", "Paused"]).to("Setup"),
+            Transition::ioctl(PCM_DROP).from(&["Running", "Paused"]).to("Setup"),
+            Transition::ioctl(PCM_GET_HWPTR),
+            Transition::write().from(&["Prepared"]).to("Running"),
+            Transition::write().from(&["Running"]),
+            Transition::mmap().from(&["Setup", "Prepared", "Running", "Paused"]),
+        ])
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PcmState {
@@ -95,6 +133,7 @@ impl CharDevice for PcmDevice {
             supports_write: true,
             supports_mmap: true,
             vendor: false,
+            state_model: Some(pcm_state_model()),
         }
     }
 

@@ -11,7 +11,7 @@
 //!   accepted child socket after its listening parent was freed.
 
 use crate::coverage::block_for;
-use crate::driver::{word, DriverCtx};
+use crate::driver::{word, DriverCtx, StateModel, Transition, WordGuard};
 use crate::errno::Errno;
 use crate::kernel::{HCI_COV_BASE, L2CAP_COV_BASE};
 use crate::syscall::btproto;
@@ -36,6 +36,92 @@ pub const HCIDEVSETUP: u32 = 0x4004_48FC;
 /// HCI socket — the vendor Bluetooth HAL ships the blob; nothing else
 /// knows it.
 pub const FIRMWARE_MAGIC: [u8; 4] = [0x4D, 0x54, 0x4B, 0x46];
+
+/// Declarative state machine of a raw HCI socket. The socket itself only
+/// tracks bound-ness, but the interesting state is the *controller*
+/// (down / staged-init / ready) plus the firmware-loaded latch — both
+/// global to the stack — so the model is the product abstraction for the
+/// common one-HCI-socket case and is flagged [`StateModel::global_backing`]:
+/// a second live HCI fd invalidates the tracking.
+///
+/// * `Fresh` — socket not bound; every HCI ioctl fails `ENOTCONN`.
+/// * `Bound` — bound to controller 0; controller down, no firmware.
+/// * `BoundFw` — firmware blob uploaded; controller still down.
+/// * `Init` — staged init (`HCIDEVUP` mode 1): codecs read here is bug #7.
+/// * `Ready` — controller fully up; inquiry and codec reads succeed.
+pub fn hci_socket_state_model() -> StateModel {
+    StateModel::new("Fresh", &["Fresh", "Bound", "BoundFw", "Init", "Ready"])
+        .per_open()
+        .global_backing()
+        .with(vec![
+            Transition::bind().guard(WordGuard::Eq(0)).from(&["Fresh"]).to("Bound"),
+            Transition::write().prefix(&FIRMWARE_MAGIC).from(&["Bound"]).to("BoundFw"),
+            Transition::write().prefix(&FIRMWARE_MAGIC).from(&["BoundFw"]),
+            Transition::ioctl(HCIDEVUP).guard(WordGuard::Eq(0)).from(&["BoundFw"]).to("Ready"),
+            Transition::ioctl(HCIDEVUP).guard(WordGuard::Eq(1)).from(&["BoundFw"]).to("Init"),
+            Transition::ioctl(HCIDEVSETUP).from(&["Init"]).to("Ready"),
+            Transition::ioctl(HCIDEVDOWN).from(&["Bound"]),
+            Transition::ioctl(HCIDEVDOWN).from(&["BoundFw"]),
+            Transition::ioctl(HCIDEVDOWN).from(&["Init", "Ready"]).to("BoundFw"),
+            Transition::ioctl(HCIDEVRESET).from(&["Bound", "BoundFw", "Init", "Ready"]),
+            Transition::ioctl(HCIINQUIRY).from(&["Ready"]).produces("bt:inquiry"),
+            Transition::ioctl(HCIREADCODECS).from(&["Ready"]),
+            // Bug #7: reading codecs mid-init dereferences an unallocated
+            // table (KASAN invalid-access on device A2).
+            Transition::ioctl(HCIREADCODECS).from(&["Init"]).may_fail().hazard(),
+            Transition::read().from(&["Init", "Ready"]),
+        ])
+}
+
+/// Declarative state machine of an L2CAP socket of type `ty` (1 =
+/// stream, 2 = dgram, 3 = raw). Socket state is genuinely per-open.
+/// `close_orphans` records that closing a listening parent leaves
+/// accepted children orphaned — using an orphan afterwards is bug #11's
+/// use-after-free (device D), so the abstract interpreter treats any
+/// post-orphan use as hazardous.
+pub fn l2cap_socket_state_model(ty: u32) -> StateModel {
+    let states: &[&str] = if ty == 1 {
+        &["Fresh", "Bound", "Listening", "Connected", "Disconnected"]
+    } else {
+        &["Fresh", "Bound", "Connected", "Disconnected"]
+    };
+    let mut t = vec![
+        Transition::bind().from(&["Fresh"]).to("Bound"),
+        Transition::ioctl(L2CAP_DISCONN_REQ).from(&["Connected"]).to("Disconnected"),
+        Transition::ioctl(L2CAP_SET_MTU).guard(WordGuard::In(48, 65535)),
+        Transition::ioctl(L2CAP_GET_CONNINFO).from(&["Connected"]),
+        Transition::read().from(&["Connected"]),
+        Transition::write().from(&["Connected"]),
+    ];
+    if ty == 1 {
+        t.push(
+            Transition::connect()
+                .from(&["Fresh", "Bound", "Listening", "Disconnected"])
+                .to("Connected")
+                .consumes("bt:inquiry"),
+        );
+        t.push(Transition::listen().from(&["Bound"]).to("Listening"));
+        t.push(Transition::accept().from(&["Listening"]).spawns("Connected"));
+        t.push(
+            Transition::ioctl(L2CAP_SET_MODE)
+                .guard(WordGuard::In(0, 3))
+                .from(&["Fresh", "Bound", "Listening", "Disconnected"]),
+        );
+    } else {
+        t.push(
+            Transition::connect()
+                .from(&["Fresh", "Bound", "Disconnected"])
+                .to("Connected")
+                .consumes("bt:inquiry"),
+        );
+        t.push(
+            Transition::ioctl(L2CAP_SET_MODE)
+                .guard(WordGuard::In(0, 3))
+                .from(&["Fresh", "Bound", "Disconnected"]),
+        );
+    }
+    StateModel::new("Fresh", states).per_open().close_orphans().with(t)
+}
 
 /// L2CAP: request channel disconnect.
 pub const L2CAP_DISCONN_REQ: u32 = 0x4004_6C01;

@@ -1,7 +1,10 @@
 //! DRM/KMS-style display driver at `/dev/dri0` — the kernel side of the
 //! Graphics (composer) HAL.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 use std::collections::BTreeMap;
 
@@ -24,6 +27,66 @@ pub const MODES: [(u32, u32, u32); 4] =
 
 /// Maximum hardware planes.
 pub const MAX_PLANES: u32 = 8;
+
+/// Declarative state machine of the display controller. Framebuffer ids
+/// are minted monotonically, so the model distinguishes `Mode0` (mode
+/// set, fb id 1 still unminted) from `ModeN` (mode set, no live fbs but
+/// ids spent): only from `Mode0` does `DRM_CREATE_FB` provably return fb
+/// id 1, making the follow-up `DRM_PAGE_FLIP(1)` a guaranteed deep edge.
+/// `DRM_CREATE_FB` consumes the ION share token — the second
+/// cross-driver prior edge next to the GPU import path.
+fn drm_state_model() -> StateModel {
+    let mut t = vec![
+        Transition::ioctl(DRM_CREATE_FB)
+            .guard(WordGuard::MaskEq(0xFFFF_0000, super::ion::SHARE_TAG))
+            .from(&["Mode0"])
+            .to("MF1")
+            .consumes("ion:token")
+            .produces("drm:fb"),
+        Transition::ioctl(DRM_CREATE_FB)
+            .guard(WordGuard::MaskEq(0xFFFF_0000, super::ion::SHARE_TAG))
+            .from(&["ModeN", "MF1"])
+            .to("MFX")
+            .consumes("ion:token"),
+        Transition::ioctl(DRM_CREATE_FB)
+            .guard(WordGuard::MaskEq(0xFFFF_0000, super::ion::SHARE_TAG))
+            .from(&["MFX"])
+            .may_fail(),
+        Transition::ioctl(DRM_DESTROY_FB).guard(WordGuard::Eq(1)).from(&["MF1"]).to("ModeN"),
+        Transition::ioctl(DRM_DESTROY_FB).from(&["MFX"]).to("ModeN").may_fail(),
+        Transition::ioctl(DRM_PAGE_FLIP).guard(WordGuard::Eq(1)).from(&["MF1"]),
+        Transition::ioctl(DRM_PAGE_FLIP).from(&["MFX"]).may_fail(),
+        Transition::ioctl(DRM_PLANE_COMMIT)
+            .guard(WordGuard::Eq(1))
+            .from(&["MF1", "MFX"]),
+        Transition::ioctl(DRM_PLANE_COMMIT)
+            .guard(WordGuard::In(2, MAX_PLANES))
+            .from(&["MFX"])
+            .may_fail(),
+        Transition::ioctl(DRM_WAIT_VBLANK).from(&["Mode0", "ModeN", "MF1", "MFX"]),
+        Transition::mmap().from(&["MF1", "MFX"]),
+    ];
+    for (w, h, hz) in MODES {
+        t.push(
+            Transition::ioctl(DRM_MODE_SET)
+                .guard(WordGuard::Eq(w))
+                .guard(WordGuard::Eq(h))
+                .guard(WordGuard::Eq(hz))
+                .from(&["Boot"])
+                .to("Mode0"),
+        );
+        t.push(
+            Transition::ioctl(DRM_MODE_SET)
+                .guard(WordGuard::Eq(w))
+                .guard(WordGuard::Eq(h))
+                .guard(WordGuard::Eq(hz))
+                .from(&["Mode0", "ModeN", "MF1", "MFX"]),
+        );
+    }
+    StateModel::new("Boot", &["Boot", "Mode0", "ModeN", "MF1", "MFX"])
+        .close_clobbers()
+        .with(t)
+}
 
 /// The display driver.
 #[derive(Debug, Default)]
@@ -97,6 +160,7 @@ impl CharDevice for DrmDevice {
             supports_write: false,
             supports_mmap: true,
             vendor: false,
+            state_model: Some(drm_state_model()),
         }
     }
 

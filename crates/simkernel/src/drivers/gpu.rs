@@ -8,7 +8,10 @@
 //! [`SUBCLASS_LIMIT`] — the cross-driver flow the Graphics HAL performs
 //! when composing many layers.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 use std::collections::BTreeMap;
 
@@ -28,6 +31,108 @@ pub const GPU_GET_COUNTERS: u32 = 0x8004_4706;
 
 /// Maximum lockdep subclass; import chains of this depth trip bug #3.
 pub const SUBCLASS_LIMIT: u32 = 8;
+
+/// Declarative state machine of the GPU:
+///
+/// - `Boot`: no context has ever been created (ids unspent);
+/// - `C1`: exactly context 1 is live with no imports;
+/// - `C1I`: context 1 is live and holds import 1 at chain depth 1;
+/// - `Busy`: at least one context is live but details are untracked;
+/// - `NoCtx`: no context is live, ids spent.
+///
+/// Import chains with `parent ≥ 1` from any imprecise state are hazards:
+/// an adversarial parent choice can reach [`SUBCLASS_LIMIT`] and raise
+/// the fatal bug #3, so the interpreter stops trusting success after
+/// them. `close` releases the owner's contexts, so the model clobbers.
+fn gpu_state_model() -> StateModel {
+    let tag = || WordGuard::MaskEq(0xFFFF_0000, super::ion::SHARE_TAG);
+    StateModel::new("Boot", &["Boot", "C1", "C1I", "Busy", "NoCtx"])
+        .close_clobbers()
+        .with(vec![
+            Transition::ioctl(GPU_CREATE_CTX).from(&["Boot"]).to("C1").produces("gpu:ctx"),
+            Transition::ioctl(GPU_CREATE_CTX)
+                .from(&["C1", "C1I", "NoCtx"])
+                .to("Busy")
+                .produces("gpu:ctx"),
+            Transition::ioctl(GPU_CREATE_CTX).from(&["Busy"]).may_fail(),
+            Transition::ioctl(GPU_DESTROY_CTX)
+                .guard(WordGuard::Eq(1))
+                .from(&["C1", "C1I"])
+                .to("NoCtx"),
+            Transition::ioctl(GPU_DESTROY_CTX).from(&["Busy"]).to("NoCtx").may_fail(),
+            // Depth-1 imports are always safe; deeper chains from states
+            // whose import depths are unknown can trip bug #3.
+            Transition::ioctl(GPU_IMPORT)
+                .guard(WordGuard::Eq(1))
+                .guard(tag())
+                .guard(WordGuard::Eq(0))
+                .from(&["C1"])
+                .to("C1I")
+                .consumes("ion:token")
+                .produces("gpu:import"),
+            Transition::ioctl(GPU_IMPORT)
+                .guard(WordGuard::Eq(1))
+                .guard(tag())
+                .guard(WordGuard::Eq(0))
+                .from(&["C1I"])
+                .consumes("ion:token"),
+            Transition::ioctl(GPU_IMPORT)
+                .guard(WordGuard::Eq(1))
+                .guard(tag())
+                .guard(WordGuard::Eq(1))
+                .from(&["C1I"])
+                .consumes("ion:token"),
+            Transition::ioctl(GPU_IMPORT)
+                .guard(WordGuard::Eq(1))
+                .guard(tag())
+                .guard(WordGuard::In(2, u32::MAX))
+                .from(&["C1I"])
+                .may_fail()
+                .hazard(),
+            Transition::ioctl(GPU_IMPORT)
+                .guard(WordGuard::Any)
+                .guard(tag())
+                .guard(WordGuard::Eq(0))
+                .from(&["Busy"])
+                .may_fail(),
+            Transition::ioctl(GPU_IMPORT)
+                .guard(WordGuard::Any)
+                .guard(tag())
+                .guard(WordGuard::In(1, u32::MAX))
+                .from(&["Busy"])
+                .may_fail()
+                .hazard(),
+            Transition::ioctl(GPU_SUBMIT)
+                .guard(WordGuard::Eq(1))
+                .guard(WordGuard::Any)
+                .guard(WordGuard::Eq(0))
+                .from(&["C1", "C1I"]),
+            Transition::ioctl(GPU_SUBMIT)
+                .guard(WordGuard::Eq(1))
+                .guard(WordGuard::Any)
+                .guard(WordGuard::Eq(1))
+                .from(&["C1I"]),
+            Transition::ioctl(GPU_SUBMIT)
+                .guard(WordGuard::Eq(1))
+                .guard(WordGuard::Any)
+                .guard(WordGuard::In(2, u32::MAX))
+                .from(&["C1I"])
+                .may_fail(),
+            Transition::ioctl(GPU_SUBMIT).from(&["Busy"]).may_fail(),
+            Transition::ioctl(GPU_WAIT)
+                .guard(WordGuard::Eq(1))
+                .guard(WordGuard::Eq(0))
+                .from(&["C1", "C1I"]),
+            Transition::ioctl(GPU_WAIT)
+                .guard(WordGuard::Eq(1))
+                .guard(WordGuard::In(1, u32::MAX))
+                .from(&["C1", "C1I"])
+                .may_fail(),
+            Transition::ioctl(GPU_WAIT).from(&["Busy"]).may_fail(),
+            Transition::ioctl(GPU_GET_COUNTERS),
+            Transition::mmap().from(&["C1", "C1I", "Busy"]),
+        ])
+}
 
 /// Which injected GPU bugs the firmware arms.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -118,6 +223,7 @@ impl CharDevice for GpuDevice {
             supports_write: false,
             supports_mmap: true,
             vendor: true,
+            state_model: Some(gpu_state_model()),
         }
     }
 

@@ -1,6 +1,9 @@
 //! Generic I²C adapter at `/dev/i2c-<N>`.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 
 /// Raw transfer (`arg[0]` = 7-bit address, `arg[1]` = length, `arg[2]` = dir).
@@ -12,6 +15,20 @@ pub const I2C_SET_SPEED: u32 = 0x4004_6903;
 
 /// Addresses with a simulated peripheral behind them.
 pub const PRESENT_ADDRS: [u32; 4] = [0x1C, 0x36, 0x50, 0x68];
+
+/// Declarative state machine of the adapter — stateless: transfers to a
+/// present peripheral with a legal length always succeed.
+fn i2c_state_model() -> StateModel {
+    StateModel::new("Ready", &["Ready"]).with(vec![
+        Transition::ioctl(I2C_XFER)
+            .guard(WordGuard::OneOf(PRESENT_ADDRS.to_vec()))
+            .guard(WordGuard::In(1, 32))
+            .guard(WordGuard::In(0, 1)),
+        Transition::ioctl(I2C_SMBUS_QUICK).guard(WordGuard::In(0, 0x7f)),
+        Transition::ioctl(I2C_SET_SPEED)
+            .guard(WordGuard::OneOf(vec![100_000, 400_000, 1_000_000])),
+    ])
+}
 
 /// The I²C adapter driver.
 #[derive(Debug)]
@@ -68,6 +85,7 @@ impl CharDevice for I2cDevice {
             supports_write: false,
             supports_mmap: false,
             vendor: false,
+            state_model: Some(i2c_state_model()),
         }
     }
 

@@ -1,6 +1,9 @@
 //! evdev-style input device at `/dev/input<N>`.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 
 /// Query supported event bits (`arg[0]` = event type).
@@ -9,6 +12,25 @@ pub const EVIOCGBIT: u32 = 0x8004_4502;
 pub const EVIOCGRAB: u32 = 0x4004_4590;
 /// Query device identity.
 pub const EVIOCGID: u32 = 0x8008_4502;
+
+/// Declarative state machine of the grab flag. The flag lives on the
+/// device (not the open file), so the model is device-global: a second
+/// client's grab changes what this fd may do.
+fn input_state_model() -> StateModel {
+    StateModel::new("Released", &["Released", "Grabbed"]).with(vec![
+        Transition::ioctl(EVIOCGBIT).guard(WordGuard::In(0, 5)),
+        Transition::ioctl(EVIOCGRAB)
+            .guard(WordGuard::Eq(1))
+            .from(&["Released"])
+            .to("Grabbed"),
+        Transition::ioctl(EVIOCGRAB)
+            .guard(WordGuard::Eq(0))
+            .from(&["Grabbed"])
+            .to("Released"),
+        Transition::ioctl(EVIOCGID),
+        Transition::read().guard(WordGuard::In(8, u32::MAX)),
+    ])
+}
 
 /// The input driver.
 #[derive(Debug)]
@@ -53,6 +75,7 @@ impl CharDevice for InputDevice {
             supports_write: false,
             supports_mmap: false,
             vendor: false,
+            state_model: Some(input_state_model()),
         }
     }
 

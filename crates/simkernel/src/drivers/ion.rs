@@ -6,7 +6,10 @@
 //! unlikely to synthesize, so reaching the deep import path requires a
 //! correct `ION_ALLOC → ION_SHARE → GPU_IMPORT` chain.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 use std::collections::BTreeMap;
 
@@ -25,6 +28,50 @@ pub const SHARE_TAG: u32 = 0x494F_0000;
 
 /// Supported heap masks.
 pub const HEAPS: [u32; 3] = [0x1, 0x2, 0x4];
+
+/// Declarative state machine of the allocator:
+///
+/// - `Boot`: no buffer has ever been allocated (handle 1 unspent);
+/// - `H1`: exactly handle 1 is live;
+/// - `Live`: at least one buffer is live, set untracked;
+/// - `Empty`: no buffer is live, handles spent.
+///
+/// `ION_SHARE` on handle 1 mints the tagged token the GPU and DRM
+/// drivers consume — the cross-driver edge the relation-graph prior is
+/// seeded with. `close` frees the client's buffers, so the model
+/// clobbers.
+fn ion_state_model() -> StateModel {
+    StateModel::new("Boot", &["Boot", "H1", "Live", "Empty"])
+        .close_clobbers()
+        .with(vec![
+            Transition::ioctl(ION_ALLOC)
+                .guard(WordGuard::In(1, 1 << 24))
+                .guard(WordGuard::OneOf(HEAPS.to_vec()))
+                .from(&["Boot"])
+                .to("H1")
+                .produces("ion:buffer"),
+            Transition::ioctl(ION_ALLOC)
+                .guard(WordGuard::In(1, 1 << 24))
+                .guard(WordGuard::OneOf(HEAPS.to_vec()))
+                .from(&["H1", "Empty"])
+                .to("Live")
+                .produces("ion:buffer"),
+            Transition::ioctl(ION_ALLOC)
+                .guard(WordGuard::In(1, 1 << 24))
+                .guard(WordGuard::OneOf(HEAPS.to_vec()))
+                .from(&["Live"])
+                .may_fail(),
+            Transition::ioctl(ION_FREE).guard(WordGuard::Eq(1)).from(&["H1"]).to("Empty"),
+            Transition::ioctl(ION_FREE).from(&["Live"]).to("Empty").may_fail(),
+            Transition::ioctl(ION_SHARE)
+                .guard(WordGuard::Eq(1))
+                .from(&["H1"])
+                .produces("ion:token"),
+            Transition::ioctl(ION_SHARE).from(&["Live"]).may_fail(),
+            Transition::ioctl(ION_QUERY_HEAPS),
+            Transition::mmap().from(&["H1", "Live"]),
+        ])
+}
 
 #[derive(Debug, Clone, Copy)]
 struct IonBuffer {
@@ -105,6 +152,7 @@ impl CharDevice for IonDevice {
             supports_write: false,
             supports_mmap: true,
             vendor: true,
+            state_model: Some(ion_state_model()),
         }
     }
 

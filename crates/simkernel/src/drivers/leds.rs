@@ -1,6 +1,9 @@
 //! LED-class driver at `/dev/leds` — the kernel side of the Lights HAL.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 
 /// Set brightness (`arg[0]` = led id, `arg[1]` = 0..=255).
@@ -12,6 +15,23 @@ pub const LED_GET_BRIGHTNESS: u32 = 0x4004_4C03;
 
 /// Number of LEDs.
 pub const LED_COUNT: u32 = 3;
+
+/// Declarative state machine of the LED bank — stateless from the
+/// caller's perspective: every in-range call succeeds from the single
+/// `Ready` state.
+fn leds_state_model() -> StateModel {
+    let led = WordGuard::In(0, LED_COUNT - 1);
+    StateModel::new("Ready", &["Ready"]).with(vec![
+        Transition::ioctl(LED_SET_BRIGHTNESS)
+            .guard(led.clone())
+            .guard(WordGuard::In(0, 255)),
+        Transition::ioctl(LED_SET_BLINK)
+            .guard(led.clone())
+            .guard(WordGuard::In(50, 5000))
+            .guard(WordGuard::In(50, 5000)),
+        Transition::ioctl(LED_GET_BRIGHTNESS).guard(led),
+    ])
+}
 
 /// The LED driver.
 #[derive(Debug, Default)]
@@ -60,6 +80,7 @@ impl CharDevice for LedsDevice {
             supports_write: false,
             supports_mmap: false,
             vendor: false,
+            state_model: Some(leds_state_model()),
         }
     }
 

@@ -4,7 +4,10 @@
 //! forever when asked for continuous-mode calibration with a zero step
 //! size, tripping the soft-lockup watchdog.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 
 /// Activate sensor (`arg[0]` = sensor id, `arg[1]` = 0/1).
@@ -27,6 +30,71 @@ pub const CAL_CONTINUOUS: u32 = 2;
 
 /// Number of simulated sensors on the hub.
 pub const SENSOR_COUNT: u32 = 6;
+
+/// Declarative state machine of the hub, tracking the activation mask
+/// coarsely:
+///
+/// - `Off`: every sensor inactive (boot);
+/// - `A0`: sensor 0 is active, the rest untracked;
+/// - `AX`: at least one sensor is active, identities untracked.
+///
+/// Continuous calibration with a zero step is the hazard transition —
+/// armed firmware spins into the soft-lockup watchdog (bug #5), so the
+/// interpreter stops trusting success claims after one. With step ≥ 1
+/// it converges well inside the per-call watchdog budget.
+fn sensorhub_state_model() -> StateModel {
+    let id = || WordGuard::In(0, SENSOR_COUNT - 1);
+    StateModel::new("Off", &["Off", "A0", "AX"]).with(vec![
+        Transition::ioctl(SH_ACTIVATE).guard(id()).guard(WordGuard::Eq(0)).from(&["Off"]),
+        Transition::ioctl(SH_ACTIVATE)
+            .guard(WordGuard::Eq(0))
+            .guard(WordGuard::Eq(1))
+            .from(&["Off"])
+            .to("A0"),
+        Transition::ioctl(SH_ACTIVATE)
+            .guard(WordGuard::In(1, SENSOR_COUNT - 1))
+            .guard(WordGuard::Eq(1))
+            .from(&["Off"])
+            .to("AX"),
+        Transition::ioctl(SH_ACTIVATE).guard(id()).guard(WordGuard::Eq(1)).from(&["A0", "AX"]),
+        Transition::ioctl(SH_ACTIVATE)
+            .guard(WordGuard::In(1, SENSOR_COUNT - 1))
+            .guard(WordGuard::Eq(0))
+            .from(&["A0"]),
+        // Deactivation from a coarse state may empty the mask.
+        Transition::ioctl(SH_ACTIVATE)
+            .guard(WordGuard::Eq(0))
+            .guard(WordGuard::Eq(0))
+            .from(&["A0"])
+            .to("Off")
+            .may_fail(),
+        Transition::ioctl(SH_ACTIVATE)
+            .guard(id())
+            .guard(WordGuard::Eq(0))
+            .from(&["AX"])
+            .to("Off")
+            .may_fail(),
+        Transition::ioctl(SH_SET_DELAY).guard(id()).guard(WordGuard::In(1000, 1_000_000)),
+        Transition::ioctl(SH_CALIBRATE).guard(WordGuard::Eq(CAL_ONESHOT)),
+        Transition::ioctl(SH_CALIBRATE)
+            .guard(WordGuard::Eq(CAL_CONTINUOUS))
+            .guard(WordGuard::In(1, u32::MAX)),
+        Transition::ioctl(SH_CALIBRATE)
+            .guard(WordGuard::Eq(CAL_CONTINUOUS))
+            .guard(WordGuard::Eq(0))
+            .may_fail()
+            .hazard(),
+        Transition::ioctl(SH_READ_EVENT).from(&["A0", "AX"]),
+        Transition::ioctl(SH_FLUSH).guard(WordGuard::Eq(0)).from(&["A0"]),
+        Transition::ioctl(SH_FLUSH)
+            .guard(WordGuard::In(1, SENSOR_COUNT - 1))
+            .from(&["A0"])
+            .may_fail(),
+        Transition::ioctl(SH_FLUSH).guard(id()).from(&["AX"]).may_fail(),
+        Transition::ioctl(SH_GET_VERSION),
+        Transition::read().from(&["A0", "AX"]),
+    ])
+}
 
 /// Which injected sensor-hub bugs the firmware arms.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -104,6 +172,7 @@ impl CharDevice for SensorHubDevice {
             supports_write: false,
             supports_mmap: false,
             vendor: true,
+            state_model: Some(sensorhub_state_model()),
         }
     }
 

@@ -6,7 +6,10 @@
 //! (`WARNING in tcpc_pr_swap` — power-role swap attempted while the port is
 //! unattached but VBUS is driven).
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 
 /// Set CC line pull (`arg[0]`: 0 = open, 1 = Rd, 2 = Rp1.5, 3 = Rp3.0).
@@ -29,6 +32,104 @@ pub const TCPC_I2C_XFER: u32 = 0x4008_5408;
 pub const TCPC_VCONN: u32 = 0x4004_5409;
 /// Simulated alert interrupt (`arg[0]` = alert mask).
 pub const TCPC_ALERT: u32 = 0x4004_540A;
+
+/// Declarative state machine of the port controller, tracking the
+/// `(attach state, cc, vbus)` triple through the precisely-modeled region
+/// of the state space:
+///
+/// - `Boot`/`BootV`: unattached, cc open, vbus off/on;
+/// - `Cc1`/`Cc1V`: unattached, Rd pull on CC, vbus off/on;
+/// - `Wait`/`WaitV`: AttachWait.SNK, vbus off/on;
+/// - `Snk`/`Src`: attached as sink/source (cc = Rd, vbus on).
+///
+/// `SET_CC` pulls ≥ 2 (the source path) and vbus/cc changes while
+/// attached leave the precise region via `may_fail` clobber transitions;
+/// bad-length `I2C_XFER` does the same because it latches the hidden
+/// `i2c_error` flag that `RESET_PROBE` trips over.
+fn tcpc_state_model() -> StateModel {
+    const UNATTACHED: &[&str] = &["Boot", "BootV", "Cc1", "Cc1V"];
+    StateModel::new("Boot", &["Boot", "BootV", "Cc1", "Cc1V", "Wait", "WaitV", "Snk", "Src"])
+        .with(vec![
+            // SET_CC(1): install the Rd pull; attach state untouched.
+            Transition::ioctl(TCPC_SET_CC).guard(WordGuard::Eq(1)).from(&["Boot"]).to("Cc1"),
+            Transition::ioctl(TCPC_SET_CC).guard(WordGuard::Eq(1)).from(&["BootV"]).to("Cc1V"),
+            Transition::ioctl(TCPC_SET_CC)
+                .guard(WordGuard::Eq(1))
+                .from(&["Cc1", "Cc1V", "Wait", "WaitV", "Snk", "Src"]),
+            // SET_CC(0): release the pull.
+            Transition::ioctl(TCPC_SET_CC).guard(WordGuard::Eq(0)).from(&["Boot", "BootV"]),
+            Transition::ioctl(TCPC_SET_CC).guard(WordGuard::Eq(0)).from(&["Cc1"]).to("Boot"),
+            Transition::ioctl(TCPC_SET_CC).guard(WordGuard::Eq(0)).from(&["Cc1V"]).to("BootV"),
+            Transition::ioctl(TCPC_SET_CC)
+                .guard(WordGuard::Eq(0))
+                .from(&["Wait", "WaitV", "Snk", "Src"])
+                .to("Boot")
+                .may_fail(),
+            // SET_CC(2|3): the source-pull region is not tracked.
+            Transition::ioctl(TCPC_SET_CC).guard(WordGuard::In(2, 3)).to("Boot").may_fail(),
+            // VBUS on/off.
+            Transition::ioctl(TCPC_VBUS).guard(WordGuard::Eq(1)).from(&["Boot"]).to("BootV"),
+            Transition::ioctl(TCPC_VBUS).guard(WordGuard::Eq(1)).from(&["Cc1"]).to("Cc1V"),
+            Transition::ioctl(TCPC_VBUS).guard(WordGuard::Eq(1)).from(&["Wait"]).to("WaitV"),
+            Transition::ioctl(TCPC_VBUS)
+                .guard(WordGuard::Eq(1))
+                .from(&["BootV", "Cc1V", "WaitV", "Snk", "Src"]),
+            Transition::ioctl(TCPC_VBUS).guard(WordGuard::Eq(0)).from(&["Boot", "Cc1", "Wait"]),
+            Transition::ioctl(TCPC_VBUS).guard(WordGuard::Eq(0)).from(&["BootV"]).to("Boot"),
+            Transition::ioctl(TCPC_VBUS).guard(WordGuard::Eq(0)).from(&["Cc1V"]).to("Cc1"),
+            Transition::ioctl(TCPC_VBUS).guard(WordGuard::Eq(0)).from(&["WaitV"]).to("Wait"),
+            Transition::ioctl(TCPC_VBUS)
+                .guard(WordGuard::Eq(0))
+                .from(&["Snk", "Src"])
+                .to("Boot")
+                .may_fail(),
+            // ATTACH as sink: needs the pull, completes on vbus.
+            Transition::ioctl(TCPC_ATTACH).guard(WordGuard::Eq(1)).from(&["Cc1"]).to("Wait"),
+            Transition::ioctl(TCPC_ATTACH).guard(WordGuard::Eq(1)).from(&["Cc1V"]).to("Snk"),
+            Transition::ioctl(TCPC_ATTACH).guard(WordGuard::Eq(1)).from(&["WaitV"]).to("Snk"),
+            // DETACH: back to unattached; cc/vbus survive.
+            Transition::ioctl(TCPC_DETACH).from(UNATTACHED),
+            Transition::ioctl(TCPC_DETACH).from(&["Wait"]).to("Cc1"),
+            Transition::ioctl(TCPC_DETACH).from(&["WaitV", "Snk", "Src"]).to("Cc1V"),
+            // Power-role swap between the attached states.
+            Transition::ioctl(TCPC_PR_SWAP).from(&["Snk"]).to("Src"),
+            Transition::ioctl(TCPC_PR_SWAP).from(&["Src"]).to("Snk"),
+            // Probe recovery succeeds whenever no I²C error is latched,
+            // which the precise region guarantees.
+            Transition::ioctl(TCPC_RESET_PROBE),
+            Transition::ioctl(TCPC_GET_STATUS),
+            // Well-formed I²C transfers are stateless; zero/oversized
+            // lengths latch the hidden error flag even though the call
+            // itself fails.
+            Transition::ioctl(TCPC_I2C_XFER)
+                .guard(WordGuard::In(0, 0xff))
+                .guard(WordGuard::In(1, 32)),
+            Transition::ioctl(TCPC_I2C_XFER)
+                .guard(WordGuard::In(0, 0xff))
+                .guard(WordGuard::Eq(0))
+                .to("Boot")
+                .may_fail(),
+            Transition::ioctl(TCPC_I2C_XFER)
+                .guard(WordGuard::In(0, 0xff))
+                .guard(WordGuard::In(33, u32::MAX))
+                .to("Boot")
+                .may_fail(),
+            // VCONN: off always works, on needs the source role.
+            Transition::ioctl(TCPC_VCONN).guard(WordGuard::Eq(0)),
+            Transition::ioctl(TCPC_VCONN).guard(WordGuard::Eq(1)).from(&["Src"]),
+            // Alert interrupt: the 0x10 bit forces a detach.
+            Transition::ioctl(TCPC_ALERT).guard(WordGuard::MaskEq(0x10, 0)),
+            Transition::ioctl(TCPC_ALERT).guard(WordGuard::MaskEq(0x10, 0x10)).from(UNATTACHED),
+            Transition::ioctl(TCPC_ALERT)
+                .guard(WordGuard::MaskEq(0x10, 0x10))
+                .from(&["Wait"])
+                .to("Cc1"),
+            Transition::ioctl(TCPC_ALERT)
+                .guard(WordGuard::MaskEq(0x10, 0x10))
+                .from(&["WaitV", "Snk", "Src"])
+                .to("Cc1V"),
+        ])
+}
 
 /// Which injected TCPC bugs the firmware arms.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -128,6 +229,7 @@ impl CharDevice for TcpcDevice {
             supports_write: false,
             supports_mmap: false,
             vendor: true,
+            state_model: Some(tcpc_state_model()),
         }
     }
 

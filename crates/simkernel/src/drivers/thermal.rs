@@ -1,6 +1,9 @@
 //! Thermal-zone driver at `/dev/thermal`.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 
 /// Read zone temperature (`arg[0]` = zone id), milli-°C returned.
@@ -12,6 +15,19 @@ pub const TH_SET_COOLING: u32 = 0x4004_5483;
 
 /// Number of thermal zones.
 pub const ZONES: u32 = 4;
+
+/// Declarative state machine of the thermal driver — a single `Ready`
+/// state; every in-range call (and any `read`) succeeds unconditionally.
+fn thermal_state_model() -> StateModel {
+    StateModel::new("Ready", &["Ready"]).with(vec![
+        Transition::ioctl(TH_GET_TEMP).guard(WordGuard::In(0, ZONES - 1)),
+        Transition::ioctl(TH_SET_TRIP)
+            .guard(WordGuard::In(0, ZONES - 1))
+            .guard(WordGuard::In(40_000, 120_000)),
+        Transition::ioctl(TH_SET_COOLING).guard(WordGuard::In(0, 4)),
+        Transition::read(),
+    ])
+}
 
 /// The thermal driver.
 #[derive(Debug)]
@@ -73,6 +89,7 @@ impl CharDevice for ThermalDevice {
             supports_write: false,
             supports_mmap: false,
             vendor: false,
+            state_model: Some(thermal_state_model()),
         }
     }
 

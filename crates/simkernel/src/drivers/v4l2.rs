@@ -6,7 +6,10 @@
 //! intentionally *shallow* (one ioctl) — it is one of the two bugs the
 //! paper reports syzkaller also finds.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 
 /// `VIDIOC_QUERYCAP`
@@ -30,6 +33,67 @@ pub const VIDIOC_STREAMOFF: u32 = 0x4004_5613;
 
 /// Supported pixel formats (fourcc-ish tags).
 pub const PIXFMTS: [u32; 4] = [0x5956_5559, 0x3231_564e, 0x4747_504a, 0x3442_4752];
+
+/// Declarative state machine of one capture session (state is per open
+/// file, like a real V4L2 `fh`):
+///
+/// - `Fresh`: no format negotiated;
+/// - `Fmt`: format set, no buffers;
+/// - `Buf`/`BufQ`: buffers allocated, queue empty / exactly buffer 0
+///   queued;
+/// - `Str`/`StrQ`: streaming with the same two queue shapes.
+///
+/// Queuing any index other than 0 leaves the precisely-tracked queue
+/// shapes.
+fn v4l2_state_model() -> StateModel {
+    let dim = || WordGuard::In(16, 4096);
+    let pix = || WordGuard::OneOf(PIXFMTS.to_vec());
+    StateModel::new("Fresh", &["Fresh", "Fmt", "Buf", "BufQ", "Str", "StrQ"])
+        .per_open()
+        .with(vec![
+            Transition::ioctl(VIDIOC_QUERYCAP).guard(WordGuard::OneOf(vec![0, 1])),
+            Transition::ioctl(VIDIOC_ENUM_FMT).guard(WordGuard::In(0, PIXFMTS.len() as u32 - 1)),
+            Transition::ioctl(VIDIOC_S_FMT)
+                .guard(dim())
+                .guard(dim())
+                .guard(pix())
+                .from(&["Fresh"])
+                .to("Fmt"),
+            Transition::ioctl(VIDIOC_S_FMT)
+                .guard(dim())
+                .guard(dim())
+                .guard(pix())
+                .from(&["Fmt", "Buf", "BufQ"]),
+            Transition::ioctl(VIDIOC_G_FMT).from(&["Fmt", "Buf", "BufQ", "Str", "StrQ"]),
+            Transition::ioctl(VIDIOC_REQBUFS)
+                .guard(WordGuard::In(1, u32::MAX))
+                .from(&["Fmt", "Buf", "BufQ"])
+                .to("Buf")
+                .produces("v4l2:buf"),
+            Transition::ioctl(VIDIOC_REQBUFS)
+                .guard(WordGuard::Eq(0))
+                .from(&["Fmt", "Buf", "BufQ"])
+                .to("Fmt"),
+            Transition::ioctl(VIDIOC_QBUF).guard(WordGuard::Eq(0)).from(&["Buf"]).to("BufQ"),
+            Transition::ioctl(VIDIOC_QBUF).guard(WordGuard::Eq(0)).from(&["Str"]).to("StrQ"),
+            Transition::ioctl(VIDIOC_QBUF)
+                .guard(WordGuard::In(1, 31))
+                .from(&["Buf", "BufQ"])
+                .to("Fmt")
+                .may_fail(),
+            Transition::ioctl(VIDIOC_QBUF)
+                .guard(WordGuard::In(1, 31))
+                .from(&["Str", "StrQ"])
+                .to("Fmt")
+                .may_fail(),
+            Transition::ioctl(VIDIOC_DQBUF).from(&["StrQ"]).to("Str"),
+            Transition::ioctl(VIDIOC_STREAMON).from(&["Buf"]).to("Str").consumes("v4l2:buf"),
+            Transition::ioctl(VIDIOC_STREAMON).from(&["BufQ"]).to("StrQ").consumes("v4l2:buf"),
+            Transition::ioctl(VIDIOC_STREAMOFF).from(&["Str", "StrQ"]).to("Buf"),
+            Transition::read().from(&["Str", "StrQ"]),
+            Transition::mmap().from(&["Buf", "BufQ", "Str", "StrQ"]),
+        ])
+}
 
 /// Which injected V4L2 bugs the firmware arms.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -135,6 +199,7 @@ impl CharDevice for V4l2Device {
             supports_write: false,
             supports_mmap: true,
             vendor: false,
+            state_model: Some(v4l2_state_model()),
         }
     }
 

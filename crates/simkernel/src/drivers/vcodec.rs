@@ -3,7 +3,10 @@
 //! driver is a deep, bug-free state machine providing the coverage surface
 //! that joint HAL/kernel fuzzing explores.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 
 /// Configure a session (`arg[0]` = codec, `arg[1]` = width, `arg[2]` = height).
@@ -25,6 +28,61 @@ pub const VC_RESET: u32 = 0x4004_5808;
 
 /// Supported codec ids (H264, H265, VP9, AV1).
 pub const CODECS: [u32; 4] = [1, 2, 3, 4];
+
+/// Declarative state machine of one codec session (per open fd). Running
+/// states `R<i><o>` track the exact `(in_queue, out_ready)` pair for small
+/// queues (every second input mints an output frame), and draining states
+/// `D<o>` track `out_ready` only — that is all `VC_DEQUEUE_OUT` needs.
+/// Queues deeper than 3 inputs leave the precise region, encoded as
+/// may-fail clobbers.
+fn vcodec_state_model() -> StateModel {
+    let queue = WordGuard::In(1, 1 << 20);
+    StateModel::new(
+        "Unconf",
+        &[
+            "Unconf", "Conf", "Stopped", "R00", "R10", "R20", "R30", "R21", "R31", "D0", "D1",
+            "D2",
+        ],
+    )
+    .per_open()
+    .with(vec![
+        Transition::ioctl(VC_CONFIGURE)
+            .guard(WordGuard::OneOf(CODECS.to_vec()))
+            .guard(WordGuard::In(64, 3840))
+            .guard(WordGuard::In(64, 2160))
+            .from(&["Unconf", "Stopped"])
+            .to("Conf"),
+        Transition::ioctl(VC_START).from(&["Conf"]).to("R00"),
+        Transition::ioctl(VC_QUEUE_IN).guard(queue.clone()).from(&["R00"]).to("R10"),
+        Transition::ioctl(VC_QUEUE_IN).guard(queue.clone()).from(&["R10"]).to("R21"),
+        Transition::ioctl(VC_QUEUE_IN).guard(queue.clone()).from(&["R20"]).to("R30"),
+        Transition::ioctl(VC_QUEUE_IN).guard(queue.clone()).from(&["R21"]).to("R31"),
+        // A fourth input overflows the precise region (in_queue = 4).
+        Transition::ioctl(VC_QUEUE_IN).guard(queue.clone()).from(&["R30", "R31"]).to("R00").may_fail(),
+        Transition::ioctl(VC_DEQUEUE_OUT).from(&["R21"]).to("R20").produces("vcodec:frame"),
+        Transition::ioctl(VC_DEQUEUE_OUT).from(&["R31"]).to("R30").produces("vcodec:frame"),
+        Transition::ioctl(VC_DEQUEUE_OUT).from(&["D2"]).to("D1").produces("vcodec:frame"),
+        Transition::ioctl(VC_DEQUEUE_OUT).from(&["D1"]).to("D0").produces("vcodec:frame"),
+        Transition::ioctl(VC_FLUSH)
+            .from(&["R00", "R10", "R20", "R30", "R21", "R31", "D0", "D1", "D2"])
+            .to("R00"),
+        Transition::ioctl(VC_DRAIN).from(&["R00", "R10"]).to("D0"),
+        Transition::ioctl(VC_DRAIN).from(&["R20", "R30"]).to("D1"),
+        Transition::ioctl(VC_DRAIN).from(&["R21", "R31"]).to("D2"),
+        Transition::ioctl(VC_STOP)
+            .from(&["Conf", "Stopped", "R00", "R10", "R20", "R30", "R21", "R31", "D0", "D1", "D2"])
+            .to("Stopped"),
+        Transition::ioctl(VC_RESET).to("Unconf"),
+        Transition::write().from(&["R00"]).to("R10"),
+        Transition::write().from(&["R10"]).to("R20"),
+        Transition::write().from(&["R20"]).to("R30"),
+        Transition::write().from(&["R21"]).to("R31"),
+        Transition::write().from(&["R30", "R31"]).to("R00").may_fail(),
+        Transition::mmap().from(&[
+            "Conf", "Stopped", "R00", "R10", "R20", "R30", "R21", "R31", "D0", "D1", "D2",
+        ]),
+    ])
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CodecState {
@@ -110,6 +168,7 @@ impl CharDevice for VcodecDevice {
             supports_write: true,
             supports_mmap: true,
             vendor: true,
+            state_model: Some(vcodec_state_model()),
         }
     }
 

@@ -4,7 +4,10 @@
 //! rate_control_rate_init` when an association is started with an empty
 //! supported-rates bitmap.
 
-use crate::driver::{word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, WordShape};
+use crate::driver::{
+    word, CharDevice, DriverApi, DriverCtx, IoctlDesc, IoctlOut, StateModel, Transition,
+    WordGuard, WordShape,
+};
 use crate::errno::Errno;
 
 /// Start a scan.
@@ -24,6 +27,39 @@ pub const WL_SET_POWER: u32 = 0x4004_5707;
 
 /// Default supported-rates bitmap (802.11g basic set).
 pub const DEFAULT_RATES: u32 = 0x0fff;
+
+/// Declarative state machine of the link: `Idle → Scan → Done → Assoc`,
+/// with every precise state carrying the invariant `rates != 0` (the
+/// boot default). Zeroing the rates bitmap leaves the precise region —
+/// a later `WL_CONNECT` would fail with bug #10's warning instead of
+/// associating, so `Assoc` could no longer be trusted.
+fn wlan_state_model() -> StateModel {
+    StateModel::new("Idle", &["Idle", "Scan", "Done", "Assoc"]).with(vec![
+        Transition::ioctl(WL_SCAN_START).from(&["Idle", "Done", "Assoc"]).to("Scan"),
+        Transition::ioctl(WL_SCAN_RESULTS).from(&["Scan"]).to("Done").produces("wlan:scan"),
+        Transition::ioctl(WL_SET_RATES).guard(WordGuard::MaskNonZero(0xffff)),
+        Transition::ioctl(WL_SET_RATES)
+            .guard(WordGuard::MaskEq(0xffff, 0))
+            .to("Idle")
+            .may_fail(),
+        // Scans always report at least 3 APs, so indexes 0..=2 are safe;
+        // 3..=5 depend on the scan counter.
+        Transition::ioctl(WL_CONNECT)
+            .guard(WordGuard::In(0, 2))
+            .from(&["Done"])
+            .to("Assoc")
+            .consumes("wlan:scan"),
+        Transition::ioctl(WL_CONNECT)
+            .guard(WordGuard::In(3, 5))
+            .from(&["Done"])
+            .to("Assoc")
+            .may_fail(),
+        Transition::ioctl(WL_DISCONNECT).from(&["Assoc"]).to("Idle"),
+        Transition::ioctl(WL_GET_STATUS),
+        Transition::ioctl(WL_SET_POWER).guard(WordGuard::In(0, 3)),
+        Transition::read().from(&["Assoc"]),
+    ])
+}
 
 /// Which injected WLAN bugs the firmware arms.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -103,6 +139,7 @@ impl CharDevice for WlanDevice {
             supports_write: false,
             supports_mmap: false,
             vendor: true,
+            state_model: Some(wlan_state_model()),
         }
     }
 

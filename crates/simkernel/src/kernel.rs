@@ -116,6 +116,14 @@ impl Kernel {
             !self.devices.contains_key(&node),
             "device node {node} already registered"
         );
+        // Debug builds validate the driver's self-description at mount
+        // time: duplicate ioctl request codes, empty Choice/Flags word
+        // shapes, and malformed state models are firmware bugs.
+        #[cfg(debug_assertions)]
+        {
+            let problems = crate::driver::validate_api(dev.name(), &dev.api());
+            assert!(problems.is_empty(), "invalid DriverApi: {problems:?}");
+        }
         let base = DEVICE_COV_BASE + self.devices.len() as u64 * DRIVER_REGION;
         self.devices.insert(node, DeviceSlot { base, dev });
         base
@@ -649,6 +657,7 @@ mod tests {
                 supports_write: true,
                 supports_mmap: false,
                 vendor: false,
+                state_model: None,
             }
         }
         fn open(&mut self, ctx: &mut DriverCtx<'_>) -> Result<(), Errno> {

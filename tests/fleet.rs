@@ -136,6 +136,32 @@ fn parallel_fleet_matches_sequential_bit_for_bit() {
     }
 }
 
+/// The absint gate keeps fixed-seed campaigns bit-identical across
+/// worker counts: a DroidFuzz-S fleet (state models loaded, relation
+/// priors seeded, static gate and depth-energy active) must reproduce
+/// the sequential snapshot — including the absint counters in its
+/// `# section lint` — at any thread count.
+#[test]
+fn droidfuzz_s_fleet_matches_sequential_across_thread_counts() {
+    let spec = catalog::device_a1();
+    let config = |threads| FleetConfig { shards: 3, threads, ..quick_config(true, None) };
+    let sequential = Fleet::new(config(1)).run(&spec, FuzzerConfig::droidfuzz_s);
+    assert!(sequential.finished);
+    assert!(
+        sequential.snapshot.contains("absint_rejected"),
+        "snapshot must carry the absint gate counters"
+    );
+    for threads in [2, 4] {
+        let parallel = Fleet::new(config(threads)).run(&spec, FuzzerConfig::droidfuzz_s);
+        assert_eq!(
+            fingerprint(&sequential),
+            fingerprint(&parallel),
+            "threads={threads} diverged under the absint gate"
+        );
+        assert_eq!(sequential.executions, parallel.executions, "threads={threads}");
+    }
+}
+
 /// Parallel determinism also holds under fault injection: restarts and
 /// quarantines are orchestrator-side decisions made in shard order, so a
 /// hostile campaign replays identically at any worker count.

@@ -1,0 +1,75 @@
+//! Per-device regression tests for the static interface models: every
+//! Table-I catalog device must boot with valid `DriverApi`
+//! self-descriptions (no duplicate ioctl request codes, no empty
+//! `Choice`/`Flags` word shapes, well-formed state models — the same
+//! checks debug builds run at mount time) and a [`ModelSet`] whose audit
+//! is completely clean (no unreachable states, dead transitions, or
+//! nondeterministic guard overlaps).
+//!
+//! One test per device so a regression names the exact firmware spec
+//! that broke.
+
+use droidfuzz_repro::droidfuzz_analysis::{ModelSet, Severity};
+use droidfuzz_repro::simdevice::catalog;
+use droidfuzz_repro::simdevice::FirmwareSpec;
+use droidfuzz_repro::simkernel::driver::validate_api;
+
+fn assert_device_models_clean(spec: FirmwareSpec) {
+    let mut device = spec.boot();
+    let kernel = device.kernel();
+    for node in kernel.device_nodes() {
+        let api = kernel.device_api(&node).expect("listed node has an api");
+        let problems = validate_api(&node, &api);
+        assert!(problems.is_empty(), "{node}: invalid DriverApi: {problems:?}");
+    }
+    let models = ModelSet::for_kernel(kernel);
+    assert!(!models.is_empty(), "every catalog device carries state models");
+    let report = models.audit();
+    assert_eq!(
+        report.error_count(),
+        0,
+        "model audit errors: {:?}",
+        report.diagnostics
+    );
+    assert_eq!(
+        report.count(Severity::Warning),
+        0,
+        "model audit warnings: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn device_a1_models_audit_clean() {
+    assert_device_models_clean(catalog::device_a1());
+}
+
+#[test]
+fn device_a2_models_audit_clean() {
+    assert_device_models_clean(catalog::device_a2());
+}
+
+#[test]
+fn device_b_models_audit_clean() {
+    assert_device_models_clean(catalog::device_b());
+}
+
+#[test]
+fn device_c1_models_audit_clean() {
+    assert_device_models_clean(catalog::device_c1());
+}
+
+#[test]
+fn device_c2_models_audit_clean() {
+    assert_device_models_clean(catalog::device_c2());
+}
+
+#[test]
+fn device_d_models_audit_clean() {
+    assert_device_models_clean(catalog::device_d());
+}
+
+#[test]
+fn device_e_models_audit_clean() {
+    assert_device_models_clean(catalog::device_e());
+}
