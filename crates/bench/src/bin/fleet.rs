@@ -20,11 +20,24 @@
 //! point's final snapshot is asserted byte-identical to the
 //! single-worker snapshot — the parallel executor is exercised as a
 //! pure wall-clock optimization.
+//!
+//! A batched-execution arm (`"bench":"exec_batch"`) then compares the
+//! historical per-program broker flow against the batched session on an
+//! identical program stream (`DF_BATCH_PROGS` programs, default 2000, in
+//! batches of `DF_BATCH`, default 32), asserts outcome equality, measures
+//! hostile-fault overhead at fleet granularity (`DF_BATCH_HOURS` virtual
+//! hours, default 0.15), and sweeps batch {1,4,32} x threads {1,4} for
+//! snapshot byte-identity.
 
 use droidfuzz::config::FuzzerConfig;
+use droidfuzz::descs::build_syscall_table;
+use droidfuzz::exec::Broker;
 use droidfuzz::fleet::{Fleet, FleetConfig, FleetResult};
+use droidfuzz::generate::random_generate;
 use droidfuzz::report::ascii_chart;
 use droidfuzz_bench::{env_f64, env_u64};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use simdevice::catalog;
 use simdevice::faults::FaultProfile;
 
@@ -220,6 +233,112 @@ fn main() {
             result.executions,
         );
     }
+
+    // Batched-execution arm: the historical per-program broker flow
+    // (per-exec trace attach/detach, per-call descriptor clones, fresh
+    // collection buffers, a full coverage-map scan against a HashSet seen
+    // filter) versus the batched session (persistent trace, recycled
+    // scratch, O(new) page-marked coverage delta) over the identical
+    // program stream on identical devices. Outcome equality is asserted
+    // program by program — the speedup is pure host-side amortization.
+    let batch_progs = env_u64("DF_BATCH_PROGS", 2_000).max(1) as usize;
+    let batch_size = env_u64("DF_BATCH", 32).max(1) as usize;
+    let mut ref_device = catalog::by_id(&device).expect("known device").boot();
+    let mut fast_device = catalog::by_id(&device).expect("known device").boot();
+    let batch_table = build_syscall_table(ref_device.kernel());
+    let mut prog_rng = StdRng::seed_from_u64(0xBA7C);
+    let progs: Vec<_> =
+        (0..batch_progs).map(|_| random_generate(&batch_table, 12, &mut prog_rng)).collect();
+
+    let mut ref_broker = Broker::new();
+    let start = std::time::Instant::now();
+    let ref_outcomes: Vec<_> = progs
+        .iter()
+        .map(|p| ref_broker.execute_reference(&mut ref_device, &batch_table, p))
+        .collect();
+    let ref_wall = start.elapsed().as_secs_f64();
+    let ref_rate = batch_progs as f64 / ref_wall.max(1e-9);
+
+    let mut fast_broker = Broker::new();
+    let start = std::time::Instant::now();
+    let mut fast_outcomes = Vec::with_capacity(batch_progs);
+    for chunk in progs.chunks(batch_size) {
+        fast_outcomes.extend(fast_broker.execute_batch(&mut fast_device, &batch_table, chunk));
+    }
+    let fast_wall = start.elapsed().as_secs_f64();
+    let fast_rate = batch_progs as f64 / fast_wall.max(1e-9);
+    assert_eq!(ref_outcomes.len(), fast_outcomes.len());
+    for (i, (a, b)) in ref_outcomes.iter().zip(&fast_outcomes).enumerate() {
+        assert_eq!(a, b, "batched outcome {i} diverged from the reference path");
+    }
+    let exec_speedup = fast_rate / ref_rate.max(1e-9);
+    println!(
+        "\nbatched execution ({batch_progs} programs, batch={batch_size}): \
+         reference {ref_rate:.0} progs/s, batched {fast_rate:.0} progs/s \
+         ({exec_speedup:.2}x, outcomes identical)"
+    );
+
+    // The same comparison under hostile faults, at fleet granularity: a
+    // hostile campaign with exec_batch=32 must produce the per-program
+    // snapshot byte for byte, and its wall-clock overhead is measured
+    // rather than assumed.
+    let sweep_hours = env_f64("DF_BATCH_HOURS", 0.15);
+    let sweep_cfg = |threads: usize| FleetConfig {
+        threads,
+        ..fleet_config(3, sweep_hours, sync_min.min(7.5), true)
+    };
+    let mk_batch = |batch: usize, p: FaultProfile| {
+        move |seed: u64| {
+            FuzzerConfig::droidfuzz(seed).with_fault_profile(p).with_exec_batch(batch)
+        }
+    };
+    let timed = |threads: usize, batch: usize, p: FaultProfile| {
+        let start = std::time::Instant::now();
+        let result = Fleet::new(sweep_cfg(threads)).run(&spec, mk_batch(batch, p));
+        (result, start.elapsed().as_secs_f64())
+    };
+    let (hostile_pp, hostile_pp_wall) = timed(1, 1, FaultProfile::Hostile);
+    let (hostile_batched, hostile_batched_wall) = timed(1, 32, FaultProfile::Hostile);
+    assert_eq!(
+        hostile_pp.snapshot, hostile_batched.snapshot,
+        "hostile batched snapshot diverged from per-program"
+    );
+    let hostile_pp_rate = hostile_pp.executions as f64 / hostile_pp_wall.max(1e-9);
+    let hostile_batched_rate =
+        hostile_batched.executions as f64 / hostile_batched_wall.max(1e-9);
+    let hostile_speedup = hostile_batched_rate / hostile_pp_rate.max(1e-9);
+    println!(
+        "hostile fleet overhead: per-program {hostile_pp_rate:.0} execs/s, \
+         batch=32 {hostile_batched_rate:.0} execs/s ({hostile_speedup:.2}x, \
+         {} faults injected, snapshots identical)",
+        hostile_batched.fault_totals.injected,
+    );
+
+    // Reliable-profile snapshot sweep: batch {1,4,32} x threads {1,4}
+    // all byte-identical.
+    let sweep_base = Fleet::new(sweep_cfg(1)).run(&spec, mk_batch(1, FaultProfile::Reliable));
+    for &batch in &[4_usize, 32] {
+        for &threads in &[1_usize, 4] {
+            let run =
+                Fleet::new(sweep_cfg(threads)).run(&spec, mk_batch(batch, FaultProfile::Reliable));
+            assert_eq!(
+                sweep_base.snapshot, run.snapshot,
+                "batch={batch} threads={threads} snapshot diverged"
+            );
+        }
+    }
+    println!("snapshot sweep: batch {{1,4,32}} x threads {{1,4}} byte-identical");
+    println!(
+        "{{\"bench\":\"exec_batch\",\"device\":\"{device}\",\"progs\":{batch_progs},\
+         \"batch\":{batch_size},\"reference_wall_secs\":{ref_wall:.3},\
+         \"reference_progs_per_sec\":{ref_rate:.1},\"batched_wall_secs\":{fast_wall:.3},\
+         \"batched_progs_per_sec\":{fast_rate:.1},\"speedup\":{exec_speedup:.3},\
+         \"hostile_per_program_execs_per_sec\":{hostile_pp_rate:.1},\
+         \"hostile_batched_execs_per_sec\":{hostile_batched_rate:.1},\
+         \"hostile_speedup\":{hostile_speedup:.3},\
+         \"hostile_faults_injected\":{}}}",
+        hostile_batched.fault_totals.injected,
+    );
 
     if let Ok(path) = std::env::var("DF_SNAPSHOT_OUT") {
         if let Err(e) = std::fs::write(&path, &synced.snapshot) {

@@ -1,0 +1,120 @@
+//! Round arenas: slab-style ownership of the engine's per-round scratch.
+//!
+//! The engine's hot loop used to clone a corpus seed per iteration, clone
+//! a crossover donor on top of that, and grow fresh `Vec`s inside the
+//! minimizer for every candidate replay. A [`RoundArena`] owns those
+//! buffers instead — a small pool of recycled [`Prog`] slots, the
+//! [`MinimizeScratch`], and the minimizer's signal buffers — handed out
+//! per iteration and reset once per execution round (one broker batch).
+//! Arena recycling touches no RNG and charges no virtual time, so it is
+//! invisible to campaign results: fixed-seed runs are byte-identical to
+//! the historical clone-per-iteration path.
+//!
+//! Lifetime rules:
+//! - A slot from [`take_prog`](RoundArena::take_prog) has *unspecified*
+//!   contents — holders must overwrite it (`Prog::assign_from` or full
+//!   regeneration) before reading. What is recycled is capacity, never
+//!   content.
+//! - Every taken slot is returned via [`put_prog`](RoundArena::put_prog)
+//!   on every exit path; slots beyond the pool cap are simply dropped,
+//!   so leaks degrade to the old allocation behavior, never to growth.
+//! - The minimizer buffers (`min_scratch`, `min_target`, `cand_sigs`)
+//!   are exclusively borrowed for the duration of one minimization and
+//!   only grow to the largest program/signal set seen.
+
+use crate::feedback::Signal;
+use crate::minimize::MinimizeScratch;
+use fuzzlang::prog::Prog;
+
+/// Upper bound on pooled program slots. The engine holds at most one
+/// in-flight program plus a crossover intermediate at a time; the small
+/// headroom absorbs interleavings without hoarding memory.
+const PROG_POOL_CAP: usize = 4;
+
+/// Per-round scratch arena for one [`FuzzingEngine`].
+///
+/// [`FuzzingEngine`]: crate::engine::FuzzingEngine
+#[derive(Debug, Default)]
+pub struct RoundArena {
+    progs: Vec<Prog>,
+    /// Recycled candidate/remap buffers for [`minimize_with`].
+    ///
+    /// [`minimize_with`]: crate::minimize::minimize_with
+    pub(crate) min_scratch: MinimizeScratch,
+    /// The minimizer's target-signal buffer (taken/restored per call).
+    pub(crate) min_target: Vec<Signal>,
+    /// The minimizer's per-candidate signal buffer (taken/restored).
+    pub(crate) cand_sigs: Vec<Signal>,
+    rounds: u64,
+}
+
+impl RoundArena {
+    /// An empty arena; buffers are grown on first use and kept warm.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the start of a new execution round (one broker batch).
+    pub fn begin_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Rounds started so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Hands out a program slot with unspecified contents. Callers must
+    /// overwrite it before reading; the win is the retained call-slot and
+    /// byte-buffer capacity.
+    pub fn take_prog(&mut self) -> Prog {
+        self.progs.pop().unwrap_or_default()
+    }
+
+    /// Returns a slot to the pool (dropped beyond the cap, so a missed
+    /// return can never leak memory — it just forgoes the reuse).
+    pub fn put_prog(&mut self, prog: Prog) {
+        if self.progs.len() < PROG_POOL_CAP {
+            self.progs.push(prog);
+        }
+    }
+
+    /// Program slots currently pooled (for tests and diagnostics).
+    pub fn pooled_progs(&self) -> usize {
+        self.progs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzlang::desc::DescId;
+    use fuzzlang::prog::{ArgValue, Call};
+
+    #[test]
+    fn prog_pool_recycles_and_caps() {
+        let mut arena = RoundArena::new();
+        assert_eq!(arena.pooled_progs(), 0);
+        let mut p = arena.take_prog();
+        p.calls.push(Call { desc: DescId(0), args: vec![ArgValue::Int(7)] });
+        arena.put_prog(p);
+        assert_eq!(arena.pooled_progs(), 1);
+        // The recycled slot keeps its capacity; contents are unspecified
+        // but in practice whatever the last holder left behind.
+        let q = arena.take_prog();
+        assert!(q.calls.capacity() >= 1);
+        arena.put_prog(q);
+        for _ in 0..PROG_POOL_CAP + 3 {
+            arena.put_prog(Prog::new());
+        }
+        assert_eq!(arena.pooled_progs(), PROG_POOL_CAP, "pool never grows past cap");
+    }
+
+    #[test]
+    fn rounds_count_monotonically() {
+        let mut arena = RoundArena::new();
+        arena.begin_round();
+        arena.begin_round();
+        assert_eq!(arena.rounds(), 2);
+    }
+}

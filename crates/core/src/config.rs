@@ -90,6 +90,11 @@ pub struct FuzzerConfig {
     /// Explicit fault rates overriding the profile (tests force specific
     /// fault mixes; `None` uses the profile's presets).
     pub fault_rates: Option<FaultRates>,
+    /// How many engine steps share one broker batch (persistent trace
+    /// session + amortized device setup). Batch boundaries draw no RNG
+    /// and charge no virtual time, so any value — including 1, the
+    /// per-program path — produces bit-identical campaigns.
+    pub exec_batch: usize,
 }
 
 impl FuzzerConfig {
@@ -113,6 +118,7 @@ impl FuzzerConfig {
             reboot_on_bug: true,
             fault_profile: FaultProfile::Reliable,
             fault_rates: None,
+            exec_batch: 16,
         }
     }
 
@@ -131,6 +137,12 @@ impl FuzzerConfig {
     /// harness compares gated vs ungated campaigns).
     pub fn with_lint_gate(self, lint_gate: bool) -> Self {
         Self { lint_gate, ..self }
+    }
+
+    /// The same configuration with a different execution batch size
+    /// (values < 1 are clamped to the per-program path).
+    pub fn with_exec_batch(self, exec_batch: usize) -> Self {
+        Self { exec_batch: exec_batch.max(1), ..self }
     }
 
     /// Full DroidFuzz.
@@ -227,6 +239,14 @@ mod tests {
         let forced = FuzzerConfig::droidfuzz(1)
             .with_fault_rates(FaultRates::for_profile(FaultProfile::Hostile));
         assert_eq!(forced.fault_rates, Some(FaultRates::for_profile(FaultProfile::Hostile)));
+    }
+
+    #[test]
+    fn exec_batch_defaults_sane_and_clamps_to_one() {
+        let df = FuzzerConfig::droidfuzz(1);
+        assert!(df.exec_batch >= 1);
+        assert_eq!(FuzzerConfig::droidfuzz(1).with_exec_batch(0).exec_batch, 1);
+        assert_eq!(FuzzerConfig::droidfuzz(1).with_exec_batch(32).exec_batch, 32);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! this virtual time, so coverage-versus-time curves have the same shape
 //! drivers as the physical experiment without wall-clock cost.
 
+use crate::arena::RoundArena;
 use crate::config::FuzzerConfig;
 use crate::corpus::Corpus;
 use crate::crashes::CrashDb;
@@ -17,7 +18,7 @@ use crate::feedback::{
     signals_from_execution_into, Signal, SignalScratch, SignalSet, SyscallIdTable,
 };
 use crate::generate::{random_generate, relational_generate};
-use crate::minimize::minimize;
+use crate::minimize::minimize_with;
 use crate::probe::{add_hal_descs, probe_device, ProbeReport};
 use crate::relation::RelationGraph;
 use crate::stats::Series;
@@ -72,6 +73,9 @@ pub struct FuzzingEngine {
     /// Reusable buffers for the per-execution signal conversion.
     sig_scratch: SignalScratch,
     sig_buf: Vec<Signal>,
+    /// Round arena: recycled program slots and minimizer scratch, reset
+    /// per execution round (see [`RoundArena`]).
+    arena: RoundArena,
     probe_report: Option<ProbeReport>,
     driver_regions: Vec<(String, u64)>,
     last_sample_us: u64,
@@ -151,6 +155,7 @@ impl FuzzingEngine {
             cov_log: Vec::new(),
             sig_scratch: SignalScratch::default(),
             sig_buf: Vec::new(),
+            arena: RoundArena::new(),
             probe_report,
             driver_regions,
             last_sample_us: 0,
@@ -162,19 +167,24 @@ impl FuzzingEngine {
             && !self.corpus.is_empty()
             && self.rng.gen_bool(self.config.mutate_prob);
         if use_corpus {
-            let mut prog = self
-                .corpus
-                .pick(&mut self.rng)
-                .expect("non-empty corpus")
-                .clone();
+            // Arena slot instead of a fresh clone: `assign_from` overwrites
+            // the recycled program in place, reusing its call and byte
+            // buffers. Neither the slot swap nor `assign_from` consumes
+            // RNG, so the campaign's random stream is unchanged.
+            let mut prog = self.arena.take_prog();
+            prog.assign_from(self.corpus.pick(&mut self.rng).expect("non-empty corpus"));
             if self.rng.gen_bool(0.15) {
                 if let Some(other) = self.corpus.pick_uniform(&mut self.rng) {
-                    prog = crossover(&prog, &other.clone(), &mut self.rng);
+                    // Crossover borrows both parents directly; the replaced
+                    // seed slot goes back to the arena.
+                    let crossed = crossover(&prog, other, &mut self.rng);
+                    self.arena.put_prog(std::mem::replace(&mut prog, crossed));
                 }
             }
             let n = self.rng.gen_range(1..=3);
             mutate_n(&mut prog, &self.table, n, &mut self.rng);
             if prog.is_empty() || !self.lint_gate(&mut prog) {
+                self.arena.put_prog(prog);
                 return self.generate_fresh();
             }
             prog
@@ -242,8 +252,15 @@ impl FuzzingEngine {
         }
         let prog = self.next_prog();
         if prog.is_empty() {
+            self.arena.put_prog(prog);
             return;
         }
+        self.step_exec(prog);
+    }
+
+    /// The execute→analyze half of [`step`](Self::step). Owns the program
+    /// slot and returns it to the arena on every exit path.
+    fn step_exec(&mut self, prog: Prog) {
         let mut run = self.supervisor.supervise(
             &mut self.broker,
             &mut self.device,
@@ -266,6 +283,7 @@ impl FuzzingEngine {
                 // quarantined one is also barred from re-admission.
                 self.corpus.remove_prog(&prog);
             }
+            self.arena.put_prog(prog);
             self.sample_if_due();
             return;
         };
@@ -347,6 +365,8 @@ impl FuzzingEngine {
                 self.crash_db.attach_repro(&report.title, &prog, &self.table);
             }
         }
+        self.broker.recycle(outcome);
+        self.arena.put_prog(prog);
         if (had_bug && self.config.reboot_on_bug) || self.device.is_wedged() {
             self.device.reboot();
             self.clock_us += self.adb.reboot_cost();
@@ -362,11 +382,13 @@ impl FuzzingEngine {
     /// oracle replays candidates (each replay charged to the clock) and
     /// keeps reductions that preserve most of the new signals.
     fn minimize_interesting(&mut self, prog: &Prog, sigs: &[Signal]) -> Prog {
-        let target: Vec<Signal> = sigs
-            .iter()
-            .copied()
-            .filter(|s| !self.signals.covers(&[*s]))
-            .collect();
+        // All minimizer working memory comes from the arena: the target
+        // and candidate signal buffers are taken/restored, and candidate
+        // programs are built inside the recycled `MinimizeScratch` — the
+        // replay hot loop allocates nothing once the buffers are warm.
+        let mut target = std::mem::take(&mut self.arena.min_target);
+        target.clear();
+        target.extend(sigs.iter().copied().filter(|s| !self.signals.covers(&[*s])));
         let required = target.len().div_ceil(2);
         let device = &mut self.device;
         let broker = &mut self.broker;
@@ -376,8 +398,8 @@ impl FuzzingEngine {
         let hal_cov = self.config.hal_coverage;
         let mut replay_cost = 0u64;
         let mut rebooted = false;
-        let mut cand_sigs: Vec<Signal> = Vec::new();
-        let (minimized, checks) = minimize(prog, |candidate| {
+        let mut cand_sigs = std::mem::take(&mut self.arena.cand_sigs);
+        let (minimized, checks) = minimize_with(prog, &mut self.arena.min_scratch, |candidate| {
             let outcome = broker.execute(device, table, candidate);
             replay_cost += EXEC_SESSION_US / 2 + outcome.calls_executed as u64 * PER_CALL_US;
             if !outcome.bugs.is_empty() || device.is_wedged() {
@@ -396,9 +418,12 @@ impl FuzzingEngine {
                 .iter()
                 .filter(|t| cand_sigs.contains(t))
                 .count();
+            broker.recycle(outcome);
             hits >= required
         });
         let _ = checks;
+        self.arena.min_target = target;
+        self.arena.cand_sigs = cand_sigs;
         self.clock_us += replay_cost;
         if rebooted {
             self.clock_us += self.adb.reboot_cost();
@@ -436,9 +461,25 @@ impl FuzzingEngine {
     /// Runs until the virtual clock reaches `target_us`, or until the
     /// device is permanently lost (a lost device can no longer advance
     /// the clock; the fleet layer restarts such shards from hub state).
+    ///
+    /// Steps run in broker batches of `config.exec_batch`: one persistent
+    /// trace session and one arena round per batch. Batch boundaries draw
+    /// no RNG and charge no virtual time, so results are bit-identical at
+    /// every batch size.
     pub fn run_until(&mut self, target_us: u64) {
+        let batch = self.config.exec_batch.max(1);
         while self.clock_us < target_us && !self.supervisor.device_lost() {
-            self.step();
+            self.arena.begin_round();
+            let open = self.supervisor.begin_batch(&mut self.broker, &mut self.device);
+            for _ in 0..batch {
+                if self.clock_us >= target_us || self.supervisor.device_lost() {
+                    break;
+                }
+                self.step();
+            }
+            if open {
+                self.supervisor.end_batch(&mut self.broker, &mut self.device);
+            }
         }
         self.series.push(self.clock_us, self.observed_kernel.len() as f64);
     }
@@ -449,10 +490,21 @@ impl FuzzingEngine {
         self.run_until(target);
     }
 
-    /// Runs exactly `n` iterations.
+    /// Runs exactly `n` iterations, batched like [`run_until`](Self::run_until).
     pub fn run_iterations(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+        let batch = self.config.exec_batch.max(1) as u64;
+        let mut done = 0;
+        while done < n {
+            self.arena.begin_round();
+            let open = self.supervisor.begin_batch(&mut self.broker, &mut self.device);
+            let chunk = batch.min(n - done);
+            for _ in 0..chunk {
+                self.step();
+            }
+            if open {
+                self.supervisor.end_batch(&mut self.broker, &mut self.device);
+            }
+            done += chunk;
         }
     }
 
@@ -490,9 +542,8 @@ impl FuzzingEngine {
     /// The kernel blocks observed device-wide, sorted (deterministic
     /// order for fleet union-coverage accounting and snapshots).
     pub fn observed_blocks(&self) -> Vec<simkernel::coverage::Block> {
-        let mut blocks: Vec<_> = self.observed_kernel.iter().copied().collect();
-        blocks.sort_unstable();
-        blocks
+        // The paged-bitmap map iterates in ascending block order already.
+        self.observed_kernel.iter().collect()
     }
 
     /// Length of the first-observation block log — a monotonic cursor for

@@ -1,16 +1,36 @@
 //! Execution agents (§IV-A): the Execution Broker with its HAL and Native
 //! executors, compiled into one component that runs a DSL program against
 //! a device and bonds the feedback into a uniform record.
+//!
+//! The broker executes in two modes with bit-identical results:
+//!
+//! * **One-shot** ([`Broker::execute`] outside a batch): a trace filter is
+//!   installed and torn down around each program, as a standalone run would.
+//! * **Batched** ([`Broker::begin_batch`]/[`Broker::end_batch`], or the
+//!   [`Broker::execute_batch`] convenience): one `TraceFilter` install, one
+//!   persistent seen-coverage map, and recycled feedback buffers amortized
+//!   across a slice of programs. Residue the persistent session picks up
+//!   *between* execution windows (executor teardown, fault arms, reprovision
+//!   probing) is drained and discarded at the exact point where the
+//!   per-program path would have attached a fresh session, so the captured
+//!   event window — and therefore every outcome — is identical.
+//!
+//! Device-wide coverage deltas are computed in O(new blocks): the broker
+//! marks each kernel coverage page's live count after a scan and word-diffs
+//! only pages that grew since (see [`simkernel::coverage::CovPage::diff_into`]), instead of
+//! filtering the whole map per execution.
+
+use std::collections::{BTreeMap, HashSet};
 
 use fuzzlang::desc::{CallKind, DescTable, SyscallTemplate};
 use fuzzlang::prog::{ArgValue, Prog};
 use fuzzlang::types::TypeDesc;
 use simbinder::{Parcel, Transaction, TransactionError};
 use simdevice::Device;
-use simkernel::coverage::{Block, CoverageMap};
+use simkernel::coverage::{Block, CoverageMap, COV_PAGE_SHIFT};
 use simkernel::fd::Fd;
 use simkernel::report::BugReport;
-use simkernel::trace::{Origin, SyscallEvent, TraceFilter};
+use simkernel::trace::{Origin, SyscallEvent, TraceFilter, TraceId};
 use simkernel::{Syscall, SyscallRet};
 
 /// What one call produced at runtime (for later `Ref` resolution).
@@ -24,7 +44,7 @@ enum Produced {
 
 /// Bonded feedback from one program execution (§IV-A: "the feedback is
 /// then bonded to form a uniform feedback statistic").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecOutcome {
     /// kcov blocks hit by the *native executor task*. kcov is per-task:
     /// kernel work done by HAL service processes is invisible here — the
@@ -47,6 +67,19 @@ pub struct ExecOutcome {
     pub reply_bytes: usize,
 }
 
+impl ExecOutcome {
+    /// Empties every field, keeping buffer capacity for reuse.
+    fn reset(&mut self) {
+        self.kcov.clear();
+        self.observed_new_blocks.clear();
+        self.hal_events.clear();
+        self.bugs.clear();
+        self.call_results.clear();
+        self.calls_executed = 0;
+        self.reply_bytes = 0;
+    }
+}
+
 /// The device-side execution broker.
 ///
 /// Forks a fresh native-executor process per program (so descriptor state
@@ -58,11 +91,34 @@ pub struct Broker {
     executions: u64,
     /// Every block already attributed to an earlier execution (or present
     /// before the first one). Persisting this across executions lets each
-    /// run compute its device-wide delta with one pass over the kernel's
-    /// map instead of snapshotting the whole map per execution.
+    /// run compute its device-wide delta against prior art only.
     seen_global: CoverageMap,
     seen_primed: bool,
+    /// Per-page live counts of the kernel's coverage map at the last delta
+    /// scan (valid for `marks_boot`). A page whose live count has not
+    /// moved cannot hold new blocks, so the delta pass skips it entirely.
+    page_marks: BTreeMap<u64, u32>,
+    marks_boot: u32,
+    marks_total: usize,
+    /// Whether a batch session is open (`begin_batch`..`end_batch`).
+    batch_open: bool,
+    /// The persistent trace session and the boot count it was attached
+    /// under — a reboot replaces the kernel and kills the session with it.
+    session: Option<(TraceId, u32)>,
+    /// Scratch buffers reused across executions.
+    produced: Vec<Produced>,
+    ints: Vec<u64>,
+    discard: Vec<SyscallEvent>,
+    outcome_pool: Vec<ExecOutcome>,
+    /// State for [`execute_reference`](Self::execute_reference) only: the
+    /// historical HashSet-based seen filter, kept independent so reference
+    /// runs behave like a standalone pre-batching broker.
+    seen_reference: HashSet<Block>,
+    reference_primed: bool,
 }
+
+/// Cap on pooled [`ExecOutcome`] scratch objects.
+const OUTCOME_POOL_CAP: usize = 8;
 
 impl Broker {
     /// Creates a broker.
@@ -75,6 +131,57 @@ impl Broker {
         self.executions
     }
 
+    /// Opens a batch: installs one persistent HAL trace filter and keeps
+    /// it (plus the seen-coverage marks and feedback scratch) live across
+    /// every [`execute`](Self::execute) until [`end_batch`](Self::end_batch).
+    /// Batch boundaries are invisible to results — they only amortize
+    /// per-program setup.
+    pub fn begin_batch(&mut self, device: &mut Device) {
+        if self.batch_open {
+            return;
+        }
+        self.batch_open = true;
+        let boot = device.boot_count();
+        let id = device.kernel().attach_trace(TraceFilter::HalOnly);
+        self.session = Some((id, boot));
+    }
+
+    /// Closes the current batch, detaching the persistent trace session
+    /// (when the kernel it was attached to is still the live one).
+    pub fn end_batch(&mut self, device: &mut Device) {
+        self.batch_open = false;
+        if let Some((id, boot)) = self.session.take() {
+            if device.boot_count() == boot {
+                device.kernel().detach_trace(id);
+            }
+        }
+    }
+
+    /// Executes a slice of programs under one batch session, returning one
+    /// outcome per program. Equivalent to (but cheaper than) calling
+    /// [`execute`](Self::execute) per program outside a batch.
+    pub fn execute_batch(
+        &mut self,
+        device: &mut Device,
+        table: &DescTable,
+        progs: &[Prog],
+    ) -> Vec<ExecOutcome> {
+        self.begin_batch(device);
+        let outcomes = progs.iter().map(|p| self.execute(device, table, p)).collect();
+        self.end_batch(device);
+        outcomes
+    }
+
+    /// Returns an outcome's buffers to the broker's recycle pool. Purely
+    /// an allocation optimization — dropping outcomes instead is always
+    /// correct.
+    pub fn recycle(&mut self, mut outcome: ExecOutcome) {
+        if self.outcome_pool.len() < OUTCOME_POOL_CAP {
+            outcome.reset();
+            self.outcome_pool.push(outcome);
+        }
+    }
+
     /// Executes `prog` against `device`, returning the bonded feedback.
     ///
     /// Coverage is collected per-execution: the native executor's kcov
@@ -83,12 +190,145 @@ impl Broker {
     /// syscalls are additionally recorded *in order* by an eBPF-style
     /// trace session for the directional feedback of §IV-D.
     pub fn execute(&mut self, device: &mut Device, table: &DescTable, prog: &Prog) -> ExecOutcome {
+        let mut outcome = self.outcome_pool.pop().unwrap_or_default();
+        self.execute_into(device, table, prog, &mut outcome);
+        outcome
+    }
+
+    fn execute_into(
+        &mut self,
+        device: &mut Device,
+        table: &DescTable,
+        prog: &Prog,
+        out: &mut ExecOutcome,
+    ) {
+        out.reset();
         self.executions += 1;
         if !self.seen_primed {
             // Coverage present before the first execution (boot, probing)
-            // is prior art, not this run's delta.
-            self.seen_global.extend(device.kernel().global_coverage().iter().copied());
+            // is prior art, not this run's delta. Kept lazy — a fault arm
+            // may mutate device coverage between batch open and the first
+            // execution, and that too is prior art.
+            self.seen_global.union_from(device.kernel_ref().global_coverage());
             self.seen_primed = true;
+        }
+        let pid = device.kernel().spawn_process(Origin::Native);
+        let _ = device.kernel().kcov_enable(pid);
+        let trace = self.install_trace(device);
+
+        let mut produced = std::mem::take(&mut self.produced);
+        produced.clear();
+        for call in &prog.calls {
+            let desc = table.get(call.desc);
+            let (result, value) = match &desc.kind {
+                CallKind::Syscall(template) => {
+                    self.run_syscall(device, pid, template, &call.args, &produced)
+                }
+                CallKind::Hal { service, code } => {
+                    self.run_hal(device, service, *code, &desc.args, &call.args, &produced)
+                }
+            };
+            out.call_results.push(result);
+            produced.push(value);
+        }
+        self.produced = produced;
+
+        let _ = device.kernel().kcov_collect_into(pid, &mut out.kcov);
+        device.kernel().trace_drain_into(trace, &mut out.hal_events);
+        if !self.batch_open {
+            device.kernel().detach_trace(trace);
+        }
+        let _ = device.kernel().exit_process(pid);
+        // The executor (the HAL services' Binder client) is gone: services
+        // drop its sessions, closing their kernel resources. (Under a batch
+        // session those closes are recorded as residue and discarded at the
+        // next execution's install point.)
+        device.end_hal_client();
+        self.collect_new_blocks(device, &mut out.observed_new_blocks);
+        let mut bugs = device.take_bug_reports();
+        out.bugs.append(&mut bugs);
+        out.calls_executed = out.call_results.len();
+        out.reply_bytes = out.kcov.len() * 8 + out.hal_events.len() * 16;
+    }
+
+    /// Returns the trace session this execution captures through. Outside
+    /// a batch: a fresh per-program session. Inside one: the persistent
+    /// session, first drained of any residue recorded since the previous
+    /// capture window closed — exactly the events a fresh attach would
+    /// never have seen. A reboot replaces the kernel (killing the session),
+    /// so the session is revalidated against the boot count and reattached
+    /// on the new kernel when stale.
+    fn install_trace(&mut self, device: &mut Device) -> TraceId {
+        if !self.batch_open {
+            return device.kernel().attach_trace(TraceFilter::HalOnly);
+        }
+        let boot = device.boot_count();
+        match self.session {
+            Some((id, b)) if b == boot => {
+                device.kernel().trace_drain_into(id, &mut self.discard);
+                self.discard.clear();
+                id
+            }
+            _ => {
+                let id = device.kernel().attach_trace(TraceFilter::HalOnly);
+                self.session = Some((id, boot));
+                id
+            }
+        }
+    }
+
+    /// Appends every kernel coverage block not yet attributed to an
+    /// earlier execution to `out` (ascending order), then marks them seen.
+    ///
+    /// O(new blocks): pages whose live count equals their mark are skipped
+    /// without reading a word, and changed pages are word-diffed against
+    /// the seen map. Reboots reset the kernel map, so marks are keyed to
+    /// the boot count; `seen_global` itself persists across reboots (a
+    /// re-hit block after reboot is not new, same as the historical
+    /// whole-map filter).
+    fn collect_new_blocks(&mut self, device: &mut Device, out: &mut Vec<Block>) {
+        let boot = device.boot_count();
+        if boot != self.marks_boot {
+            self.page_marks.clear();
+            self.marks_total = 0;
+            self.marks_boot = boot;
+        }
+        let cov = device.kernel_ref().global_coverage();
+        if cov.len() == self.marks_total {
+            return;
+        }
+        self.marks_total = cov.len();
+        let start = out.len();
+        for (key, page) in cov.pages() {
+            if self.page_marks.get(&key) == Some(&page.live()) {
+                continue;
+            }
+            page.diff_into(self.seen_global.page(key), key << COV_PAGE_SHIFT, out);
+            self.page_marks.insert(key, page.live());
+        }
+        for &block in &out[start..] {
+            self.seen_global.insert(block);
+        }
+    }
+
+    /// The historical per-program execution flow, kept verbatim: fresh
+    /// buffers and per-call descriptor clones, a per-execution trace
+    /// attach/detach, and a full filter scan of the kernel coverage map
+    /// against its own `HashSet` seen filter. It is the differential
+    /// oracle for the batched path (byte-equal outcomes required) and the
+    /// honest baseline for the `exec_batch` bench arm. Not used by the
+    /// engine.
+    pub fn execute_reference(
+        &mut self,
+        device: &mut Device,
+        table: &DescTable,
+        prog: &Prog,
+    ) -> ExecOutcome {
+        self.executions += 1;
+        if !self.reference_primed {
+            self.seen_reference
+                .extend(device.kernel_ref().global_coverage().iter());
+            self.reference_primed = true;
         }
         let pid = device.kernel().spawn_process(Origin::Native);
         let _ = device.kernel().kcov_enable(pid);
@@ -114,17 +354,14 @@ impl Broker {
         let hal_events = device.kernel().trace_drain(trace);
         device.kernel().detach_trace(trace);
         let _ = device.kernel().exit_process(pid);
-        // The executor (the HAL services' Binder client) is gone: services
-        // drop its sessions, closing their kernel resources.
         device.end_hal_client();
         let observed_new_blocks: Vec<Block> = device
-            .kernel()
+            .kernel_ref()
             .global_coverage()
             .iter()
-            .filter(|b| !self.seen_global.contains(**b))
-            .copied()
+            .filter(|b| !self.seen_reference.contains(b))
             .collect();
-        self.seen_global.extend(observed_new_blocks.iter().copied());
+        self.seen_reference.extend(observed_new_blocks.iter().copied());
         let bugs = device.take_bug_reports();
         let reply_bytes = kcov.len() * 8 + hal_events.len() * 16;
         ExecOutcome {
@@ -173,15 +410,13 @@ impl Broker {
         // Partition concrete args: first Ref is the fd; remaining ints in
         // order; first byte blob is the payload.
         let fd = args.first().map(|a| Self::resolve_fd(a, produced));
-        let ints: Vec<u64> = args
-            .iter()
-            .skip(1)
-            .filter_map(|a| match a {
-                ArgValue::Int(v) => Some(*v),
-                ArgValue::Ref(_) => Some(Self::resolve_scalar(a, produced)),
-                _ => None,
-            })
-            .collect();
+        let mut ints = std::mem::take(&mut self.ints);
+        ints.clear();
+        ints.extend(args.iter().skip(1).filter_map(|a| match a {
+            ArgValue::Int(v) => Some(*v),
+            ArgValue::Ref(_) => Some(Self::resolve_scalar(a, produced)),
+            _ => None,
+        }));
         let bytes: Vec<u8> = args
             .iter()
             .find_map(|a| match a {
@@ -242,6 +477,7 @@ impl Broker {
             },
             SyscallTemplate::Accept => Syscall::Accept { fd: fd.unwrap_or(Fd(0xFFFF)) },
         };
+        self.ints = ints;
         match device.kernel().syscall(pid, call) {
             SyscallRet::NewFd(fd) => (true, Produced::Fd(fd)),
             SyscallRet::Ok(v) => (true, Produced::Scalar(v)),
@@ -305,7 +541,10 @@ impl Broker {
 mod tests {
     use super::*;
     use crate::descs::build_syscall_table;
+    use crate::generate::random_generate;
     use fuzzlang::prog::Call;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use simdevice::catalog;
 
     fn prog_of(table: &DescTable, lines: &[(&str, Vec<ArgValue>)]) -> Prog {
@@ -442,5 +681,92 @@ mod tests {
             !outcome.observed_new_blocks.is_empty(),
             "the measurement channel does see it"
         );
+    }
+
+    /// A deterministic stream of generated programs for differential runs.
+    fn generated_progs(table: &DescTable, seed: u64, n: usize) -> Vec<Prog> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| random_generate(table, 8, &mut rng))
+            .filter(|p| !p.is_empty())
+            .collect()
+    }
+
+    /// The batched path must be outcome-identical to the historical
+    /// per-program reference flow, program by program.
+    #[test]
+    fn batched_execution_matches_reference_path() {
+        let specs: [fn() -> simdevice::FirmwareSpec; 2] = [catalog::device_a1, catalog::device_b];
+        for spec in specs {
+            let mut dev_batch = spec().boot();
+            let mut dev_ref = spec().boot();
+            let table = build_syscall_table(dev_batch.kernel());
+            let progs = generated_progs(&table, 0xBA7C4, 60);
+            let mut batch_broker = Broker::new();
+            let mut ref_broker = Broker::new();
+            let batched = batch_broker.execute_batch(&mut dev_batch, &table, &progs);
+            for (i, (prog, got)) in progs.iter().zip(&batched).enumerate() {
+                let want = ref_broker.execute_reference(&mut dev_ref, &table, prog);
+                assert_eq!(*got, want, "outcome {i} diverged from the reference path");
+            }
+        }
+    }
+
+    /// Outside a batch, `execute` must also match the reference — the two
+    /// modes share one algorithm, batch boundaries only amortize setup.
+    #[test]
+    fn oneshot_execute_matches_reference_path() {
+        let mut dev_new = catalog::device_a1().boot();
+        let mut dev_ref = catalog::device_a1().boot();
+        let table = build_syscall_table(dev_new.kernel());
+        let mut new_broker = Broker::new();
+        let mut ref_broker = Broker::new();
+        for prog in generated_progs(&table, 0x05E0, 40) {
+            let got = new_broker.execute(&mut dev_new, &table, &prog);
+            let want = ref_broker.execute_reference(&mut dev_ref, &table, &prog);
+            assert_eq!(got, want);
+            new_broker.recycle(got);
+        }
+    }
+
+    /// A reboot mid-batch kills the kernel (and the persistent trace
+    /// session with it); the broker must reattach and keep producing
+    /// reference-identical outcomes.
+    #[test]
+    fn batch_survives_mid_batch_reboot() {
+        let mut dev_batch = catalog::device_a1().boot();
+        let mut dev_ref = catalog::device_a1().boot();
+        let table = build_syscall_table(dev_batch.kernel());
+        let progs = generated_progs(&table, 0x5EB007, 30);
+        let mut batch_broker = Broker::new();
+        let mut ref_broker = Broker::new();
+        batch_broker.begin_batch(&mut dev_batch);
+        for (i, prog) in progs.iter().enumerate() {
+            if i == 10 {
+                dev_batch.reboot();
+                dev_ref.reboot();
+            }
+            let got = batch_broker.execute(&mut dev_batch, &table, prog);
+            let want = ref_broker.execute_reference(&mut dev_ref, &table, prog);
+            assert_eq!(got, want, "outcome {i} diverged across the reboot");
+            batch_broker.recycle(got);
+        }
+        batch_broker.end_batch(&mut dev_batch);
+    }
+
+    /// Recycled outcomes must be indistinguishable from fresh ones.
+    #[test]
+    fn recycled_outcomes_are_reset() {
+        let mut device = catalog::device_a1().boot();
+        let table = build_syscall_table(device.kernel());
+        let mut broker = Broker::new();
+        let prog = prog_of(&table, &[("openat$/dev/video0", vec![])]);
+        let first = broker.execute(&mut device, &table, &prog);
+        let reference = first.clone();
+        broker.recycle(first);
+        let again = broker.execute(&mut device, &table, &prog);
+        assert_eq!(again.call_results, reference.call_results);
+        assert_eq!(again.kcov, reference.kcov);
+        assert!(again.observed_new_blocks.is_empty(), "nothing new the second time");
     }
 }

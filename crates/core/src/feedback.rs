@@ -17,7 +17,7 @@
 //! one of two independent partitions so the kernel-block count (the
 //! paper's comparison metric) falls out of the partition length.
 
-use simkernel::coverage::{mix64, Block};
+use simkernel::coverage::{mix64, words_new_bits, Block};
 use simkernel::syscall::SyscallNr;
 use simkernel::trace::SyscallEvent;
 use simkernel::Kernel;
@@ -122,6 +122,9 @@ struct SignalPage {
     owners: [u64; PAGE_SLOTS],
 }
 
+/// All-zero page bitmap, the diff base for pages absent on one side.
+static ZERO_PAGE_BITS: [u64; PAGE_WORDS] = [0; PAGE_WORDS];
+
 impl SignalPage {
     fn empty() -> Box<Self> {
         Box::new(Self { bits: [0; PAGE_WORDS], owners: [0; PAGE_SLOTS] })
@@ -131,6 +134,21 @@ impl SignalPage {
         self.bits.iter().enumerate().flat_map(move |(w, &word)| {
             (0..64).filter(move |b| word >> b & 1 == 1).map(move |b| self.owners[w * 64 + b])
         })
+    }
+
+    /// Feeds the owner of every slot set here but not in `base` to the
+    /// sink — the page-level snapshot diff the fleet delta path composes
+    /// from. Word-level: the chunked [`words_new_bits`] kernel skips
+    /// saturated regions without touching individual slots.
+    fn diff_into<F: FnMut(u64)>(&self, base: Option<&SignalPage>, f: &mut F) {
+        let base_bits = base.map_or(&ZERO_PAGE_BITS, |p| &p.bits);
+        words_new_bits(&self.bits, base_bits, |w, mut mask| {
+            while mask != 0 {
+                let b = mask.trailing_zeros() as usize;
+                f(self.owners[w * 64 + b]);
+                mask &= mask - 1;
+            }
+        });
     }
 }
 
@@ -205,6 +223,48 @@ impl SignalPartition {
             .flat_map(|p| p.iter())
             .chain(self.overflow.iter().copied())
     }
+
+    /// Calls `f` with every value present here but absent from `base`.
+    /// Bit-new slots come straight from the word-level page diff; slots
+    /// set on both sides are only walked when their owner words differ
+    /// (a whole-word slice compare — the common saturated case skips 64
+    /// slots per comparison).
+    fn diff_with<F: FnMut(u64)>(&self, base: &SignalPartition, f: &mut F) {
+        for (idx, page) in self.pages.iter().enumerate() {
+            let Some(page) = page else { continue };
+            let Some(bp) = base.pages[idx].as_deref() else {
+                // No base page: nothing mapping here is in `base` at all
+                // (inserts always materialize the page first).
+                page.diff_into(None, f);
+                continue;
+            };
+            page.diff_into(Some(bp), f);
+            for w in 0..PAGE_WORDS {
+                let shared = page.bits[w] & bp.bits[w];
+                if shared == 0 {
+                    continue;
+                }
+                let lo = w * 64;
+                if page.owners[lo..lo + 64] == bp.owners[lo..lo + 64] {
+                    continue;
+                }
+                let mut m = shared;
+                while m != 0 {
+                    let b = m.trailing_zeros() as usize;
+                    let v = page.owners[lo + b];
+                    if bp.owners[lo + b] != v && !base.overflow.contains(&v) {
+                        f(v);
+                    }
+                    m &= m - 1;
+                }
+            }
+        }
+        for &v in &self.overflow {
+            if !base.contains(v) {
+                f(v);
+            }
+        }
+    }
 }
 
 /// An accumulating set of signals, partitioned so kernel coverage can be
@@ -269,6 +329,36 @@ impl SignalSet {
         let kernel = scratch.iter().filter(|&&v| v & HAL_TAG == 0).count();
         self.scratch = scratch;
         (total, kernel)
+    }
+
+    /// Unions a whole peer set into this one, returning how many of its
+    /// signals were new. Word-level: pages diff via the chunked bitmap
+    /// kernels, so saturated regions cost one OR-compare per 8 words
+    /// instead of a probe per signal.
+    pub fn merge_set(&mut self, other: &SignalSet) -> usize {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        other.kernel.diff_with(&self.kernel, &mut |v| scratch.push(v));
+        other.hal.diff_with(&self.hal, &mut |v| scratch.push(v));
+        let mut new = 0;
+        for &v in &scratch {
+            if self.partition_mut(v).insert(v) {
+                new += 1;
+            }
+        }
+        self.scratch = scratch;
+        new
+    }
+
+    /// Fills `out` with every signal present here but not in `base` — the
+    /// snapshot diff the fleet delta path ships instead of a full set.
+    /// `out` is cleared first and sorted by raw value, so the wire
+    /// encoding is deterministic regardless of overflow hashing.
+    pub fn diff_into(&self, base: &SignalSet, out: &mut Vec<Signal>) {
+        out.clear();
+        self.kernel.diff_with(&base.kernel, &mut |v| out.push(Signal(v)));
+        self.hal.diff_with(&base.hal, &mut |v| out.push(Signal(v)));
+        out.sort_unstable_by_key(|s| s.0);
     }
 
     /// Total distinct signals.
@@ -499,6 +589,116 @@ mod tests {
         assert_eq!(set.kernel_blocks(), 1);
         assert_eq!(set.iter_kernel().collect::<Vec<_>>(), vec![k.0]);
         assert_eq!(set.count_new_split(&[k, h, Signal(0x43), Signal(0x43 | HAL_TAG)]), (2, 1));
+    }
+
+    /// Value mix engineered to exercise pages, slots, collisions, and the
+    /// HAL partition — shared by the set-level differential tests.
+    fn mixed_values(n: u64, salt: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| {
+                let i = i + salt;
+                match i % 5 {
+                    0 => i * 7,
+                    1 => (i << 18) | (i & 0xFFF),
+                    2 => mix64(i) | HAL_TAG,
+                    3 => (i & 0x3_FFFF) | (i << 40),
+                    _ => mix64(i) & !HAL_TAG,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_set_matches_per_signal_merge() {
+        for (salt_a, salt_b) in [(0, 0), (0, 500), (3, 4000)] {
+            let mut a = SignalSet::new();
+            a.merge(&mixed_values(2_000, salt_a).iter().map(|&v| Signal(v)).collect::<Vec<_>>());
+            let b_vals: Vec<Signal> =
+                mixed_values(2_000, salt_b).iter().map(|&v| Signal(v)).collect();
+            let mut b = SignalSet::new();
+            b.merge(&b_vals);
+
+            let mut reference = a.clone();
+            let want_new = reference.merge(&b_vals);
+            let got_new = a.merge_set(&b);
+            assert_eq!(got_new, want_new, "salts {salt_a}/{salt_b}");
+            assert_eq!(a.len(), reference.len());
+            assert_eq!(a.kernel_blocks(), reference.kernel_blocks());
+            for &s in &b_vals {
+                assert!(a.covers(&[s]));
+            }
+        }
+    }
+
+    #[test]
+    fn diff_into_matches_hashset_difference() {
+        let all: Vec<u64> = mixed_values(3_000, 11);
+        let (base_vals, extra_vals) = all.split_at(1_800);
+        let mut base = SignalSet::new();
+        base.merge(&base_vals.iter().map(|&v| Signal(v)).collect::<Vec<_>>());
+        let mut full = base.clone();
+        full.merge(&extra_vals.iter().map(|&v| Signal(v)).collect::<Vec<_>>());
+
+        let mut delta = vec![Signal(123)]; // must be cleared, not appended to
+        full.diff_into(&base, &mut delta);
+        let base_set: HashSet<u64> = base_vals.iter().copied().collect();
+        let mut want: Vec<u64> =
+            extra_vals.iter().copied().filter(|v| !base_set.contains(v)).collect();
+        want.sort_unstable();
+        want.dedup();
+        let got: Vec<u64> = delta.iter().map(|s| s.0).collect();
+        assert_eq!(got, want, "word-level diff equals the set difference, sorted");
+
+        // Shipping the delta reconstructs the full set on the far side.
+        let mut rebuilt = base.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.len(), full.len());
+        assert_eq!(rebuilt.kernel_blocks(), full.kernel_blocks());
+        full.diff_into(&rebuilt, &mut delta);
+        assert!(delta.is_empty(), "no residual delta after reconstruction");
+    }
+
+    #[test]
+    fn page_diff_into_matches_iter_difference() {
+        let mut a = SignalPartition::default();
+        let mut b = SignalPartition::default();
+        for v in 0..200u64 {
+            a.insert(v * 3);
+            if v % 2 == 0 {
+                b.insert(v * 3);
+            }
+        }
+        let (pa, pb) = (a.pages[0].as_deref().unwrap(), b.pages[0].as_deref());
+        let mut delta = Vec::new();
+        pa.diff_into(pb, &mut |v| delta.push(v));
+        let want: Vec<u64> = pa.iter().filter(|v| !b.contains(*v)).collect();
+        assert_eq!(delta, want);
+        let mut all = Vec::new();
+        pa.diff_into(None, &mut |v| all.push(v));
+        assert_eq!(all, pa.iter().collect::<Vec<_>>(), "diff against nothing is the full page");
+    }
+
+    #[test]
+    fn diff_into_sees_owner_collisions() {
+        // a and b share page+slot bits; a sits in the page slot of both
+        // sets, so the bit-level diff alone would miss b. The owner-word
+        // pass must surface it.
+        let a = Signal(0x0000_0000_0002_1234);
+        let b = Signal(0x0000_0001_0002_1234);
+        let mut base = SignalSet::new();
+        base.merge(&[a]);
+        let mut full = SignalSet::new();
+        full.merge(&[a, b]);
+        let mut delta = Vec::new();
+        full.diff_into(&base, &mut delta);
+        assert_eq!(delta, vec![b]);
+        let mut other = SignalSet::new();
+        other.merge(&[b]);
+        let mut set = SignalSet::new();
+        set.merge(&[a]);
+        assert_eq!(set.merge_set(&other), 1);
+        assert!(set.covers(&[a, b]));
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

@@ -254,9 +254,8 @@ impl CorpusHub {
 
     /// The union coverage blocks, sorted (snapshot body).
     pub fn coverage_blocks(&self) -> Vec<Block> {
-        let mut blocks: Vec<Block> = self.coverage.iter().copied().collect();
-        blocks.sort_unstable();
-        blocks
+        // The paged-bitmap map iterates in ascending order already.
+        self.coverage.iter().collect()
     }
 
     /// Appends a `(fleet clock, union coverage)` sample to the series.

@@ -51,6 +51,7 @@
 //! }
 //! ```
 
+pub mod arena;
 pub mod baselines;
 pub mod config;
 pub mod corpus;

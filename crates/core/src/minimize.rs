@@ -3,42 +3,136 @@
 //! most essential invocations that trigger the same execution behavior are
 //! exercised" (§IV-C). Minimized programs both seed the corpus and define
 //! the adjacency pairs the relation graph learns from.
+//!
+//! The minimizer replays one candidate per oracle call, so candidate
+//! construction is its hot loop. [`MinimizeScratch`] keeps the working
+//! program, the candidate, a ref-remap table, and a pool of recycled call
+//! slots across candidates (and across minimizations), so a warm scratch
+//! builds every candidate without touching the allocator.
 
-use fuzzlang::prog::Prog;
+use fuzzlang::prog::{ArgValue, Call, Prog};
+
+/// Reusable buffers for [`minimize_with`]. One scratch serves any number
+/// of minimizations; it only grows until it has seen the largest program.
+#[derive(Debug, Default)]
+pub struct MinimizeScratch {
+    current: Prog,
+    candidate: Prog,
+    /// Old call index → new index (`usize::MAX` = removed by the cascade).
+    remap: Vec<usize>,
+    /// Recycled `Call` slots the candidate shrank away.
+    spare: Vec<Call>,
+    cold_allocs: u64,
+}
+
+impl MinimizeScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many call slots were freshly allocated because the recycle pool
+    /// was empty. Stays flat across warm runs — the minimizer's
+    /// no-per-candidate-allocation invariant.
+    pub fn cold_allocs(&self) -> u64 {
+        self.cold_allocs
+    }
+
+    /// Rebuilds `self.candidate` as `self.current` minus the call at
+    /// `removed`, cascading removal of (transitive) dependents and
+    /// remapping surviving `Ref`s — exactly [`Prog::remove_call`]'s
+    /// semantics, but writing into recycled buffers.
+    fn build_candidate(&mut self, removed: usize) {
+        let n = self.current.calls.len();
+        self.remap.clear();
+        self.remap.resize(n, usize::MAX);
+        let mut next = 0;
+        for i in 0..n {
+            let call = &self.current.calls[i];
+            // A call is dead if it is the removal target or references a
+            // dead call; survivors before `i` already have a remap entry,
+            // so `MAX` identifies dead predecessors.
+            let dead = i == removed
+                || call
+                    .args
+                    .iter()
+                    .any(|a| matches!(a, ArgValue::Ref(t) if self.remap[*t] == usize::MAX));
+            if dead {
+                continue;
+            }
+            self.remap[i] = next;
+            if next < self.candidate.calls.len() {
+                self.candidate.calls[next].assign_from(call);
+            } else {
+                let slot = match self.spare.pop() {
+                    Some(mut slot) => {
+                        slot.assign_from(call);
+                        slot
+                    }
+                    None => {
+                        self.cold_allocs += 1;
+                        call.clone()
+                    }
+                };
+                self.candidate.calls.push(slot);
+            }
+            for arg in &mut self.candidate.calls[next].args {
+                if let ArgValue::Ref(t) = arg {
+                    *t = self.remap[*t];
+                }
+            }
+            next += 1;
+        }
+        self.spare.extend(self.candidate.calls.drain(next..));
+    }
+}
 
 /// Greedily removes calls (latest first) while `still_interesting`
-/// continues to hold; each removal cascades dependents via
+/// continues to hold; each removal cascades dependents exactly like
 /// [`Prog::remove_call`]. Returns the minimized program and how many
-/// oracle invocations were spent.
-pub fn minimize<F>(prog: &Prog, mut still_interesting: F) -> (Prog, usize)
+/// oracle invocations were spent. Identical results to [`minimize`], but
+/// all intermediate programs live in `scratch`.
+pub fn minimize_with<F>(
+    prog: &Prog,
+    scratch: &mut MinimizeScratch,
+    mut still_interesting: F,
+) -> (Prog, usize)
 where
     F: FnMut(&Prog) -> bool,
 {
-    let mut current = prog.clone();
+    scratch.current.assign_from(prog);
     let mut checks = 0;
-    let mut idx = current.len();
+    let mut idx = scratch.current.len();
     while idx > 0 {
         idx -= 1;
-        if idx >= current.len() {
-            idx = current.len();
+        if idx >= scratch.current.len() {
+            idx = scratch.current.len();
             continue;
         }
-        let mut candidate = current.clone();
-        candidate.remove_call(idx);
-        if candidate.is_empty() {
+        scratch.build_candidate(idx);
+        if scratch.candidate.is_empty() {
             continue;
         }
         checks += 1;
-        if still_interesting(&candidate) {
-            current = candidate;
+        if still_interesting(&scratch.candidate) {
+            std::mem::swap(&mut scratch.current, &mut scratch.candidate);
             // Indices shifted; restart the cursor from the (new) end of
             // the shortened program region we have not yet examined.
-            if idx > current.len() {
-                idx = current.len();
+            if idx > scratch.current.len() {
+                idx = scratch.current.len();
             }
         }
     }
-    (current, checks)
+    (scratch.current.clone(), checks)
+}
+
+/// [`minimize_with`] against a throwaway scratch — the convenience form
+/// for one-off minimizations.
+pub fn minimize<F>(prog: &Prog, still_interesting: F) -> (Prog, usize)
+where
+    F: FnMut(&Prog) -> bool,
+{
+    minimize_with(prog, &mut MinimizeScratch::new(), still_interesting)
 }
 
 #[cfg(test)]
@@ -111,5 +205,76 @@ mod tests {
             p.len() >= 2
         });
         assert_eq!(minimized.validate(&t), Ok(()));
+    }
+
+    /// The scratch-built candidates must be indistinguishable from the
+    /// clone-and-`remove_call` reference: same oracle inputs, same result.
+    #[test]
+    fn minimize_with_matches_remove_call_reference() {
+        let t = table();
+        let prog = noisy_prog();
+        type Minimizer<'a> = &'a dyn Fn(&Prog, &mut dyn FnMut(&Prog) -> bool) -> (Prog, usize);
+        let run = |f: Minimizer| {
+            let mut seen: Vec<Prog> = Vec::new();
+            let mut oracle = |p: &Prog| {
+                seen.push(p.clone());
+                let names: Vec<&str> =
+                    p.calls.iter().map(|c| t.get(c.desc).name.as_str()).collect();
+                names.contains(&"ioctl$B")
+            };
+            let out = f(&prog, &mut oracle);
+            (out, seen)
+        };
+        let (got, got_seen) = run(&|p, o| minimize_with(p, &mut MinimizeScratch::new(), o));
+        let (want, want_seen) = run(&|p, o| {
+            // Reference: the historical clone-per-candidate construction.
+            let mut current = p.clone();
+            let mut checks = 0;
+            let mut idx = current.len();
+            while idx > 0 {
+                idx -= 1;
+                if idx >= current.len() {
+                    idx = current.len();
+                    continue;
+                }
+                let mut candidate = current.clone();
+                candidate.remove_call(idx);
+                if candidate.is_empty() {
+                    continue;
+                }
+                checks += 1;
+                if o(&candidate) {
+                    current = candidate;
+                    if idx > current.len() {
+                        idx = current.len();
+                    }
+                }
+            }
+            (current, checks)
+        });
+        assert_eq!(got, want);
+        assert_eq!(got_seen, want_seen, "oracle saw identical candidate sequences");
+    }
+
+    #[test]
+    fn warm_scratch_builds_candidates_without_allocating() {
+        let t = table();
+        let prog = noisy_prog();
+        let mut scratch = MinimizeScratch::new();
+        let oracle = |p: &Prog| {
+            let names: Vec<&str> = p.calls.iter().map(|c| t.get(c.desc).name.as_str()).collect();
+            names.contains(&"openat$/dev/x") && names.contains(&"ioctl$B")
+        };
+        let (first, _) = minimize_with(&prog, &mut scratch, oracle);
+        let after_warmup = scratch.cold_allocs();
+        for _ in 0..5 {
+            let (again, _) = minimize_with(&prog, &mut scratch, oracle);
+            assert_eq!(again, first);
+        }
+        assert_eq!(
+            scratch.cold_allocs(),
+            after_warmup,
+            "no per-candidate call-slot allocation once the scratch is warm"
+        );
     }
 }

@@ -214,6 +214,28 @@ impl Supervisor {
         }
     }
 
+    /// Opens an execution batch: the broker installs its persistent trace
+    /// session and keeps it (plus coverage marks and feedback scratch)
+    /// across every [`supervise`](Self::supervise) call until
+    /// [`end_batch`](Self::end_batch). The hoisted batch preamble is the
+    /// device-lost check — a lost device fails the whole slice up front
+    /// (`false`, nothing opened). Everything per-program is untouched:
+    /// faults are still drawn per attempt and strikes/quarantine are still
+    /// accounted per program, so any batch size is bit-identical to the
+    /// per-program path.
+    pub fn begin_batch(&mut self, broker: &mut Broker, device: &mut Device) -> bool {
+        if self.device_lost {
+            return false;
+        }
+        broker.begin_batch(device);
+        true
+    }
+
+    /// Closes the current execution batch (no-op when none is open).
+    pub fn end_batch(&mut self, broker: &mut Broker, device: &mut Device) {
+        broker.end_batch(device);
+    }
+
     /// Executes `prog` under supervision: draws a fault, applies it,
     /// runs the broker, and recovers per the failure taxonomy. The
     /// returned [`SupervisedRun`] carries the full virtual cost of the
@@ -291,6 +313,7 @@ impl Supervisor {
                     run.cost_us += self.cfg.watchdog_budget_us;
                     self.counters.hangs += 1;
                     run.salvaged_bugs.append(&mut outcome.bugs);
+                    broker.recycle(outcome);
                     device.reboot();
                     run.cost_us += adb.reboot_cost();
                     self.strike(prog, table);
@@ -305,6 +328,7 @@ impl Supervisor {
             if Self::silently_lost(device, &outcome) {
                 self.counters.device_lost += 1;
                 run.salvaged_bugs.append(&mut outcome.bugs);
+                broker.recycle(outcome);
                 if !self.reprovision(device, adb, &mut run)
                     || !self.backoff(&mut run, &mut retries)
                 {

@@ -17,6 +17,24 @@ pub enum ArgValue {
     Ref(usize),
 }
 
+impl ArgValue {
+    /// Overwrites `self` with a copy of `src`, reusing `self`'s heap
+    /// buffer when both sides are the same buffer-carrying variant.
+    pub fn assign_from(&mut self, src: &ArgValue) {
+        match (self, src) {
+            (ArgValue::Bytes(dst), ArgValue::Bytes(src)) => {
+                dst.clear();
+                dst.extend_from_slice(src);
+            }
+            (ArgValue::Str(dst), ArgValue::Str(src)) => {
+                dst.clear();
+                dst.push_str(src);
+            }
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+}
+
 /// One call in a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Call {
@@ -24,6 +42,20 @@ pub struct Call {
     pub desc: DescId,
     /// Concrete argument values, one per described argument.
     pub args: Vec<ArgValue>,
+}
+
+impl Call {
+    /// Overwrites `self` with a copy of `src`, reusing the argument vector
+    /// and per-argument buffers already allocated in `self`.
+    pub fn assign_from(&mut self, src: &Call) {
+        self.desc = src.desc;
+        self.args.truncate(src.args.len());
+        let shared = self.args.len();
+        for (dst, s) in self.args.iter_mut().zip(&src.args) {
+            dst.assign_from(s);
+        }
+        self.args.extend(src.args[shared..].iter().cloned());
+    }
 }
 
 /// A test case: an ordered sequence of calls.
@@ -130,6 +162,20 @@ impl Prog {
             calls.push(Call { desc, args: args.clone() });
         }
         Ok(Self { calls })
+    }
+
+    /// Overwrites `self` with a copy of `src`, reusing the call vector,
+    /// per-call argument vectors, and argument byte/string buffers already
+    /// allocated in `self`. Semantically identical to `*self = src.clone()`
+    /// but allocation-free once `self` has seen a program at least as large
+    /// — the form the fuzzer's per-program hot loop uses.
+    pub fn assign_from(&mut self, src: &Prog) {
+        self.calls.truncate(src.calls.len());
+        let shared = self.calls.len();
+        for (dst, s) in self.calls.iter_mut().zip(&src.calls) {
+            dst.assign_from(s);
+        }
+        self.calls.extend(src.calls[shared..].iter().cloned());
     }
 
     /// Number of calls.
@@ -423,6 +469,65 @@ mod tests {
     fn unreferenced_finds_leaf_calls() {
         let p = open_ioctl_close();
         assert_eq!(p.unreferenced(), vec![1, 2]);
+    }
+
+    #[test]
+    fn assign_from_matches_clone() {
+        let src = Prog {
+            calls: vec![
+                Call { desc: DescId(0), args: vec![] },
+                Call {
+                    desc: DescId(2),
+                    args: vec![
+                        ArgValue::Ref(0),
+                        ArgValue::Bytes(vec![1, 2, 3]),
+                        ArgValue::Str("abc".into()),
+                    ],
+                },
+            ],
+        };
+        // From empty, from larger, and from differently-shaped programs.
+        let mut dst = Prog::new();
+        dst.assign_from(&src);
+        assert_eq!(dst, src);
+        let mut dst = open_ioctl_close();
+        dst.splice(&open_ioctl_close());
+        dst.assign_from(&src);
+        assert_eq!(dst, src);
+        let mut dst = Prog {
+            calls: vec![Call {
+                desc: DescId(1),
+                args: vec![ArgValue::Int(9), ArgValue::Bytes(vec![0; 64])],
+            }],
+        };
+        dst.assign_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn assign_from_reuses_buffers() {
+        let big = Prog {
+            calls: vec![Call {
+                desc: DescId(0),
+                args: vec![ArgValue::Bytes(vec![7; 256]), ArgValue::Str("x".repeat(64))],
+            }],
+        };
+        let small = Prog {
+            calls: vec![Call {
+                desc: DescId(0),
+                args: vec![ArgValue::Bytes(vec![1]), ArgValue::Str("y".into())],
+            }],
+        };
+        let mut dst = Prog::new();
+        dst.assign_from(&big);
+        let calls_cap = dst.calls.capacity();
+        let ArgValue::Bytes(b) = &dst.calls[0].args[0] else { panic!() };
+        let bytes_cap = b.capacity();
+        dst.assign_from(&small);
+        assert_eq!(dst, small);
+        assert_eq!(dst.calls.capacity(), calls_cap, "call vector kept");
+        let ArgValue::Bytes(b) = &dst.calls[0].args[0] else { panic!() };
+        assert_eq!(b.capacity(), bytes_cap, "byte buffer kept");
     }
 
     #[test]

@@ -69,11 +69,21 @@ impl<'a> DriverCtx<'a> {
     /// is what makes kernel coverage reward stateful exploration over
     /// argument spraying.
     pub fn hit_path(&mut self, weight: u64, parts: &[u64]) {
+        // Fingerprints are short (opcode + a few state fields); build them
+        // in a stack buffer so the per-block hot loop never touches the
+        // heap. The spill path keeps arbitrary lengths correct.
+        let mut stack = [0u64; 16];
+        let mut heap;
+        let fp: &mut [u64] = if parts.len() < stack.len() {
+            &mut stack[..parts.len() + 1]
+        } else {
+            heap = vec![0u64; parts.len() + 1];
+            &mut heap
+        };
+        fp[..parts.len()].copy_from_slice(parts);
         for i in 0..weight.max(1) {
-            let mut fp = Vec::with_capacity(parts.len() + 1);
-            fp.extend_from_slice(parts);
-            fp.push(0xBB00 + i);
-            self.hit(&fp);
+            fp[parts.len()] = 0xBB00 + i;
+            self.hit_raw(block_for(self.base, fp));
         }
     }
 

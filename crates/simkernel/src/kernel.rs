@@ -215,6 +215,22 @@ impl Kernel {
             .disable())
     }
 
+    /// Stops kcov collection for `pid` and appends the recorded blocks to
+    /// `out`, keeping the per-process buffer allocation. The reuse-friendly
+    /// form of [`kcov_collect`](Self::kcov_collect).
+    ///
+    /// # Errors
+    ///
+    /// Returns `ENOENT` for unknown processes.
+    pub fn kcov_collect_into(&mut self, pid: Pid, out: &mut Vec<Block>) -> Result<(), Errno> {
+        self.procs
+            .get_mut(&pid.0)
+            .ok_or(Errno::ENOENT)?
+            .kcov
+            .disable_into(out);
+        Ok(())
+    }
+
     /// Attaches a trace session; events matching `filter` accumulate until
     /// drained or detached.
     pub fn attach_trace(&mut self, filter: TraceFilter) -> TraceId {
@@ -234,6 +250,15 @@ impl Kernel {
             .and_then(Option::as_mut)
             .map(TraceSession::drain)
             .unwrap_or_default()
+    }
+
+    /// Drains buffered events from a session into `out`, keeping the
+    /// session's buffer allocation (no-op for unknown ids). The
+    /// reuse-friendly form of [`trace_drain`](Self::trace_drain).
+    pub fn trace_drain_into(&mut self, id: TraceId, out: &mut Vec<SyscallEvent>) {
+        if let Some(session) = self.sessions.get_mut(id.0 as usize).and_then(Option::as_mut) {
+            session.drain_into(out);
+        }
     }
 
     /// Detaches a session, discarding pending events.

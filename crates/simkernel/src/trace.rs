@@ -118,6 +118,13 @@ impl TraceSession {
         std::mem::take(&mut self.events)
     }
 
+    /// Drains all buffered events into `out` in arrival order, keeping the
+    /// session's buffer allocation. The reuse-friendly form of
+    /// [`drain`](Self::drain).
+    pub fn drain_into(&mut self, out: &mut Vec<SyscallEvent>) {
+        out.append(&mut self.events);
+    }
+
     /// Number of events dropped due to buffer overflow.
     pub fn dropped(&self) -> usize {
         self.dropped

@@ -6,7 +6,7 @@ use droidfuzz_repro::droidfuzz::config::FuzzerConfig;
 use droidfuzz_repro::droidfuzz::daemon::Daemon;
 use droidfuzz_repro::droidfuzz::fleet::{Fleet, FleetConfig, FleetResult, SNAPSHOT_HEADER};
 use droidfuzz_repro::simdevice::catalog;
-use droidfuzz_repro::simdevice::faults::FaultProfile;
+use droidfuzz_repro::simdevice::faults::{FaultProfile, FaultRates};
 use proptest::prelude::*;
 
 fn quick_config(sync: bool, kill_after_rounds: Option<usize>) -> FleetConfig {
@@ -176,6 +176,84 @@ fn parallel_hostile_fleet_matches_sequential() {
     assert_eq!(fingerprint(&sequential), fingerprint(&parallel));
 }
 
+/// The broker batch size is a pure host-side amortization: batch
+/// boundaries draw no RNG and charge no virtual time, so fixed-seed
+/// campaigns must produce byte-equal snapshots at every `exec_batch` ×
+/// `threads` combination. `exec_batch: 1` is the per-program reference.
+#[test]
+fn exec_batch_size_is_invisible_to_campaign_results() {
+    let spec = catalog::device_a1();
+    let config = |threads| FleetConfig { shards: 3, threads, ..quick_config(true, None) };
+    let mk = |batch: usize| {
+        move |lane: u64| FuzzerConfig::droidfuzz(lane).with_exec_batch(batch)
+    };
+    let reference = Fleet::new(config(1)).run(&spec, mk(1));
+    assert!(reference.finished);
+    for batch in [4, 32] {
+        for threads in [1, 4] {
+            let batched = Fleet::new(config(threads)).run(&spec, mk(batch));
+            assert_eq!(
+                fingerprint(&reference),
+                fingerprint(&batched),
+                "batch={batch} threads={threads} diverged from the per-program path"
+            );
+            assert_eq!(reference.executions, batched.executions, "batch={batch}");
+            assert_eq!(
+                reference.snapshot, batched.snapshot,
+                "batch={batch} threads={threads} snapshot not byte-identical"
+            );
+        }
+    }
+}
+
+/// Faults landing mid-batch — HAL deaths, spontaneous reboots, wedges,
+/// hangs, including on the last program of a slice — must salvage crash
+/// reports and quarantine exactly like the per-program path: identical
+/// fault taxonomy totals, identical crash sets, identical snapshots.
+#[test]
+fn mid_batch_faults_match_per_program_taxonomy() {
+    let spec = catalog::device_e();
+    // A mix dense enough that every batch of 32 sees several faults and
+    // slices regularly end on a faulted program.
+    let rates = FaultRates {
+        hal_death: 0.04,
+        reboot: 0.04,
+        wedge: 0.03,
+        hang: 0.03,
+        truncated_reply: 0.03,
+        link_drop: 0.03,
+        ..FaultRates::for_profile(FaultProfile::Reliable)
+    };
+    let mk = |batch: usize| {
+        move |lane: u64| {
+            FuzzerConfig::droidfuzz(lane).with_fault_rates(rates).with_exec_batch(batch)
+        }
+    };
+    let config = |threads| FleetConfig { shards: 2, threads, ..quick_config(true, None) };
+    let reference = Fleet::new(config(1)).run(&spec, mk(1));
+    assert!(reference.fault_totals.injected > 0, "the forced mix actually injects");
+    for batch in [4, 32] {
+        let batched = Fleet::new(config(1)).run(&spec, mk(batch));
+        assert_eq!(
+            reference.fault_totals, batched.fault_totals,
+            "batch={batch}: fault classification must be batch-size-invariant"
+        );
+        assert_eq!(fingerprint(&reference), fingerprint(&batched), "batch={batch}");
+    }
+    // And the full hostile profile (vanishing devices, re-provisioning,
+    // shard restarts) stays equal across batch sizes and threads too.
+    let hostile = |batch: usize| {
+        move |lane: u64| {
+            FuzzerConfig::droidfuzz(lane)
+                .with_fault_profile(FaultProfile::Hostile)
+                .with_exec_batch(batch)
+        }
+    };
+    let hostile_ref = Fleet::new(config(1)).run(&spec, hostile(1));
+    let hostile_batched = Fleet::new(config(2)).run(&spec, hostile(32));
+    assert_eq!(fingerprint(&hostile_ref), fingerprint(&hostile_batched));
+}
+
 proptest! {
     /// Sequential/parallel equivalence over random seeds and worker
     /// counts: for any base seed and any `threads in 2..=8`, the final
@@ -195,6 +273,37 @@ proptest! {
         let parallel = Fleet::new(config(threads as usize)).run(&spec, mk);
         prop_assert_eq!(fingerprint(&sequential), fingerprint(&parallel));
         prop_assert_eq!(sequential.executions, parallel.executions);
+    }
+
+    /// Batch-size equivalence over random seeds, batch sizes, worker
+    /// counts, and fault pressure: for any `exec_batch in 2..=32` the
+    /// campaign matches the `exec_batch: 1` per-program reference byte
+    /// for byte — faulted or not, parallel or not.
+    #[test]
+    fn any_batch_size_matches_per_program(
+        seed in 0u64..4096,
+        batch in 2usize..33,
+        threads in 1usize..5,
+        flaky in any::<bool>(),
+    ) {
+        let spec = catalog::device_a1();
+        let config = |threads| FleetConfig {
+            shards: 3,
+            hours: 0.06,
+            sync_interval_hours: 0.03,
+            threads,
+            ..quick_config(true, None)
+        };
+        let mk = move |b: usize| {
+            move |lane: u64| {
+                let cfg = FuzzerConfig::droidfuzz(lane.wrapping_add(seed)).with_exec_batch(b);
+                if flaky { cfg.with_fault_profile(FaultProfile::Flaky) } else { cfg }
+            }
+        };
+        let per_program = Fleet::new(config(1)).run(&spec, mk(1));
+        let batched = Fleet::new(config(threads)).run(&spec, mk(batch));
+        prop_assert_eq!(fingerprint(&per_program), fingerprint(&batched));
+        prop_assert_eq!(per_program.executions, batched.executions);
     }
 }
 
